@@ -1,0 +1,33 @@
+"""Figure 3 — analysis of taxonomy nodes without clicked items.
+
+Paper shape (Snack): ~77% of uncovered nodes are leaves (nothing below to
+click), ~18% are never queried, the remainder is miscellaneous.
+"""
+
+from common import DOMAINS, DOMAIN_LABELS, domain_artifacts, fmt, print_table
+
+from repro.eval import uncovered_node_analysis
+
+
+def run_fig3() -> dict[str, dict]:
+    return {
+        domain: uncovered_node_analysis(
+            domain_artifacts(domain)[0].full_taxonomy,
+            domain_artifacts(domain)[1])
+        for domain in DOMAINS
+    }
+
+
+def test_fig03_uncovered_nodes(benchmark):
+    results = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    rows = [[DOMAIN_LABELS[d], r["count"], fmt(r["leaf"], 1),
+             fmt(r["no_query"], 1), fmt(r["other"], 1)]
+            for d, r in results.items()]
+    print_table("Figure 3: uncovered-node breakdown (percent)",
+                ["Domain", "#Uncovered", "Leaf", "Never queried", "Other"],
+                rows)
+    for domain, r in results.items():
+        # Leaves dominate the uncovered set (paper: 77%).
+        assert r["leaf"] > 50.0, domain
+        assert r["leaf"] + r["no_query"] + r["other"] == \
+            __import__("pytest").approx(100.0)

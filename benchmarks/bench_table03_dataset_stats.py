@@ -1,0 +1,47 @@
+"""Table III — self-supervised generated dataset statistics.
+
+Paper shape: positives:negatives 1:1; among positives head:others ~= 3:7;
+among negatives shuffle ~= replace; 60/20/20 train/val/test split.
+"""
+
+from common import DOMAINS, DOMAIN_LABELS, domain_artifacts, print_table
+
+from repro.core import SelfSupConfig, generate_dataset
+from repro.graph import collect_concept_clicks
+
+
+def run_table3() -> dict[str, dict]:
+    results = {}
+    for domain in DOMAINS:
+        world, click_log, _ugc, _closure = domain_artifacts(domain)
+        clicks = collect_concept_clicks(world.existing_taxonomy,
+                                        world.vocabulary, click_log)
+        dataset = generate_dataset(world.existing_taxonomy,
+                                   set(clicks.concept_clicks),
+                                   SelfSupConfig(seed=1))
+        results[domain] = dataset.statistics()
+    return results
+
+
+def test_table03_dataset_stats(benchmark):
+    stats = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    rows = [[DOMAIN_LABELS[d], s["E_All"], s["E_Positive"], s["E_Negative"],
+             s["E_Head"], s["E_Others"], s["E_Shuffle"], s["E_Replace"],
+             s["E_Train"], s["E_Val"], s["E_Test"]]
+            for d, s in stats.items()]
+    print_table(
+        "Table III: self-supervised generated dataset statistics",
+        ["Dataset", "|E_All|", "|E_Pos|", "|E_Neg|", "|E_Head|",
+         "|E_Others|", "|E_Shuffle|", "|E_Replace|", "|E_Train|",
+         "|E_Val|", "|E_Test|"], rows)
+    for s in stats.values():
+        # 1:1 positives to negatives (duplicates may drop a few negatives)
+        assert s["E_Negative"] >= 0.8 * s["E_Positive"]
+        # head:others ~ 3:7 among positives
+        ratio = s["E_Head"] / max(s["E_Others"], 1)
+        assert 0.25 < ratio < 0.6
+        # shuffle ~ replace among negatives
+        assert abs(s["E_Shuffle"] - s["E_Replace"]) \
+            < 0.5 * s["E_Negative"]
+        # 60/20/20 split
+        assert abs(s["E_Train"] / s["E_All"] - 0.6) < 0.02

@@ -1,0 +1,34 @@
+"""Table IV — accuracy of raw term extraction from click logs.
+
+Paper shape: the raw query-item concept pairs are noisy — only ~8-13% of
+distinct extracted pairs are true hyponymy relations, yet their absolute
+number is large, which is why a learned detector is needed.
+"""
+
+from common import DOMAINS, DOMAIN_LABELS, domain_artifacts, fmt, print_table
+
+from repro.eval import extraction_accuracy
+
+
+def run_table4() -> dict[str, dict]:
+    sample_sizes = {"snack": 20, "fruits": 10, "prepared": 10}
+    return {
+        domain: extraction_accuracy(
+            domain_artifacts(domain)[0], domain_artifacts(domain)[1],
+            num_queries=sample_sizes[domain], seed=4)
+        for domain in DOMAINS
+    }
+
+
+def test_table04_extraction_accuracy(benchmark):
+    stats = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    rows = [[DOMAIN_LABELS[d], s["num_nodes"], s["num_newedge"],
+             fmt(s["accuracy"])] for d, s in stats.items()]
+    print_table("Table IV: accuracy of term extraction",
+                ["Taxonomy", "#Nodes", "#NewEdge", "Accuracy"], rows)
+    for s in stats.values():
+        # Raw pairs are mostly noise, but not empty of signal
+        # (paper: 8.46 - 13.18%; our synthetic drift/common noise plus
+        # sibling confusions put it in the same low band).
+        assert 2.0 < s["accuracy"] < 60.0
+        assert s["num_newedge"] > 30

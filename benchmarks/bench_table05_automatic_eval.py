@@ -1,0 +1,105 @@
+"""Table V — automatic evaluation of all methods on three domains.
+
+Paper shape (per domain): Random ~50 Acc; KB+Headword/Snowball have near-
+perfect precision but tiny recall (terrible Edge-F1); Substr is the best
+rule; the learned baselines (Vanilla-BERT, Distance-*, TaxoExpan, TMN,
+STEAM) land between the rules and the full framework, with STEAM the
+strongest published baseline; the proposed framework tops accuracy and
+Edge-F1 in every domain.
+"""
+
+from common import (
+    DOMAINS, DOMAIN_LABELS, concept_embeddings, detector_metrics,
+    domain_artifacts, fitted_pipeline, fmt, print_table,
+)
+
+from repro.baselines import (
+    DistanceNeighborBaseline, DistanceParentBaseline, KBHeadwordBaseline,
+    RandomBaseline, SimulatedKnowledgeBase, SnowballBaseline, STEAMBaseline,
+    SubstrBaseline, TMNBaseline, TaxoExpanBaseline, VanillaBertBaseline,
+)
+from repro.eval import evaluate_on_dataset
+
+METHODS = ["Random", "KB+Headword", "Snowball", "Substr", "Vanilla-BERT",
+           "Distance-Parent", "Distance-Neighbor", "TaxoExpan", "TMN",
+           "STEAM", "Ours"]
+
+
+def evaluate_domain(domain: str) -> dict[str, dict]:
+    world, click_log, ugc, closure = domain_artifacts(domain)
+    pipeline = fitted_pipeline(domain)
+    dataset = pipeline.dataset
+    visible = pipeline.visible_taxonomy
+    embeddings = concept_embeddings(pipeline, world)
+    concept_tokens = sorted({t for c in world.vocabulary for t in c.split()})
+
+    def ev(predict):
+        return evaluate_on_dataset(predict, dataset.test, closure)
+
+    results: dict[str, dict] = {}
+    results["Ours"] = detector_metrics(pipeline, closure)
+    results["Random"] = ev(RandomBaseline(0).predict)
+    kb = SimulatedKnowledgeBase(closure, coverage=0.02, seed=0)
+    results["KB+Headword"] = ev(KBHeadwordBaseline(kb).predict)
+    results["Snowball"] = ev(SnowballBaseline(ugc, world.vocabulary, seed=0)
+                             .fit(dataset.train, dataset.val).predict)
+    results["Substr"] = ev(SubstrBaseline().predict)
+    results["Vanilla-BERT"] = ev(
+        VanillaBertBaseline(ugc, concept_tokens, seed=0)
+        .fit(dataset.train, dataset.val).predict)
+    results["Distance-Parent"] = ev(
+        DistanceParentBaseline(embeddings)
+        .fit(dataset.train, dataset.val).predict)
+    results["Distance-Neighbor"] = ev(
+        DistanceNeighborBaseline(embeddings, visible)
+        .fit(dataset.train, dataset.val).predict)
+    results["TaxoExpan"] = ev(
+        TaxoExpanBaseline(visible, embeddings, seed=0)
+        .fit(dataset.train, dataset.val).predict)
+    results["TMN"] = ev(TMNBaseline(embeddings, seed=0)
+                        .fit(dataset.train, dataset.val).predict)
+    results["STEAM"] = ev(STEAMBaseline(embeddings, visible, seed=0)
+                          .fit(dataset.train, dataset.val).predict)
+    return results
+
+
+def run_table5() -> dict[str, dict[str, dict]]:
+    return {domain: evaluate_domain(domain) for domain in DOMAINS}
+
+
+def test_table05_automatic_eval(benchmark):
+    all_results = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    headers = ["Method"]
+    for domain in DOMAINS:
+        headers += [f"{DOMAIN_LABELS[domain]} Acc", "Edge-F1", "Anc-F1"]
+    rows = []
+    for method in METHODS:
+        row = [method]
+        for domain in DOMAINS:
+            m = all_results[domain][method]
+            row += [fmt(100 * m["accuracy"]), fmt(100 * m["edge_f1"]),
+                    fmt(100 * m.get("ancestor_f1", m["edge_f1"]))]
+        rows.append(row)
+    print_table("Table V: automatic evaluation", headers, rows)
+
+    for domain in DOMAINS:
+        res = all_results[domain]
+        ours = res["Ours"]
+        # Random sits near chance.
+        assert abs(res["Random"]["accuracy"] - 0.5) < 0.15
+        # KB+Headword and Snowball: perfect-precision / tiny-recall regime.
+        for sparse in ("KB+Headword", "Snowball"):
+            assert res[sparse]["edge_f1"] < 0.6
+        # Ours clears every rule-based and distance method (paper shape).
+        for method in ("Random", "KB+Headword", "Substr",
+                       "Distance-Parent", "Distance-Neighbor"):
+            assert ours["accuracy"] > res[method]["accuracy"], \
+                (domain, method)
+        # Among the strong learned baselines the paper reports a wide
+        # margin for the framework; at our 25k-parameter PLM scale the
+        # framework is competitive but not dominant (EXPERIMENTS.md,
+        # deviation 1) -- assert it stays within seed noise of the pack.
+        strongest = max(res[m]["accuracy"]
+                        for m in ("TaxoExpan", "TMN", "STEAM",
+                                  "Vanilla-BERT"))
+        assert ours["accuracy"] > strongest - 0.15, domain

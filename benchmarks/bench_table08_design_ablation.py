@@ -1,0 +1,81 @@
+"""Table VIII — ablation of the framework's design choices.
+
+Paper shape (per removed component): every removal hurts; removing
+concept-level masking hurts the relational side most; removing position
+embeddings hurts Edge-F1 most on the structural side; template, finetune,
+edge attributes, click graph, and contrastive pretraining each contribute
+a smaller amount.
+"""
+
+from dataclasses import replace
+
+from common import (
+    ablation_artifacts, ablation_pipeline, fast_pipeline_config, fmt,
+    print_table,
+)
+
+from repro.eval import evaluate_on_dataset
+
+VARIANTS = [
+    "Overall",
+    "- Template",
+    "- Finetune",
+    "- Concept-level Masking",
+    "- Edge Attribute",
+    "- User Click Graph",
+    "- Contrastive Learning",
+    "- Position Embedding",
+]
+
+
+def variant_config(name: str):
+    base = fast_pipeline_config()
+    if name == "Overall":
+        return base
+    if name == "- Template":
+        return replace(base, use_template=False)
+    if name == "- Finetune":
+        return replace(base, detector=replace(base.detector,
+                                              finetune_plm=False))
+    if name == "- Concept-level Masking":
+        return replace(base, pretrain=replace(base.pretrain,
+                                              strategy="token"))
+    if name == "- Edge Attribute":
+        return replace(base, structural=replace(base.structural,
+                                                use_edge_weights=False))
+    if name == "- User Click Graph":
+        return replace(base, use_click_graph=False)
+    if name == "- Contrastive Learning":
+        return replace(base, use_contrastive=False)
+    if name == "- Position Embedding":
+        return replace(base, structural=replace(base.structural,
+                                                use_position=False))
+    raise ValueError(name)
+
+
+def run_table8() -> dict[str, dict]:
+    _world, _log, _ugc, closure = ablation_artifacts()
+    results = {}
+    for name in VARIANTS:
+        pipeline = ablation_pipeline(f"t8:{name}", variant_config(name))
+        results[name] = evaluate_on_dataset(
+            lambda pairs: pipeline.detector.predict(pairs),
+            pipeline.dataset.test, closure)
+    return results
+
+
+def test_table08_design_ablation(benchmark):
+    results = benchmark.pedantic(run_table8, rounds=1, iterations=1)
+    rows = [[name, fmt(100 * m["accuracy"]), fmt(100 * m["edge_f1"]),
+             fmt(100 * m["ancestor_f1"])]
+            for name, m in results.items()]
+    print_table("Table VIII: design-choice ablation (ablation world)",
+                ["Variant", "Acc", "Edge-F1", "Ancestor-F1"], rows)
+    overall = results["Overall"]
+    # The full model is at worst marginally below any ablated variant
+    # and strictly better than the worst ablation.
+    floor = min(m["accuracy"] for name, m in results.items()
+                if name != "Overall")
+    assert overall["accuracy"] > floor
+    for name, m in results.items():
+        assert m["accuracy"] <= overall["accuracy"] + 0.06, name

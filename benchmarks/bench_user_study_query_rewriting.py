@@ -1,0 +1,39 @@
+"""§IV-E — offline user study: query rewriting for search.
+
+Paper shape: rewriting fine-grained queries with hypernyms from the
+expanded taxonomy lifts the share of relevant top-10 results (74% -> 80%),
+because lexical search under-serves fine-grained concepts.
+"""
+
+from common import domain_artifacts, fitted_pipeline, fmt, print_table
+
+from repro.eval import QueryRewritingStudy
+
+DOMAIN = "snack"
+
+
+def run_user_study():
+    world, click_log, _ugc, _closure = domain_artifacts(DOMAIN)
+    pipeline = fitted_pipeline(DOMAIN)
+    expansion = pipeline.expand(world.existing_taxonomy, click_log,
+                                world.vocabulary)
+    study = QueryRewritingStudy(world, click_log, expansion.taxonomy,
+                                seed=9)
+    return study.run(num_queries=100, top_k=10)
+
+
+def test_user_study_query_rewriting(benchmark):
+    result = benchmark.pedantic(run_user_study, rounds=1, iterations=1)
+    print_table(
+        "Offline user study: query rewriting (Snack, 100 queries)",
+        ["Setting", "Relevant@10 (%)"],
+        [["Original queries", fmt(result.original_relevance, 1)],
+         ["Rewritten with hypernyms", fmt(result.rewritten_relevance, 1)]])
+    rewritten = sum(1 for _q, h, _o, _r in result.per_query
+                    if h is not None)
+    print(f"queries with a hypernym rewrite: {rewritten}"
+          f"/{result.num_queries}")
+    # Rewriting never hurts and lifts overall relevance (paper: +6 points).
+    assert result.num_queries > 50
+    assert result.rewritten_relevance >= result.original_relevance
+    assert result.improvement >= 0.0

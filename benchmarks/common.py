@@ -1,0 +1,167 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper.
+Expensive artifacts (worlds, fitted pipelines) are cached per process so
+that running ``pytest benchmarks/ --benchmark-only`` fits everything once
+and reuses it across tables.
+
+Two world profiles are used:
+
+* the **full presets** (``DOMAIN_PRESETS``) for the headline tables
+  (I-V, VII, X-XII, figures, user study),
+* a **reduced ablation profile** for the design-choice sweeps
+  (Tables VI, VIII, IX), where dozens of pipeline variants must fit in
+  minutes; orderings, not absolute numbers, are the target there.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core import (
+    DetectorConfig, PipelineConfig, TaxonomyExpansionPipeline,
+)
+from repro.eval import ancestor_pairs, evaluate_on_dataset
+from repro.gnn import ContrastiveConfig, StructuralConfig
+from repro.plm import PretrainConfig
+from repro.synthetic import (
+    ClickLogConfig, DOMAIN_PRESETS, UgcConfig, WorldConfig, build_world,
+    generate_click_logs, generate_ugc,
+)
+
+DOMAINS = ("snack", "fruits", "prepared")
+
+#: Human-readable domain labels matching the paper's column headers.
+DOMAIN_LABELS = {"snack": "Snack", "fruits": "Fruits",
+                 "prepared": "Prepared Food"}
+
+ABLATION_WORLD = WorldConfig(
+    domain="fruits", seed=77, num_categories=16,
+    children_per_category=(8, 14), max_depth=5, children_per_node=(0, 4),
+    branch_probability=0.55, headword_fraction=0.78, holdout_fraction=0.15)
+
+
+def default_pipeline_config(seed: int = 1, **overrides) -> PipelineConfig:
+    """The configuration used for all headline results."""
+    base = PipelineConfig(
+        seed=seed,
+        pretrain=PretrainConfig(steps=1200, batch_size=16, lr=3e-3,
+                                strategy="concept", seed=seed),
+        contrastive=ContrastiveConfig(steps=100, seed=seed),
+        detector=DetectorConfig(epochs=20, batch_size=16, lr=3e-3,
+                                plm_lr=3e-4, seed=seed),
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+def fast_pipeline_config(seed: int = 1, **overrides) -> PipelineConfig:
+    """Reduced configuration for the ablation sweeps."""
+    base = PipelineConfig(
+        seed=seed,
+        pretrain=PretrainConfig(steps=500, batch_size=16, lr=3e-3,
+                                strategy="concept", seed=seed),
+        contrastive=ContrastiveConfig(steps=60, seed=seed),
+        detector=DetectorConfig(epochs=12, batch_size=16, lr=3e-3,
+                                plm_lr=3e-4, seed=seed),
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+@functools.lru_cache(maxsize=None)
+def domain_artifacts(domain: str):
+    """(world, click_log, ugc, gold closure) for a preset domain."""
+    config = DOMAIN_PRESETS[domain]
+    world = build_world(config)
+    click_log = generate_click_logs(world, ClickLogConfig(
+        seed=100 + config.seed, clicks_per_query=80))
+    ugc = generate_ugc(world, UgcConfig(seed=200 + config.seed,
+                                        sentences_per_edge=3.0))
+    closure = ancestor_pairs(world.full_taxonomy)
+    return world, click_log, ugc, closure
+
+
+@functools.lru_cache(maxsize=None)
+def ablation_artifacts():
+    """Artifacts for the reduced ablation world."""
+    world = build_world(ABLATION_WORLD)
+    click_log = generate_click_logs(world, ClickLogConfig(
+        seed=177, clicks_per_query=80))
+    ugc = generate_ugc(world, UgcConfig(seed=277, sentences_per_edge=3.0))
+    closure = ancestor_pairs(world.full_taxonomy)
+    return world, click_log, ugc, closure
+
+
+@functools.lru_cache(maxsize=None)
+def fitted_pipeline(domain: str) -> TaxonomyExpansionPipeline:
+    """The fully-trained framework on a preset domain (cached)."""
+    world, click_log, ugc, _closure = domain_artifacts(domain)
+    pipeline = TaxonomyExpansionPipeline(default_pipeline_config())
+    pipeline.fit(world.existing_taxonomy, world.vocabulary, click_log, ugc)
+    return pipeline
+
+
+_ABLATION_CACHE: dict = {}
+
+
+def ablation_pipeline(key: str, config: PipelineConfig
+                      ) -> TaxonomyExpansionPipeline:
+    """A fitted pipeline variant on the ablation world (cached by key)."""
+    if key not in _ABLATION_CACHE:
+        world, click_log, ugc, _closure = ablation_artifacts()
+        pipeline = TaxonomyExpansionPipeline(config)
+        pipeline.fit(world.existing_taxonomy, world.vocabulary,
+                     click_log, ugc)
+        _ABLATION_CACHE[key] = pipeline
+    return _ABLATION_CACHE[key]
+
+
+def concept_embeddings(pipeline: TaxonomyExpansionPipeline,
+                       world) -> dict[str, np.ndarray]:
+    """Frozen C-BERT concept vectors for baselines needing embeddings."""
+    concepts = sorted(world.vocabulary.concepts())
+    matrix = pipeline.relational.concept_embedding_matrix(concepts)
+    return dict(zip(concepts, matrix))
+
+
+def detector_metrics(pipeline: TaxonomyExpansionPipeline, closure
+                     ) -> dict[str, float]:
+    """Table V metric triple for the fitted framework."""
+    return evaluate_on_dataset(
+        lambda pairs: pipeline.detector.predict(pairs),
+        pipeline.dataset.test, closure)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Uniform plain-text table output for every bench."""
+    widths = [max(len(str(headers[i])),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(headers))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+@functools.lru_cache(maxsize=None)
+def fitted_pipeline_previous(domain: str) -> TaxonomyExpansionPipeline:
+    """The framework trained with the *previous* (non-adaptive)
+    self-supervision setting — the comparison arm of Tables XI/XII and
+    Figure 4."""
+    from repro.core import SelfSupConfig
+
+    world, click_log, ugc, _closure = domain_artifacts(domain)
+    config = default_pipeline_config(
+        selfsup=SelfSupConfig(seed=0, adaptive=False))
+    pipeline = TaxonomyExpansionPipeline(config)
+    pipeline.fit(world.existing_taxonomy, world.vocabulary, click_log, ugc)
+    return pipeline

@@ -1,0 +1,76 @@
+"""Scenario: compare the framework against published baselines.
+
+Trains the framework on the Fruits domain, then runs a selection of the
+Table V baselines on the identical self-supervised test split and candidate
+search space, printing an accuracy / Edge-F1 leaderboard.
+
+Run:  python examples/compare_methods.py   (several minutes)
+"""
+
+from repro.baselines import (
+    DistanceNeighborBaseline, RandomBaseline, STEAMBaseline, SubstrBaseline,
+    TMNBaseline, TaxoExpanBaseline,
+)
+from repro.core import PipelineConfig, TaxonomyExpansionPipeline
+from repro.core.detector import DetectorConfig
+from repro.eval import ancestor_pairs, evaluate_on_dataset
+from repro.gnn import ContrastiveConfig
+from repro.plm import PretrainConfig
+from repro.synthetic import (
+    ClickLogConfig, DOMAIN_PRESETS, UgcConfig, build_world,
+    generate_click_logs, generate_ugc,
+)
+
+
+def main() -> None:
+    preset = DOMAIN_PRESETS["fruits"]
+    world = build_world(preset)
+    click_log = generate_click_logs(world, ClickLogConfig(
+        seed=100 + preset.seed, clicks_per_query=80))
+    ugc = generate_ugc(world, UgcConfig(seed=200 + preset.seed,
+                                        sentences_per_edge=3.0))
+    closure = ancestor_pairs(world.full_taxonomy)
+
+    pipeline = TaxonomyExpansionPipeline(PipelineConfig(
+        seed=1,
+        pretrain=PretrainConfig(steps=1200, strategy="concept"),
+        contrastive=ContrastiveConfig(steps=100),
+        detector=DetectorConfig(epochs=20, batch_size=16, lr=3e-3,
+                                plm_lr=3e-4),
+    ))
+    pipeline.fit(world.existing_taxonomy, world.vocabulary, click_log, ugc)
+    dataset = pipeline.dataset
+    visible = pipeline.visible_taxonomy
+
+    concepts = sorted(world.vocabulary.concepts())
+    matrix = pipeline.relational.concept_embedding_matrix(concepts)
+    embeddings = dict(zip(concepts, matrix))
+
+    contenders = {
+        "Ours": lambda pairs: pipeline.detector.predict(pairs),
+        "Random": RandomBaseline(0).predict,
+        "Substr": SubstrBaseline().predict,
+        "Distance-Neighbor": DistanceNeighborBaseline(
+            embeddings, visible).fit(dataset.train, dataset.val).predict,
+        "TaxoExpan": TaxoExpanBaseline(visible, embeddings, seed=0)
+        .fit(dataset.train, dataset.val).predict,
+        "TMN": TMNBaseline(embeddings, seed=0)
+        .fit(dataset.train, dataset.val).predict,
+        "STEAM": STEAMBaseline(embeddings, visible, seed=0)
+        .fit(dataset.train, dataset.val).predict,
+    }
+
+    print(f"\n{'method':<20} {'Acc':>7} {'Edge-F1':>9} {'Anc-F1':>8}")
+    print("-" * 46)
+    leaderboard = []
+    for name, predict in contenders.items():
+        metrics = evaluate_on_dataset(predict, dataset.test, closure)
+        leaderboard.append((metrics["accuracy"], name, metrics))
+    for accuracy, name, metrics in sorted(leaderboard, reverse=True):
+        print(f"{name:<20} {100 * accuracy:>7.2f} "
+              f"{100 * metrics['edge_f1']:>9.2f} "
+              f"{100 * metrics['ancestor_f1']:>8.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Scenario: expand the Snack domain taxonomy at benchmark scale.
+
+Mirrors the paper's deployment story (§IV-B-2): train on the Snack
+domain, expand the taxonomy with click-log candidates, report the growth
+factor and the precision a three-judge annotation panel would measure.
+
+Run:  python examples/expand_snack_taxonomy.py   (several minutes)
+"""
+
+from repro.core import PipelineConfig, TaxonomyExpansionPipeline
+from repro.core.detector import DetectorConfig
+from repro.eval import manual_precision
+from repro.gnn import ContrastiveConfig
+from repro.plm import PretrainConfig
+from repro.synthetic import (
+    ClickLogConfig, DOMAIN_PRESETS, UgcConfig, build_world,
+    generate_click_logs, generate_ugc,
+)
+
+
+def main() -> None:
+    preset = DOMAIN_PRESETS["snack"]
+    world = build_world(preset)
+    click_log = generate_click_logs(world, ClickLogConfig(
+        seed=100 + preset.seed, clicks_per_query=80))
+    ugc = generate_ugc(world, UgcConfig(seed=200 + preset.seed,
+                                        sentences_per_edge=3.0))
+    print(f"Snack world: {world.full_taxonomy.num_nodes} concepts, "
+          f"{world.full_taxonomy.num_edges} relations, "
+          f"{len(world.new_concepts)} held-out new concepts")
+
+    pipeline = TaxonomyExpansionPipeline(PipelineConfig(
+        seed=1,
+        pretrain=PretrainConfig(steps=1200, strategy="concept"),
+        contrastive=ContrastiveConfig(steps=100),
+        detector=DetectorConfig(epochs=20, batch_size=16, lr=3e-3,
+                                plm_lr=3e-4),
+    ))
+    pipeline.fit(world.existing_taxonomy, world.vocabulary, click_log, ugc)
+
+    result = pipeline.expand(world.existing_taxonomy, click_log,
+                             world.vocabulary)
+    before = world.existing_taxonomy.num_edges
+    after = result.taxonomy.num_edges
+    precision = manual_precision(world, result.attached_edges,
+                                 sample_size=1000, seed=3,
+                                 error_rate=0.03)
+    print(f"\nrelations: {before} -> {after} "
+          f"(x{after / before:.2f} growth)")
+    print(f"attached: {result.num_attached} relations at "
+          f"{precision:.1f}% precision (simulated 3-judge panel)")
+
+    new_attached = sorted(
+        {child for _p, child in result.attached_edges
+         if child in world.new_concepts})
+    print(f"new concepts placed into the taxonomy: {len(new_attached)}"
+          f" / {len(world.new_concepts)}")
+    for child in new_attached[:10]:
+        parents = sorted(result.taxonomy.parents(child))
+        print(f"  {child!r} attached under {parents}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package, so
+PEP 517/660 editable installs are unavailable; `pip install -e . --no-use-pep517`
+(or plain `pip install -e .` with older pip) goes through setup.py develop."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

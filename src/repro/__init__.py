@@ -1,0 +1,30 @@
+"""repro — reproduction of "Learning What You Need from What You Did:
+Product Taxonomy Expansion with User Behaviors Supervision" (ICDE 2022).
+
+Subpackages
+-----------
+``repro.taxonomy``
+    Tree-structured taxonomy substrate, concept vocabulary, headword logic.
+``repro.synthetic``
+    Synthetic e-commerce world: taxonomies, items, click logs, UGC.
+``repro.nn``
+    Numpy autograd engine, layers, optimizers, losses.
+``repro.plm``
+    MiniBert language model with token-/concept-level masked pretraining and
+    the template-based relational representation.
+``repro.gnn``
+    Edge-weighted GCN/GAT/GraphSAGE, contrastive pretraining, structural
+    pair representations.
+``repro.graph``
+    User-click-graph construction with IF/IQF weighting.
+``repro.core``
+    The paper's framework: adaptively self-supervised data generation,
+    hyponymy detector, top-down taxonomy expansion pipeline.
+``repro.baselines``
+    The ten comparison methods from Table V.
+``repro.eval``
+    Metrics, term-extraction statistics, oracle annotators, and the offline
+    query-rewriting user study.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,20 @@
+"""The ten Table V comparison methods."""
+
+from .base import Baseline
+from .random_baseline import RandomBaseline
+from .kb_headword import SimulatedKnowledgeBase, KBHeadwordBaseline
+from .snowball import SnowballBaseline
+from .substr import SubstrBaseline
+from .vanilla_bert import VanillaBertBaseline
+from .distance import DistanceParentBaseline, DistanceNeighborBaseline
+from .taxoexpan import TaxoExpanBaseline
+from .tmn import TMNBaseline
+from .steam import STEAMBaseline
+
+__all__ = [
+    "Baseline", "RandomBaseline",
+    "SimulatedKnowledgeBase", "KBHeadwordBaseline",
+    "SnowballBaseline", "SubstrBaseline", "VanillaBertBaseline",
+    "DistanceParentBaseline", "DistanceNeighborBaseline",
+    "TaxoExpanBaseline", "TMNBaseline", "STEAMBaseline",
+]

@@ -1,0 +1,37 @@
+"""Shared interface for Table V baseline methods.
+
+Every baseline classifies (query concept, item concept) pairs.  All
+baselines are evaluated on the same self-supervised datasets and the same
+click-log candidate search space as the proposed framework (§IV-B-4 keeps
+the search space identical for fairness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.selfsup import LabeledPair
+
+__all__ = ["Baseline"]
+
+
+class Baseline:
+    """Interface: optional ``fit``, mandatory ``predict_proba``."""
+
+    name: str = "baseline"
+
+    def fit(self, train: list[LabeledPair],
+            val: list[LabeledPair] | None = None) -> "Baseline":
+        """Train on labelled pairs (no-op for rule-based methods)."""
+        return self
+
+    def predict_proba(self, pairs: list[tuple[str, str]]) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict(self, pairs: list[tuple[str, str]],
+                threshold: float = 0.5) -> np.ndarray:
+        """Binary decisions at ``threshold``."""
+        return (self.predict_proba(pairs) >= threshold).astype(np.int64)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

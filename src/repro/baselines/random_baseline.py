@@ -1,0 +1,21 @@
+"""Random baseline (Table V): attach concepts uniformly at random."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Baseline
+
+__all__ = ["RandomBaseline"]
+
+
+class RandomBaseline(Baseline):
+    """Predicts an independent fair coin per pair."""
+
+    name = "Random"
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def predict_proba(self, pairs: list[tuple[str, str]]) -> np.ndarray:
+        return self._rng.random(len(pairs))

@@ -1,0 +1,26 @@
+"""Substr baseline (Bordea et al. 2016; Table V).
+
+``A`` is ``B``'s hypernym when ``A`` is a substring of ``B`` — the strongest
+purely lexical rule on compositional product names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..taxonomy import is_substring_hyponym
+from .base import Baseline
+
+__all__ = ["SubstrBaseline"]
+
+
+class SubstrBaseline(Baseline):
+    """Positive iff the query string occurs inside the item string."""
+
+    name = "Substr"
+
+    def predict_proba(self, pairs: list[tuple[str, str]]) -> np.ndarray:
+        return np.array([
+            1.0 if is_substring_hyponym(query, item) else 0.0
+            for query, item in pairs
+        ])

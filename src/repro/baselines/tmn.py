@@ -1,0 +1,96 @@
+"""TMN baseline (Zhang et al. 2021; Table V).
+
+Triplet Matching Network: one *primal* scorer over the joint pair
+representation plus *auxiliary* scorers over each component, summed into the
+final logit.  Embeddings are frozen BERT concept vectors; only the scorers
+train — matching the paper's observation that TMN's fixed feature menu
+limits it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.selfsup import LabeledPair
+from ..nn import Adam, Linear, Module, Sequential, Sigmoid, Tensor, \
+    clip_grad_norm, cross_entropy, no_grad
+from .base import Baseline
+
+__all__ = ["TMNBaseline"]
+
+
+class _Scorer(Module):
+    """Small MLP producing a 2-class logit contribution."""
+
+    def __init__(self, in_dim: int, hidden: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.net = Sequential(
+            Linear(in_dim, hidden, rng=rng), Sigmoid(),
+            Linear(hidden, 2, rng=rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class TMNBaseline(Baseline):
+    """Primal + auxiliary scorers over frozen concept embeddings."""
+
+    name = "TMN"
+
+    def __init__(self, embeddings: dict[str, np.ndarray],
+                 hidden_dim: int = 32, epochs: int = 15, lr: float = 3e-3,
+                 seed: int = 0):
+        self.embeddings = embeddings
+        dim = len(next(iter(embeddings.values())))
+        self._dim = dim
+        rng = np.random.default_rng(seed)
+        # Primal scorer sees [e_q, e_i, e_q * e_i]; auxiliaries see one side.
+        self.primal = _Scorer(3 * dim, hidden_dim, rng)
+        self.aux_query = _Scorer(dim, hidden_dim, rng)
+        self.aux_item = _Scorer(dim, hidden_dim, rng)
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+
+    def _vector(self, concept: str) -> np.ndarray:
+        return self.embeddings.get(concept, np.zeros(self._dim))
+
+    def _blocks(self, pairs: list[tuple[str, str]]
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        q = np.stack([self._vector(query) for query, _ in pairs])
+        i = np.stack([self._vector(item) for _, item in pairs])
+        return q, i, q * i
+
+    def _logits(self, pairs: list[tuple[str, str]]) -> Tensor:
+        q, i, prod = self._blocks(pairs)
+        joint = Tensor(np.concatenate([q, i, prod], axis=1))
+        return (self.primal(joint)
+                + self.aux_query(Tensor(q))
+                + self.aux_item(Tensor(i)))
+
+    def fit(self, train: list[LabeledPair],
+            val: list[LabeledPair] | None = None) -> "TMNBaseline":
+        rng = np.random.default_rng(self.seed)
+        params = (self.primal.parameters() + self.aux_query.parameters()
+                  + self.aux_item.parameters())
+        optimizer = Adam(params, lr=self.lr)
+        batch = 32
+        for _ in range(self.epochs):
+            order = rng.permutation(len(train))
+            for start in range(0, len(train), batch):
+                samples = [train[i] for i in order[start:start + batch]]
+                pairs = [s.pair for s in samples]
+                labels = np.array([s.label for s in samples], dtype=np.int64)
+                optimizer.zero_grad()
+                loss = cross_entropy(self._logits(pairs), labels)
+                loss.backward()
+                clip_grad_norm(optimizer.parameters, 5.0)
+                optimizer.step()
+        return self
+
+    def predict_proba(self, pairs: list[tuple[str, str]]) -> np.ndarray:
+        if not pairs:
+            return np.zeros(0)
+        with no_grad():
+            return self._logits(pairs).softmax(axis=-1).data[:, 1]

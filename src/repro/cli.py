@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``world``    Generate a synthetic world and print its statistics.
+``expand``   Train the framework on a preset domain and expand its
+             taxonomy, optionally saving the result as JSON.
+``evaluate`` Train and report detector test metrics for a preset domain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import PipelineConfig, TaxonomyExpansionPipeline
+from .core.detector import DetectorConfig
+from .eval import ancestor_pairs, evaluate_on_dataset, manual_precision
+from .gnn import ContrastiveConfig
+from .plm import PretrainConfig
+from .synthetic import (
+    ClickLogConfig, DOMAIN_PRESETS, UgcConfig, build_world,
+    generate_click_logs, generate_ugc,
+)
+from .taxonomy import save_taxonomy, split_edges_by_headword
+
+__all__ = ["main"]
+
+
+def _build_domain(domain: str, clicks_per_query: int):
+    preset = DOMAIN_PRESETS[domain]
+    world = build_world(preset)
+    click_log = generate_click_logs(world, ClickLogConfig(
+        seed=100 + preset.seed, clicks_per_query=clicks_per_query))
+    ugc = generate_ugc(world, UgcConfig(seed=200 + preset.seed,
+                                        sentences_per_edge=3.0))
+    return world, click_log, ugc
+
+
+def _pipeline(seed: int, fast: bool) -> TaxonomyExpansionPipeline:
+    steps, epochs = (500, 12) if fast else (1200, 20)
+    return TaxonomyExpansionPipeline(PipelineConfig(
+        seed=seed,
+        pretrain=PretrainConfig(steps=steps, strategy="concept", seed=seed),
+        contrastive=ContrastiveConfig(steps=60 if fast else 100, seed=seed),
+        detector=DetectorConfig(epochs=epochs, batch_size=16, lr=3e-3,
+                                plm_lr=3e-4, seed=seed),
+    ))
+
+
+def cmd_world(args: argparse.Namespace) -> int:
+    world, click_log, ugc = _build_domain(args.domain, args.clicks)
+    head, others = split_edges_by_headword(world.full_taxonomy)
+    print(f"domain           : {args.domain}")
+    print(f"concepts         : {world.full_taxonomy.num_nodes}")
+    print(f"relations        : {world.full_taxonomy.num_edges} "
+          f"({len(head)} headword / {len(others)} others)")
+    print(f"depth            : {world.full_taxonomy.depth()}")
+    print(f"held-out concepts: {len(world.new_concepts)}")
+    print(f"click records    : {click_log.num_records}")
+    print(f"review sentences : {len(ugc)}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    world, click_log, ugc = _build_domain(args.domain, args.clicks)
+    pipeline = _pipeline(args.seed, args.fast)
+    pipeline.fit(world.existing_taxonomy, world.vocabulary, click_log, ugc)
+    closure = ancestor_pairs(world.full_taxonomy)
+    metrics = evaluate_on_dataset(
+        lambda pairs: pipeline.detector.predict(pairs),
+        pipeline.dataset.test, closure)
+    for key in ("accuracy", "edge_f1", "ancestor_f1"):
+        print(f"{key:<12}: {100 * metrics[key]:.2f}")
+    return 0
+
+
+def cmd_expand(args: argparse.Namespace) -> int:
+    world, click_log, ugc = _build_domain(args.domain, args.clicks)
+    pipeline = _pipeline(args.seed, args.fast)
+    pipeline.fit(world.existing_taxonomy, world.vocabulary, click_log, ugc)
+    result = pipeline.expand(world.existing_taxonomy, click_log,
+                             world.vocabulary)
+    precision = manual_precision(world, result.attached_edges,
+                                 sample_size=1000, seed=args.seed)
+    print(f"attached relations: {result.num_attached}")
+    print(f"panel precision   : {precision:.1f}%")
+    print(f"taxonomy edges    : {world.existing_taxonomy.num_edges} -> "
+          f"{result.taxonomy.num_edges}")
+    if args.output:
+        save_taxonomy(result.taxonomy, args.output)
+        print(f"saved expanded taxonomy to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--domain", choices=sorted(DOMAIN_PRESETS),
+                       default="fruits")
+        p.add_argument("--clicks", type=int, default=80,
+                       help="mean clicks per query concept")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--fast", action="store_true",
+                       help="reduced training schedule")
+
+    world_parser = sub.add_parser("world", help="print world statistics")
+    common(world_parser)
+    world_parser.set_defaults(func=cmd_world)
+
+    eval_parser = sub.add_parser("evaluate", help="detector test metrics")
+    common(eval_parser)
+    eval_parser.set_defaults(func=cmd_evaluate)
+
+    expand_parser = sub.add_parser("expand", help="expand a taxonomy")
+    common(expand_parser)
+    expand_parser.add_argument("--output", default=None,
+                               help="write expanded taxonomy JSON here")
+    expand_parser.set_defaults(func=cmd_expand)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

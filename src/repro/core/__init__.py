@@ -1,0 +1,21 @@
+"""Core framework: self-supervision, detection, expansion, pipeline."""
+
+from .selfsup import (
+    LabeledPair, SelfSupConfig, SelfSupDataset, generate_dataset,
+    PATTERN_HEAD, PATTERN_OTHER, PATTERN_SHUFFLE, PATTERN_REPLACE,
+)
+from .classifier import EdgeClassifier
+from .detector import DetectorConfig, HyponymyDetector
+from .expansion import ExpansionConfig, ExpansionResult, expand_taxonomy
+from .pipeline import PipelineConfig, TaxonomyExpansionPipeline, candidate_map
+from .incremental import IncrementalExpander, IngestReport
+
+__all__ = [
+    "LabeledPair", "SelfSupConfig", "SelfSupDataset", "generate_dataset",
+    "PATTERN_HEAD", "PATTERN_OTHER", "PATTERN_SHUFFLE", "PATTERN_REPLACE",
+    "EdgeClassifier",
+    "DetectorConfig", "HyponymyDetector",
+    "ExpansionConfig", "ExpansionResult", "expand_taxonomy",
+    "PipelineConfig", "TaxonomyExpansionPipeline", "candidate_map",
+    "IncrementalExpander", "IngestReport",
+]

@@ -1,0 +1,34 @@
+"""Edge-classification MLP (paper Eq. 15).
+
+``f(c_q, c_i) = softmax( W2 * sigmoid( W1 * e + B1 ) + B2 )`` over two
+classes.  Training minimises binary cross-entropy on the positive-class
+probability (Eq. 16), which for a two-way softmax equals two-class
+cross-entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor
+
+__all__ = ["EdgeClassifier"]
+
+
+class EdgeClassifier(Module):
+    """One-hidden-layer MLP over concatenated edge representations."""
+
+    def __init__(self, in_dim: int, hidden_dim: int = 32,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.hidden = Linear(in_dim, hidden_dim, rng=rng)
+        self.output = Linear(hidden_dim, 2, rng=rng)
+
+    def forward(self, edge_representation: Tensor) -> Tensor:
+        """Edge representations ``(batch, in_dim)`` -> logits ``(batch, 2)``."""
+        return self.output(self.hidden(edge_representation).sigmoid())
+
+    def positive_probability(self, edge_representation: Tensor) -> Tensor:
+        """Softmax probability of the hyponymy class, shape ``(batch,)``."""
+        return self.forward(edge_representation).softmax(axis=-1)[:, 1]

@@ -1,0 +1,113 @@
+"""Top-down taxonomy expansion (paper §III-C-3, Figure 2).
+
+The existing taxonomy is traversed level by level.  For each concept acting
+as a query in the click logs, its candidate item concepts are classified;
+accepted hyponyms are attached.  Newly attached concepts join the frontier
+and are processed when the next layer is reached, so expansion grows both
+width and depth in a single traversal.  Finally, edges implied by longer
+paths are pruned (transitive reduction).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..taxonomy import Taxonomy, transitive_reduction
+
+__all__ = ["ExpansionConfig", "ExpansionResult", "expand_taxonomy"]
+
+
+class Scorer(Protocol):
+    """Anything mapping candidate pairs to positive-class probabilities."""
+
+    def __call__(self, pairs: list[tuple[str, str]]) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class ExpansionConfig:
+    """Knobs for the inference-time traversal."""
+
+    threshold: float = 0.5
+    #: safety valve against degenerate scorers; generous by default
+    max_children_per_node: int = 200
+    prune_transitive: bool = True
+
+
+@dataclass
+class ExpansionResult:
+    """Outcome of one expansion run."""
+
+    taxonomy: Taxonomy
+    #: every (parent, child) edge the model attached, pre-pruning
+    attached_edges: list[tuple[str, str]] = field(default_factory=list)
+    #: every scored candidate with its probability
+    scored_pairs: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    @property
+    def num_attached(self) -> int:
+        return len(self.attached_edges)
+
+
+def expand_taxonomy(scorer: Scorer | Callable,
+                    existing: Taxonomy,
+                    candidates_by_query: dict[str, list[str]],
+                    config: ExpansionConfig | None = None) -> ExpansionResult:
+    """Run the top-down expansion.
+
+    Parameters
+    ----------
+    scorer:
+        Maps a list of (query, item) pairs to positive probabilities.
+    existing:
+        The taxonomy T0 to expand (not mutated).
+    candidates_by_query:
+        Query concept -> item concepts observed under it in the click logs.
+        Unknown queries simply have no candidates.
+    """
+    config = config or ExpansionConfig()
+    expanded = existing.copy()
+    result = ExpansionResult(taxonomy=expanded)
+
+    # Level-order frontier; newly attached nodes are queued for the level
+    # below their parent, matching Figure 2's layer-by-layer sweep.
+    queue: deque[str] = deque()
+    queued: set[str] = set()
+    for level in existing.level_order():
+        for node in level:
+            queue.append(node)
+            queued.add(node)
+
+    while queue:
+        node = queue.popleft()
+        candidates = [c for c in candidates_by_query.get(node, ())
+                      if c != node
+                      and not expanded.has_edge(node, c)
+                      and not expanded.is_ancestor(c, node)]
+        if not candidates:
+            continue
+        pairs = [(node, c) for c in candidates]
+        probs = np.asarray(scorer(pairs), dtype=np.float64)
+        ranked = sorted(zip(candidates, probs), key=lambda x: (-x[1], x[0]))
+        attached = 0
+        for candidate, prob in ranked:
+            result.scored_pairs[(node, candidate)] = float(prob)
+            if prob < config.threshold:
+                continue
+            if attached >= config.max_children_per_node:
+                break
+            if expanded.is_ancestor(candidate, node):
+                continue  # attaching would create a cycle
+            expanded.add_edge(node, candidate)
+            result.attached_edges.append((node, candidate))
+            attached += 1
+            if candidate not in queued:
+                queue.append(candidate)
+                queued.add(candidate)
+
+    if config.prune_transitive:
+        result.taxonomy = transitive_reduction(expanded)
+    return result

@@ -1,0 +1,86 @@
+"""Incremental expansion over growing click logs (paper §I).
+
+"The most remarkable advantage is that our methods can continuously
+update the existing taxonomy as user behavior information grows day by
+day."  This module operationalises that claim: an
+:class:`IncrementalExpander` holds a trained scorer and an evolving
+taxonomy; each call to :meth:`ingest` merges a new batch of click logs
+and re-runs the top-down expansion over the *delta* candidates only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..synthetic.clicklogs import ClickLog
+from ..taxonomy import ConceptVocabulary, Taxonomy
+from .expansion import ExpansionConfig, Scorer, expand_taxonomy
+from .pipeline import candidate_map
+
+__all__ = ["IncrementalExpander", "IngestReport"]
+
+
+@dataclass
+class IngestReport:
+    """Outcome of one incremental batch."""
+
+    batch_index: int
+    new_candidate_queries: int
+    attached_edges: list[tuple[str, str]] = field(default_factory=list)
+    taxonomy_edges_after: int = 0
+
+    @property
+    def num_attached(self) -> int:
+        return len(self.attached_edges)
+
+
+class IncrementalExpander:
+    """Continuously grow a taxonomy as click-log batches arrive."""
+
+    def __init__(self, scorer: Scorer, taxonomy: Taxonomy,
+                 vocabulary: ConceptVocabulary,
+                 config: ExpansionConfig | None = None):
+        self.scorer = scorer
+        self.taxonomy = taxonomy.copy()
+        self.vocabulary = vocabulary
+        self.config = config or ExpansionConfig()
+        self._accumulated = ClickLog()
+        self._seen_candidates: set[tuple[str, str]] = set()
+        self._batches = 0
+
+    @property
+    def num_batches(self) -> int:
+        return self._batches
+
+    def ingest(self, batch: ClickLog) -> IngestReport:
+        """Merge one log batch and expand over its *new* candidates.
+
+        Already-scored (query, item) pairs are not re-scored; growing
+        evidence for an existing pair would require retraining the scorer,
+        which is out of scope for inference-time updates.
+        """
+        self._batches += 1
+        for key, count in batch.counts.items():
+            self._accumulated.counts[key] += count
+        for item, concept in batch.provenance.items():
+            self._accumulated.provenance.setdefault(item, concept)
+
+        candidates = candidate_map(batch, self.vocabulary)
+        fresh: dict[str, list[str]] = {}
+        for query, items in candidates.items():
+            new_items = [item for item in items
+                         if (query, item) not in self._seen_candidates]
+            if new_items:
+                fresh[query] = new_items
+                self._seen_candidates.update(
+                    (query, item) for item in new_items)
+
+        result = expand_taxonomy(self.scorer, self.taxonomy, fresh,
+                                 self.config)
+        self.taxonomy = result.taxonomy
+        return IngestReport(
+            batch_index=self._batches,
+            new_candidate_queries=len(fresh),
+            attached_edges=result.attached_edges,
+            taxonomy_edges_after=self.taxonomy.num_edges,
+        )

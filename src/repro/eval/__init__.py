@@ -1,0 +1,22 @@
+"""Evaluation: metrics, term statistics, simulated annotation, user study."""
+
+from .metrics import (
+    PRF, accuracy, edge_f1, ancestor_f1, ancestor_pairs, evaluate_on_dataset,
+)
+from .term_stats import (
+    TermExtractionStats, compute_term_stats, taxonomy_statistics,
+    uncovered_node_analysis, extraction_accuracy,
+)
+from .annotation import OracleAnnotator, MajorityVotePanel, manual_precision
+from .query_rewriting import (
+    LexicalSearchEngine, QueryRewritingStudy, StudyResult,
+)
+
+__all__ = [
+    "PRF", "accuracy", "edge_f1", "ancestor_f1", "ancestor_pairs",
+    "evaluate_on_dataset",
+    "TermExtractionStats", "compute_term_stats", "taxonomy_statistics",
+    "uncovered_node_analysis", "extraction_accuracy",
+    "OracleAnnotator", "MajorityVotePanel", "manual_precision",
+    "LexicalSearchEngine", "QueryRewritingStudy", "StudyResult",
+]

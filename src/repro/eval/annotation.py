@@ -1,0 +1,79 @@
+"""Simulated human annotation (paper §IV-B-2 manual evaluation).
+
+The paper asks three taxonomists to label sampled predictions; a relation
+counts as correct when at least two approve.  We hold the synthetic world's
+ground truth, so each simulated judge answers correctly except for an
+independent per-judgement error rate, and the majority vote aggregates
+them — reproducing both the protocol and its noise characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..synthetic.world import SyntheticWorld
+
+__all__ = ["OracleAnnotator", "MajorityVotePanel", "manual_precision"]
+
+
+@dataclass
+class OracleAnnotator:
+    """One simulated judge with an independent error rate."""
+
+    world: SyntheticWorld
+    error_rate: float = 0.03
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.error_rate < 0.5:
+            raise ValueError("error_rate must be in [0, 0.5)")
+        self._rng = np.random.default_rng(self.seed)
+
+    def judge(self, parent: str, child: str) -> bool:
+        """Is ``child`` a hyponym of ``parent``?  (noisy oracle answer)."""
+        truth = self.world.is_true_hyponym(parent, child)
+        if self._rng.random() < self.error_rate:
+            return not truth
+        return truth
+
+
+class MajorityVotePanel:
+    """Three-judge panel; a pair is approved when >= 2 judges say yes."""
+
+    def __init__(self, world: SyntheticWorld, error_rate: float = 0.03,
+                 seed: int = 0, num_judges: int = 3):
+        if num_judges < 1 or num_judges % 2 == 0:
+            raise ValueError("num_judges must be odd and positive")
+        self.judges = [
+            OracleAnnotator(world, error_rate, seed + offset)
+            for offset in range(num_judges)
+        ]
+
+    def approve(self, parent: str, child: str) -> bool:
+        votes = sum(1 for judge in self.judges if judge.judge(parent, child))
+        return votes * 2 > len(self.judges)
+
+
+def manual_precision(world: SyntheticWorld,
+                     predicted: list[tuple[str, str]],
+                     sample_size: int = 1000, seed: int = 0,
+                     error_rate: float = 0.03) -> float:
+    """Table VII protocol: sample predictions, panel-annotate, report %.
+
+    Returns the percentage of sampled predicted relations the panel
+    approves (the paper's "Pre" column).
+    """
+    if not predicted:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    if len(predicted) > sample_size:
+        picks = rng.choice(len(predicted), size=sample_size, replace=False)
+        sample = [predicted[int(i)] for i in picks]
+    else:
+        sample = list(predicted)
+    panel = MajorityVotePanel(world, error_rate, seed)
+    approved = sum(1 for parent, child in sample
+                   if panel.approve(parent, child))
+    return 100.0 * approved / len(sample)

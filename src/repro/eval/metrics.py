@@ -1,0 +1,136 @@
+"""Evaluation metrics (paper §IV-B-3): Accuracy, Edge-F1, Ancestor-F1.
+
+* **Accuracy** — fraction of test pairs whose predicted label matches the
+  ground truth (Eq. 17).
+* **Edge-F1** — precision/recall/F1 of the predicted-positive edge set
+  against the gold edge set (Eq. 18).
+* **Ancestor-F1** — same, but the gold set is expanded to every
+  ancestor-descendant pair, crediting predictions that attach a concept to
+  a correct ancestor rather than the exact parent (Eq. 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.selfsup import LabeledPair
+from ..taxonomy import Taxonomy
+
+__all__ = ["PRF", "accuracy", "edge_f1", "ancestor_f1",
+           "ancestor_pairs", "evaluate_on_dataset"]
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        denom = self.precision + self.recall
+        if denom == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / denom
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Exact-match accuracy over paired arrays."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("shape mismatch")
+    if predictions.size == 0:
+        return 0.0
+    return float((predictions == labels).mean())
+
+
+def _prf(predicted: set, gold: set) -> PRF:
+    if not predicted:
+        return PRF(0.0, 0.0 if gold else 1.0)
+    hits = len(predicted & gold)
+    precision = hits / len(predicted)
+    recall = hits / len(gold) if gold else 1.0
+    return PRF(precision, recall)
+
+
+def edge_f1(predicted_edges: set[tuple[str, str]],
+            gold_edges: set[tuple[str, str]]) -> PRF:
+    """Eq. 18 on exact edge sets."""
+    return _prf(predicted_edges, gold_edges)
+
+
+def ancestor_pairs(taxonomy: Taxonomy) -> set[tuple[str, str]]:
+    """All (ancestor, descendant) pairs of a taxonomy (gold set for Eq. 19)."""
+    closure: set[tuple[str, str]] = set()
+    for node in taxonomy.nodes:
+        for descendant in taxonomy.descendants(node):
+            closure.add((node, descendant))
+    return closure
+
+
+def ancestor_f1(predicted_edges: set[tuple[str, str]],
+                gold_closure: set[tuple[str, str]],
+                gold_edges: set[tuple[str, str]] | None = None) -> PRF:
+    """Eq. 19: precision against the closure; recall against gold edges.
+
+    Recall uses the direct gold edge set when provided (the closure would
+    unfairly demand predicting implied edges the pruning step removes);
+    a gold edge counts as recalled when the prediction set contains any
+    pair attaching its child below one of its ancestors.
+    """
+    if not predicted_edges:
+        return PRF(0.0, 0.0 if gold_closure else 1.0)
+    hits = len(predicted_edges & gold_closure)
+    precision = hits / len(predicted_edges)
+    if gold_edges is None:
+        recall = hits / len(gold_closure) if gold_closure else 1.0
+        return PRF(precision, recall)
+    # A gold edge (p, c) is recalled when c was attached under any of its
+    # true ancestors (a predicted edge (a, c) that lies in the closure).
+    correct_by_child: dict[str, bool] = {}
+    for ancestor, child in predicted_edges:
+        if (ancestor, child) in gold_closure:
+            correct_by_child[child] = True
+    recalled = sum(1 for _, child in gold_edges
+                   if correct_by_child.get(child, False))
+    recall = recalled / len(gold_edges) if gold_edges else 1.0
+    return PRF(precision, recall)
+
+
+def evaluate_on_dataset(predict, samples: list[LabeledPair],
+                        gold_closure: set[tuple[str, str]] | None = None
+                        ) -> dict[str, float]:
+    """Score a pair classifier on a labelled dataset (Table V protocol).
+
+    ``predict`` maps a list of (query, item) pairs to 0/1 labels.  Edge-F1
+    treats the positively-labelled samples as the gold edge set; Ancestor-F1
+    additionally credits predicted pairs found in ``gold_closure``.
+    """
+    pairs = [s.pair for s in samples]
+    labels = np.array([s.label for s in samples], dtype=np.int64)
+    predictions = np.asarray(predict(pairs), dtype=np.int64)
+
+    gold_edges = {s.pair for s in samples if s.label == 1}
+    predicted_edges = {pair for pair, pred in zip(pairs, predictions)
+                       if pred == 1}
+    edge = edge_f1(predicted_edges, gold_edges)
+    result = {
+        "accuracy": accuracy(predictions, labels),
+        "edge_precision": edge.precision,
+        "edge_recall": edge.recall,
+        "edge_f1": edge.f1,
+    }
+    if gold_closure is not None:
+        extended_gold = gold_edges | {
+            pair for pair in pairs if pair in gold_closure}
+        anc = edge_f1(predicted_edges, extended_gold)
+        result.update({
+            "ancestor_precision": anc.precision,
+            "ancestor_recall": anc.recall,
+            "ancestor_f1": anc.f1,
+        })
+    return result

@@ -1,0 +1,169 @@
+"""Term-extraction statistics (paper Tables I, II, IV and Figure 3).
+
+These statistics validate the core hypothesis: user click logs contain
+abundant potential hyponymy relations.  Every metric definition follows
+§IV-A-2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import ConceptMatcher
+from ..synthetic.clicklogs import ClickLog
+from ..synthetic.world import SyntheticWorld
+from ..taxonomy import ConceptVocabulary, Taxonomy, split_edges_by_headword
+
+__all__ = ["TermExtractionStats", "compute_term_stats",
+           "taxonomy_statistics", "uncovered_node_analysis",
+           "extraction_accuracy"]
+
+
+@dataclass(frozen=True)
+class TermExtractionStats:
+    """The Table I row for one domain."""
+
+    #: total query-item click records whose query is in the taxonomy
+    num_items: int
+    #: taxonomy nodes that appear as queries with clicked items
+    num_nodes: int
+    #: num_nodes / |N|
+    coverage_node: float
+    #: click records whose (query, identified concept) is a taxonomy edge
+    num_iedge: int
+    #: distinct taxonomy edges that appear as query-item concept pairs
+    num_edges: int
+    #: num_edges / |E|
+    coverage_edge: float
+    #: distinct new concepts (in vocabulary, not in taxonomy) in clicked items
+    num_concepts: int
+    #: click records yielding a potential new hyponymy pair
+    num_inewedge: int
+    #: distinct new (query, concept) pairs extractable from the logs
+    num_newedge: int
+    #: click records whose item mentions no vocabulary concept
+    num_iothers: int
+
+
+def compute_term_stats(taxonomy: Taxonomy, vocabulary: ConceptVocabulary,
+                       click_log: ClickLog) -> TermExtractionStats:
+    """Compute the Table I statistics for one domain."""
+    matcher = ConceptMatcher(vocabulary)
+    num_items = 0
+    num_iedge = 0
+    num_inewedge = 0
+    num_iothers = 0
+    nodes_with_items: set[str] = set()
+    edges_seen: set[tuple[str, str]] = set()
+    new_concepts: set[str] = set()
+    new_edges: set[tuple[str, str]] = set()
+
+    for (query, item), count in click_log.counts.items():
+        if query not in taxonomy:
+            continue
+        num_items += count
+        nodes_with_items.add(query)
+        concept = matcher(item)
+        if concept is None:
+            num_iothers += count
+            continue
+        if concept == query:
+            continue
+        if taxonomy.has_edge(query, concept):
+            num_iedge += count
+            edges_seen.add((query, concept))
+        else:
+            num_inewedge += count
+            new_edges.add((query, concept))
+            if concept not in taxonomy:
+                new_concepts.add(concept)
+
+    total_nodes = max(taxonomy.num_nodes, 1)
+    total_edges = max(taxonomy.num_edges, 1)
+    return TermExtractionStats(
+        num_items=num_items,
+        num_nodes=len(nodes_with_items),
+        coverage_node=100.0 * len(nodes_with_items) / total_nodes,
+        num_iedge=num_iedge,
+        num_edges=len(edges_seen),
+        coverage_edge=100.0 * len(edges_seen) / total_edges,
+        num_concepts=len(new_concepts),
+        num_inewedge=num_inewedge,
+        num_newedge=len(new_edges),
+        num_iothers=num_iothers,
+    )
+
+
+def taxonomy_statistics(taxonomy: Taxonomy) -> dict[str, int]:
+    """The Table II row: depth, |N|, |E|, |E_Head|, |E_Others|."""
+    head, others = split_edges_by_headword(taxonomy)
+    return {
+        "depth": taxonomy.depth(),
+        "num_nodes": taxonomy.num_nodes,
+        "num_edges": taxonomy.num_edges,
+        "num_head_edges": len(head),
+        "num_other_edges": len(others),
+    }
+
+
+def uncovered_node_analysis(taxonomy: Taxonomy, click_log: ClickLog
+                            ) -> dict[str, float]:
+    """Figure 3: why taxonomy nodes have no clicked items.
+
+    Buckets: ``leaf`` (nothing below to click), ``no_query`` (users never
+    searched it), ``other``.  Values are percentages of uncovered nodes.
+    """
+    queried = click_log.queries()
+    uncovered = [n for n in taxonomy.nodes if n not in queried]
+    if not uncovered:
+        return {"leaf": 0.0, "no_query": 0.0, "other": 0.0, "count": 0}
+    leaves = sum(1 for n in uncovered if not taxonomy.children(n))
+    non_leaf = [n for n in uncovered if taxonomy.children(n)]
+    no_query = len(non_leaf)  # internal nodes absent from logs = unqueried
+    total = len(uncovered)
+    return {
+        "leaf": 100.0 * leaves / total,
+        "no_query": 100.0 * no_query / total,
+        "other": 100.0 * max(total - leaves - no_query, 0) / total,
+        "count": total,
+    }
+
+
+def extraction_accuracy(world: SyntheticWorld, click_log: ClickLog,
+                        num_queries: int = 10, seed: int = 0
+                        ) -> dict[str, float]:
+    """Table IV: hyponymy accuracy of raw query-item concept pairs.
+
+    Samples ``num_queries`` query concepts, gathers their distinct *new*
+    (query, item-concept) pairs — pairs not already edges of the existing
+    taxonomy, matching the paper's #NewEdge column — and checks each
+    against the world's ground truth, simulating the paper's manual
+    annotation with a perfect oracle (annotator noise is modelled
+    separately in :mod:`repro.eval.annotation`).
+    """
+    rng = np.random.default_rng(seed)
+    matcher = ConceptMatcher(world.vocabulary)
+    existing = world.existing_taxonomy
+    by_query: dict[str, set[str]] = {}
+    for (query, item), _count in click_log.counts.items():
+        concept = matcher(item)
+        if (concept is not None and concept != query
+                and not existing.has_edge(query, concept)):
+            by_query.setdefault(query, set()).add(concept)
+    queries = sorted(by_query)
+    if not queries:
+        return {"num_nodes": 0, "num_newedge": 0, "accuracy": 0.0}
+    picks = rng.choice(len(queries), size=min(num_queries, len(queries)),
+                       replace=False)
+    pairs: list[tuple[str, str]] = []
+    for p in picks:
+        query = queries[int(p)]
+        pairs.extend((query, c) for c in sorted(by_query[query]))
+    correct = sum(1 for q, c in pairs if world.is_true_hyponym(q, c))
+    return {
+        "num_nodes": int(min(num_queries, len(queries))),
+        "num_newedge": len(pairs),
+        "accuracy": 100.0 * correct / max(len(pairs), 1),
+    }

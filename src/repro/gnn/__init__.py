@@ -1,0 +1,13 @@
+"""GNN substrate: GCN/GAT/GraphSAGE, contrastive pretraining, structural reps."""
+
+from .gcn import GCNLayer, normalize_adjacency
+from .gat import GATLayer
+from .sage import SAGELayer
+from .contrastive import ContrastiveConfig, FeatureProjector, contrastive_pretrain
+from .structural import StructuralConfig, StructuralEncoder
+
+__all__ = [
+    "GCNLayer", "normalize_adjacency", "GATLayer", "SAGELayer",
+    "ContrastiveConfig", "FeatureProjector", "contrastive_pretrain",
+    "StructuralConfig", "StructuralEncoder",
+]

@@ -1,0 +1,142 @@
+"""Contrastive pretraining over the heterogeneous graph (paper §III-B-2).
+
+Anchor nodes are pulled toward their graph neighbors and pushed away from
+sampled non-neighbors with an InfoNCE objective over cosine similarities
+(Eqs. 9-10).  What is learned is a projection of the C-BERT initial node
+features; the projected features then initialise the GNN representation
+stage.  The *negative rate* (Table IX) is the ratio of sampled negatives to
+positives per anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Adam, Linear, Module, Tensor, clip_grad_norm, info_nce
+from ..graph import HeteroGraph
+
+__all__ = ["ContrastiveConfig", "FeatureProjector", "contrastive_pretrain"]
+
+
+@dataclass(frozen=True)
+class ContrastiveConfig:
+    """Knobs for the contrastive pretraining stage."""
+
+    steps: int = 60
+    anchors_per_step: int = 32
+    #: negatives sampled per positive (Table IX sweep: 0.8 ... 2.0)
+    negative_rate: float = 1.2
+    lr: float = 3e-3
+    seed: int = 0
+    temperature: float = 0.5
+    grad_clip: float = 5.0
+
+    def __post_init__(self):
+        if self.negative_rate <= 0:
+            raise ValueError("negative_rate must be positive")
+
+
+class FeatureProjector(Module):
+    """Two-layer projection trained contrastively; outputs GNN inputs."""
+
+    def __init__(self, in_dim: int, out_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.first = Linear(in_dim, out_dim, rng=rng)
+        self.second = Linear(out_dim, out_dim, rng=rng)
+
+    def forward(self, features: Tensor) -> Tensor:
+        return self.second(self.first(features).tanh())
+
+
+def _cosine_matrix(anchors: Tensor, candidates: Tensor) -> Tensor:
+    """Pairwise cosine similarity (Eq. 9), rows=anchors, cols=candidates."""
+    eps = 1e-9
+    anchor_norm = ((anchors * anchors).sum(axis=-1, keepdims=True) + eps).sqrt()
+    cand_norm = ((candidates * candidates).sum(axis=-1, keepdims=True) + eps).sqrt()
+    normalised_a = anchors / anchor_norm
+    normalised_c = candidates / cand_norm
+    return normalised_a @ normalised_c.transpose(1, 0)
+
+
+def contrastive_pretrain(graph: HeteroGraph, features: np.ndarray,
+                         config: ContrastiveConfig | None = None
+                         ) -> tuple[np.ndarray, list[float]]:
+    """Run contrastive pretraining; returns (projected features, loss history).
+
+    Per step: sample anchor nodes; candidates are each anchor's neighbors
+    (positives) plus ``negative_rate x |positives|`` sampled non-neighbors.
+    """
+    config = config or ContrastiveConfig()
+    rng = np.random.default_rng(config.seed)
+    index = graph.node_index()
+    nodes = graph.nodes
+    n = len(nodes)
+    if n == 0:
+        raise ValueError("empty graph")
+    features = np.asarray(features, dtype=np.float64)
+    if features.shape[0] != n:
+        raise ValueError("features row count must equal graph size")
+
+    neighbor_ids: list[np.ndarray] = []
+    neighbor_weights: list[np.ndarray] = []
+    for node in nodes:
+        neighbor_items = sorted(graph.neighbors(node).items())
+        neighbor_ids.append(np.asarray(
+            [index[other] for other, _ in neighbor_items], dtype=np.int64))
+        neighbor_weights.append(np.asarray(
+            [weight for _, weight in neighbor_items], dtype=np.float64))
+
+    projector = FeatureProjector(features.shape[1], features.shape[1],
+                                 rng=rng)
+    optimizer = Adam(projector.parameters(), lr=config.lr)
+    history: list[float] = []
+    anchor_pool = [i for i in range(n) if neighbor_ids[i].size > 0]
+    if not anchor_pool:
+        raise ValueError("graph has no edges to contrast against")
+
+    for _ in range(config.steps):
+        anchors = rng.choice(anchor_pool,
+                             size=min(config.anchors_per_step,
+                                      len(anchor_pool)),
+                             replace=False)
+        candidate_set: set[int] = set()
+        positives: list[np.ndarray] = []
+        for a in anchors:
+            pos = neighbor_ids[a]
+            positives.append(pos)
+            candidate_set.update(int(p) for p in pos)
+            num_neg = max(1, int(round(config.negative_rate * pos.size)))
+            negs = rng.integers(0, n, size=num_neg)
+            candidate_set.update(int(x) for x in negs)
+        candidates = np.asarray(sorted(candidate_set), dtype=np.int64)
+        col_of = {int(c): j for j, c in enumerate(candidates)}
+
+        projected = projector(Tensor(features))
+        anchor_rep = projected[np.asarray(anchors)]
+        candidate_rep = projected[candidates]
+        sims = _cosine_matrix(anchor_rep, candidate_rep) * (
+            1.0 / config.temperature)
+
+        # Edge weights grade the positives: a heavily clicked (or taxonomy)
+        # neighbor pulls with weight ~1, an intention-drift click edge with
+        # its small IF·IQF² weight barely pulls at all.
+        mask = np.zeros((len(anchors), len(candidates)))
+        for row, a in enumerate(anchors):
+            for p, w in zip(neighbor_ids[a], neighbor_weights[a]):
+                mask[row, col_of[int(p)]] = w
+
+        optimizer.zero_grad()
+        loss = info_nce(sims, mask)
+        loss.backward()
+        clip_grad_norm(optimizer.parameters, config.grad_clip)
+        optimizer.step()
+        history.append(loss.item())
+
+    from ..nn import no_grad
+    with no_grad():
+        refined = projector(Tensor(features)).data
+    return refined, history

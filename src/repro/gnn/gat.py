@@ -1,0 +1,51 @@
+"""Graph Attention Network layer (Velickovic et al., paper Table IX variant).
+
+Dense single-head GAT: attention logits ``e_uv = LeakyReLU(a^T [Wh_u||Wh_v])``
+restricted to graph edges (plus self-loops), softmax-normalised per row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Parameter, Tensor
+
+__all__ = ["GATLayer"]
+
+
+class GATLayer(Module):
+    """One dense graph-attention propagation step."""
+
+    def __init__(self, in_dim: int, out_dim: int, activation: str = "relu",
+                 negative_slope: float = 0.2,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.linear = Linear(in_dim, out_dim, rng=rng)
+        bound = np.sqrt(6.0 / (2 * out_dim))
+        self.attn_src = Parameter(rng.uniform(-bound, bound, size=(out_dim,)))
+        self.attn_dst = Parameter(rng.uniform(-bound, bound, size=(out_dim,)))
+        self.negative_slope = negative_slope
+        if activation not in ("relu", "tanh", "none"):
+            raise ValueError("activation must be relu|tanh|none")
+        self.activation = activation
+
+    def forward(self, hidden: Tensor, adjacency: np.ndarray) -> Tensor:
+        """``adjacency`` is any matrix whose nonzeros (or diagonal) are edges."""
+        projected = self.linear(hidden)  # (N, out_dim)
+        src_score = projected @ self.attn_src  # (N,)
+        dst_score = projected @ self.attn_dst  # (N,)
+        n = len(src_score.data)
+        logits = src_score.reshape(n, 1) + dst_score.reshape(1, n)
+        # LeakyReLU
+        logits = logits.relu() - (-logits).relu() * self.negative_slope
+        mask = (np.asarray(adjacency) > 0).astype(np.float64)
+        np.fill_diagonal(mask, 1.0)
+        logits = logits + Tensor((1.0 - mask) * -1e9)
+        attention = logits.softmax(axis=-1)
+        out = attention @ projected
+        if self.activation == "relu":
+            return out.relu()
+        if self.activation == "tanh":
+            return out.tanh()
+        return out

@@ -1,0 +1,54 @@
+"""Graph Convolutional Network layer (paper Eq. 12, Kipf & Welling).
+
+``h_u^k = rho( sum_{v in N~(u)} a_uv W^{k-1} h_v^{k-1} )`` where ``a_uv`` is
+the click-graph edge attribute (IF·IQF² softmax weight; 1.0 for taxonomy
+edges and self-loops).  We row-normalise the weighted adjacency so deep
+stacks stay numerically stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor
+
+__all__ = ["normalize_adjacency", "GCNLayer"]
+
+
+def normalize_adjacency(adjacency: np.ndarray, mode: str = "row") -> np.ndarray:
+    """Normalise a weighted adjacency matrix.
+
+    ``row``: ``D^-1 A`` (random-walk).  ``sym``: ``D^-1/2 A D^-1/2``.
+    Zero-degree rows are left as-is (all zeros would drop the node; the
+    builder always adds self-loops so this is defensive only).
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    degree = adjacency.sum(axis=1)
+    safe = np.where(degree > 0, degree, 1.0)
+    if mode == "row":
+        return adjacency / safe[:, None]
+    if mode == "sym":
+        inv_sqrt = 1.0 / np.sqrt(safe)
+        return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+    raise ValueError(f"unknown normalisation mode {mode!r}")
+
+
+class GCNLayer(Module):
+    """One weighted-GCN propagation step."""
+
+    def __init__(self, in_dim: int, out_dim: int, activation: str = "relu",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.linear = Linear(in_dim, out_dim, rng=rng)
+        if activation not in ("relu", "tanh", "none"):
+            raise ValueError("activation must be relu|tanh|none")
+        self.activation = activation
+
+    def forward(self, hidden: Tensor, adjacency_norm: np.ndarray) -> Tensor:
+        """``hidden`` (N, in_dim) -> (N, out_dim) via Â H W."""
+        propagated = Tensor(adjacency_norm) @ self.linear(hidden)
+        if self.activation == "relu":
+            return propagated.relu()
+        if self.activation == "tanh":
+            return propagated.tanh()
+        return propagated

@@ -1,0 +1,42 @@
+"""GraphSAGE mean-aggregator layer (Hamilton et al., paper Table IX variant).
+
+``h_u' = rho( W_self h_u + W_neigh mean_{v in N(u)} h_v )`` — neighborhood
+mean over the *binary* adjacency (GraphSAGE ignores edge weights, which is
+exactly why it trails the customised-weight GCN in Table IX).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor
+
+__all__ = ["SAGELayer"]
+
+
+class SAGELayer(Module):
+    """One GraphSAGE-mean propagation step."""
+
+    def __init__(self, in_dim: int, out_dim: int, activation: str = "relu",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.self_linear = Linear(in_dim, out_dim, rng=rng)
+        self.neighbor_linear = Linear(in_dim, out_dim, rng=rng)
+        if activation not in ("relu", "tanh", "none"):
+            raise ValueError("activation must be relu|tanh|none")
+        self.activation = activation
+
+    def forward(self, hidden: Tensor, adjacency: np.ndarray) -> Tensor:
+        binary = (np.asarray(adjacency) > 0).astype(np.float64)
+        np.fill_diagonal(binary, 0.0)  # self handled by the self path
+        degree = binary.sum(axis=1)
+        safe = np.where(degree > 0, degree, 1.0)
+        mean_op = binary / safe[:, None]
+        neighbor_mean = Tensor(mean_op) @ hidden
+        out = self.self_linear(hidden) + self.neighbor_linear(neighbor_mean)
+        if self.activation == "relu":
+            return out.relu()
+        if self.activation == "tanh":
+            return out.tanh()
+        return out

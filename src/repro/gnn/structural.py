@@ -1,0 +1,133 @@
+"""Structural pair representation (paper §III-B-2, representation stage).
+
+A K-layer GNN propagates node features over the heterogeneous graph; the
+pair representation concatenates the two node embeddings with learnable
+*position embeddings* marking which side is the parent and which the child
+(Eq. 13):  ``s = [h_q ⊕ p_parent ⊕ h_i ⊕ p_child]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import HeteroGraph
+from ..nn import Module, Parameter, Tensor
+from .gat import GATLayer
+from .gcn import GCNLayer, normalize_adjacency
+from .sage import SAGELayer
+
+__all__ = ["StructuralConfig", "StructuralEncoder"]
+
+
+@dataclass(frozen=True)
+class StructuralConfig:
+    """Design choices for the structural encoder (Tables VIII & IX)."""
+
+    hidden_dim: int = 32
+    #: number of propagation hops K (Table IX: one-hop vs two-hop)
+    num_hops: int = 1
+    #: "gcn" | "gat" | "sage" (Table IX aggregation sweep)
+    aggregator: str = "gcn"
+    #: concatenate parent/child position embeddings (Table VIII ablation)
+    use_position: bool = True
+    #: use IF·IQF² weights; False = binary adjacency ("- Edge Attribute")
+    use_edge_weights: bool = True
+    position_dim: int = 8
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.aggregator not in ("gcn", "gat", "sage"):
+            raise ValueError("aggregator must be gcn|gat|sage")
+        if self.num_hops < 1:
+            raise ValueError("num_hops must be >= 1")
+
+
+class StructuralEncoder(Module):
+    """GNN over a fixed graph producing pair representations."""
+
+    def __init__(self, graph: HeteroGraph, features: np.ndarray,
+                 config: StructuralConfig | None = None):
+        super().__init__()
+        self.config = config or StructuralConfig()
+        rng = np.random.default_rng(self.config.seed)
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[0] != graph.num_nodes:
+            raise ValueError("features row count must equal graph size")
+        self._features = features
+        self._index = graph.node_index()
+
+        adjacency = graph.adjacency(add_self_loops=True)
+        if not self.config.use_edge_weights:
+            adjacency = (adjacency > 0).astype(np.float64)
+        self._adjacency = adjacency
+        self._adjacency_norm = normalize_adjacency(adjacency, mode="row")
+
+        dims = [features.shape[1]] + [self.config.hidden_dim] * self.config.num_hops
+        self.layers = []
+        for k in range(self.config.num_hops):
+            if self.config.aggregator == "gcn":
+                layer = GCNLayer(dims[k], dims[k + 1], rng=rng)
+            elif self.config.aggregator == "gat":
+                layer = GATLayer(dims[k], dims[k + 1], rng=rng)
+            else:
+                layer = SAGELayer(dims[k], dims[k + 1], rng=rng)
+            self.layers.append(layer)
+
+        if self.config.use_position:
+            scale = 0.1
+            self.position_parent = Parameter(
+                rng.normal(0, scale, size=(self.config.position_dim,)))
+            self.position_child = Parameter(
+                rng.normal(0, scale, size=(self.config.position_dim,)))
+        else:
+            self.position_parent = None
+            self.position_child = None
+
+    # ------------------------------------------------------------------
+    @property
+    def out_dim(self) -> int:
+        """Dimensionality of :meth:`pair_representation` rows."""
+        base = 2 * self.config.hidden_dim
+        if self.config.use_position:
+            base += 2 * self.config.position_dim
+        return base
+
+    def has_node(self, concept: str) -> bool:
+        return concept in self._index
+
+    def node_embeddings(self) -> Tensor:
+        """Propagate features through all K hops; shape ``(N, hidden)``."""
+        hidden = Tensor(self._features)
+        for layer in self.layers:
+            if isinstance(layer, GCNLayer):
+                hidden = layer(hidden, self._adjacency_norm)
+            else:
+                hidden = layer(hidden, self._adjacency)
+        return hidden
+
+    def pair_representation(self, pairs: list[tuple[str, str]],
+                            node_embeddings: Tensor | None = None) -> Tensor:
+        """Eq. 13 pair representations, shape ``(len(pairs), out_dim)``.
+
+        Unknown concepts (not in the graph) fall back to a zero embedding —
+        this matches inference time, where a brand-new concept may have no
+        structural context yet.
+        """
+        if node_embeddings is None:
+            node_embeddings = self.node_embeddings()
+        zero = Tensor(np.zeros((1, self.config.hidden_dim)))
+        padded = Tensor.concatenate([node_embeddings, zero], axis=0)
+        fallback = node_embeddings.shape[0]
+        q_rows = np.asarray([self._index.get(q, fallback) for q, _ in pairs])
+        i_rows = np.asarray([self._index.get(i, fallback) for _, i in pairs])
+        q_rep = padded[q_rows]
+        i_rep = padded[i_rows]
+        if not self.config.use_position:
+            return Tensor.concatenate([q_rep, i_rep], axis=1)
+        batch = len(pairs)
+        ones = Tensor(np.ones((batch, 1)))
+        parent = ones @ self.position_parent.reshape(1, -1)
+        child = ones @ self.position_child.reshape(1, -1)
+        return Tensor.concatenate([q_rep, parent, i_rep, child], axis=1)

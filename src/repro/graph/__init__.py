@@ -1,0 +1,17 @@
+"""User-click-graph construction: matching, weighting, heterogeneous graph."""
+
+from .matching import contains_token_run, identify_concept, ConceptMatcher
+from .weighting import (
+    item_frequency, inverse_query_frequency, assign_edge_weights,
+)
+from .heterograph import HeteroGraph
+from .construction import (
+    GraphConstructionResult, collect_concept_clicks, build_heterograph,
+)
+
+__all__ = [
+    "contains_token_run", "identify_concept", "ConceptMatcher",
+    "item_frequency", "inverse_query_frequency", "assign_edge_weights",
+    "HeteroGraph",
+    "GraphConstructionResult", "collect_concept_clicks", "build_heterograph",
+]

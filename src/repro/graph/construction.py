@@ -1,0 +1,86 @@
+"""Graph construction pipeline (paper §III-A, four steps).
+
+1. **Items collection** — treat existing-taxonomy concepts as query concepts
+   and gather their clicked items from the logs.
+2. **Nodes identification** — map each clicked item title to a vocabulary
+   concept via longest-common-substring matching.
+3. **Edge connection** — connect query concepts to identified item concepts.
+4. **Weight assignment** — IF/IQF² softmax attributes on click edges;
+   taxonomy edges keep weight 1.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..synthetic.clicklogs import ClickLog
+from ..taxonomy import ConceptVocabulary, Taxonomy
+from .heterograph import HeteroGraph
+from .matching import ConceptMatcher
+from .weighting import assign_edge_weights
+
+__all__ = ["GraphConstructionResult", "collect_concept_clicks",
+           "build_heterograph"]
+
+
+@dataclass
+class GraphConstructionResult:
+    """Everything downstream modules need from graph construction."""
+
+    graph: HeteroGraph
+    #: aggregated clicks per (query concept, item concept), q != i
+    concept_clicks: Counter = field(default_factory=Counter)
+    #: IF·IQF² softmax weight per (query concept, item concept)
+    weights: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: candidate hyponymy pairs = click edges not already in the taxonomy
+    candidate_pairs: list[tuple[str, str]] = field(default_factory=list)
+    #: item titles that matched no vocabulary concept
+    unmatched_items: Counter = field(default_factory=Counter)
+    #: distinct item titles seen per query concept
+    items_per_query: dict[str, set[str]] = field(default_factory=dict)
+
+
+def collect_concept_clicks(
+        taxonomy: Taxonomy, vocabulary: ConceptVocabulary, click_log: ClickLog,
+) -> GraphConstructionResult:
+    """Steps 1-2: collect clicks for taxonomy queries, identify concepts.
+
+    Returns a partially-filled :class:`GraphConstructionResult` whose graph
+    is empty; :func:`build_heterograph` completes steps 3-4.
+    """
+    matcher = ConceptMatcher(vocabulary)
+    result = GraphConstructionResult(graph=HeteroGraph())
+    for (query, item), count in click_log.counts.items():
+        if query not in taxonomy:
+            continue  # only existing-taxonomy concepts act as queries
+        result.items_per_query.setdefault(query, set()).add(item)
+        concept = matcher(item)
+        if concept is None:
+            result.unmatched_items[item] += count
+            continue
+        if concept == query:
+            continue  # an item restating the query adds no candidate edge
+        result.concept_clicks[(query, concept)] += count
+    return result
+
+
+def build_heterograph(
+        taxonomy: Taxonomy, vocabulary: ConceptVocabulary, click_log: ClickLog,
+) -> GraphConstructionResult:
+    """Run the full four-step construction and return the populated result."""
+    result = collect_concept_clicks(taxonomy, vocabulary, click_log)
+    result.weights = assign_edge_weights(dict(result.concept_clicks))
+
+    graph = result.graph
+    for parent, child in taxonomy.edges():
+        graph.add_edge(parent, child, HeteroGraph.TAXONOMY, 1.0)
+    for (query, concept), weight in result.weights.items():
+        # Taxonomy edges dominate when both exist for the same pair.
+        if not graph.has_edge(query, concept):
+            graph.add_edge(query, concept, HeteroGraph.CLICK, weight)
+    result.candidate_pairs = sorted(
+        pair for pair in result.concept_clicks
+        if not taxonomy.has_edge(*pair)
+    )
+    return result

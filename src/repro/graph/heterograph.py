@@ -1,0 +1,135 @@
+"""Heterogeneous edge-weighted graph (paper §III-A).
+
+The graph fuses two edge types:
+
+* ``taxonomy`` edges copied from the existing taxonomy (weight 1.0),
+* ``click`` edges connecting query concepts to identified item concepts,
+  weighted by the IF/IQF² softmax attribute.
+
+The GNN propagates over this graph; the candidate hyponymy pairs for
+classification are exactly the click edges.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["HeteroGraph"]
+
+
+class HeteroGraph:
+    """Undirected-for-propagation, typed, weighted concept graph.
+
+    Edges are stored directed (query -> item / parent -> child) with a type
+    tag, but neighborhood queries treat them as undirected, matching the
+    paper's GCN formulation over an undirected graph (the direction signal
+    is reintroduced by position embeddings, §III-B-2).
+    """
+
+    TAXONOMY = "taxonomy"
+    CLICK = "click"
+
+    def __init__(self):
+        self._nodes: dict[str, None] = {}
+        self._edges: dict[tuple[str, str], tuple[str, float]] = {}
+        self._neighbors: dict[str, dict[str, float]] = defaultdict(dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> None:
+        if node not in self._nodes:
+            self._nodes[node] = None
+            self._neighbors[node]  # materialise the bucket
+
+    def add_edge(self, source: str, target: str, edge_type: str,
+                 weight: float = 1.0) -> None:
+        """Insert/overwrite a typed weighted edge ``source -> target``."""
+        if edge_type not in (self.TAXONOMY, self.CLICK):
+            raise ValueError(f"unknown edge type {edge_type!r}")
+        if source == target:
+            raise ValueError("self-loops are not allowed")
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        self.add_node(source)
+        self.add_node(target)
+        self._edges[(source, target)] = (edge_type, float(weight))
+        self._neighbors[source][target] = float(weight)
+        self._neighbors[target][source] = float(weight)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[str]:
+        """Nodes in insertion order (stable for embedding indexing)."""
+        return list(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def has_edge(self, source: str, target: str) -> bool:
+        return (source, target) in self._edges
+
+    def edge_weight(self, source: str, target: str) -> float:
+        return self._edges[(source, target)][1]
+
+    def edge_type(self, source: str, target: str) -> str:
+        return self._edges[(source, target)][0]
+
+    def edges(self, edge_type: str | None = None
+              ) -> Iterator[tuple[str, str, str, float]]:
+        """Iterate ``(source, target, type, weight)``; optionally filtered."""
+        for (source, target), (etype, weight) in self._edges.items():
+            if edge_type is None or etype == edge_type:
+                yield (source, target, etype, weight)
+
+    def neighbors(self, node: str) -> dict[str, float]:
+        """Undirected neighborhood with weights."""
+        return dict(self._neighbors[node])
+
+    def degree(self, node: str) -> int:
+        return len(self._neighbors[node])
+
+    # ------------------------------------------------------------------
+    # matrix exports for the GNN substrate
+    # ------------------------------------------------------------------
+    def node_index(self) -> dict[str, int]:
+        """Stable node -> row index mapping."""
+        return {node: i for i, node in enumerate(self._nodes)}
+
+    def adjacency(self, add_self_loops: bool = True) -> np.ndarray:
+        """Dense symmetric weighted adjacency (paper's a_uv in Eq. 12).
+
+        Self-loops carry weight 1 so a node always aggregates itself
+        (the paper's N~(u) includes u).
+        """
+        index = self.node_index()
+        size = len(index)
+        adj = np.zeros((size, size), dtype=np.float64)
+        for node, neighbors in self._neighbors.items():
+            i = index[node]
+            for other, weight in neighbors.items():
+                j = index[other]
+                adj[i, j] = max(adj[i, j], weight)
+                adj[j, i] = max(adj[j, i], weight)
+        if add_self_loops:
+            np.fill_diagonal(adj, 1.0)
+        return adj
+
+    def __repr__(self) -> str:
+        clicks = sum(1 for _ in self.edges(self.CLICK))
+        return (f"HeteroGraph(nodes={self.num_nodes}, "
+                f"taxonomy_edges={self.num_edges - clicks}, "
+                f"click_edges={clicks})")

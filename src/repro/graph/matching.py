@@ -1,0 +1,73 @@
+"""Node identification via longest-common-substring matching (paper §III-A-2).
+
+An item title like "well-known cheese bun combo" must be mapped to the
+vocabulary concept it mentions ("cheese bun").  The paper uses longest
+common sub-string matching on Chinese character strings; for our
+whitespace-tokenised names the equivalent is the longest *contiguous token
+run* shared between the title and a vocabulary concept, requiring the full
+concept to appear in the title.
+"""
+
+from __future__ import annotations
+
+from ..taxonomy import ConceptVocabulary
+
+__all__ = ["contains_token_run", "identify_concept", "ConceptMatcher"]
+
+
+def contains_token_run(haystack_tokens: list[str],
+                       needle_tokens: list[str]) -> bool:
+    """True when ``needle_tokens`` occurs contiguously in ``haystack_tokens``."""
+    n, m = len(haystack_tokens), len(needle_tokens)
+    if m == 0 or m > n:
+        return False
+    for start in range(n - m + 1):
+        if haystack_tokens[start:start + m] == needle_tokens:
+            return True
+    return False
+
+
+def identify_concept(item_title: str,
+                     vocabulary: ConceptVocabulary) -> str | None:
+    """Return the longest vocabulary concept mentioned in ``item_title``.
+
+    Ties are broken toward more tokens, then more characters, then
+    lexicographically for determinism.  Returns None when no concept
+    matches (the paper's "#IOthers" items).
+    """
+    tokens = item_title.split()
+    best: str | None = None
+    best_key = (-1, -1, "")
+    for concept in vocabulary.candidates_in_text(item_title):
+        concept_tokens = concept.split()
+        if not contains_token_run(tokens, concept_tokens):
+            continue
+        key = (len(concept_tokens), len(concept), concept)
+        if (key[0], key[1]) > (best_key[0], best_key[1]) or (
+                (key[0], key[1]) == (best_key[0], best_key[1])
+                and concept < best_key[2]):
+            best = concept
+            best_key = key
+    return best
+
+
+class ConceptMatcher:
+    """Memoising wrapper around :func:`identify_concept`.
+
+    Click logs repeat item titles heavily; caching turns identification into
+    a single pass over distinct titles.
+    """
+
+    def __init__(self, vocabulary: ConceptVocabulary):
+        self._vocabulary = vocabulary
+        self._cache: dict[str, str | None] = {}
+
+    def __call__(self, item_title: str) -> str | None:
+        if item_title not in self._cache:
+            self._cache[item_title] = identify_concept(
+                item_title, self._vocabulary)
+        return self._cache[item_title]
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,70 @@
+"""Edge-weight assignment: IF / IQF scheme (paper §III-A-4, Eqs. 3-5).
+
+* **Item Frequency** ``IF(q, i)`` — clicks on item concept *i* under query
+  *q*, normalised over all item concepts clicked under *q* (Eq. 3).  Pushes
+  down *intention-drifted* noise, which is rare per query.
+* **Inverse Query Frequency** ``IQF(i)`` — ``log(|Q| / |{q : q -> i}|)``
+  (Eq. 4).  Pushes down *common-but-non-sense* items clicked under most
+  queries ("sweet soup").
+* The edge attribute is ``softmax(IF * IQF^2)`` within each query (Eq. 5),
+  so weights under one query sum to 1.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+__all__ = ["item_frequency", "inverse_query_frequency", "assign_edge_weights"]
+
+
+def item_frequency(click_counts: dict[tuple[str, str], int]
+                   ) -> dict[tuple[str, str], float]:
+    """IF for every (query concept, item concept) pair (Eq. 3)."""
+    per_query_total: dict[str, int] = defaultdict(int)
+    for (query, _item), count in click_counts.items():
+        per_query_total[query] += count
+    return {
+        (query, item): count / per_query_total[query]
+        for (query, item), count in click_counts.items()
+    }
+
+
+def inverse_query_frequency(click_counts: dict[tuple[str, str], int]
+                            ) -> dict[str, float]:
+    """IQF for every item concept (Eq. 4)."""
+    queries: set[str] = set()
+    queries_per_item: dict[str, set[str]] = defaultdict(set)
+    for (query, item) in click_counts:
+        queries.add(query)
+        queries_per_item[item].add(query)
+    total = len(queries)
+    return {
+        item: math.log(total / len(qs))
+        for item, qs in queries_per_item.items()
+    }
+
+
+def assign_edge_weights(click_counts: dict[tuple[str, str], int]
+                        ) -> dict[tuple[str, str], float]:
+    """Edge attributes via per-query softmax of ``IF * IQF^2`` (Eq. 5)."""
+    if not click_counts:
+        return {}
+    if_scores = item_frequency(click_counts)
+    iqf_scores = inverse_query_frequency(click_counts)
+    raw: dict[tuple[str, str], float] = {
+        pair: if_scores[pair] * iqf_scores[pair[1]] ** 2
+        for pair in click_counts
+    }
+    by_query: dict[str, list[tuple[str, str]]] = defaultdict(list)
+    for pair in raw:
+        by_query[pair[0]].append(pair)
+    weights: dict[tuple[str, str], float] = {}
+    for query, pairs in by_query.items():
+        scores = [raw[p] for p in pairs]
+        peak = max(scores)
+        exps = [math.exp(s - peak) for s in scores]
+        total = sum(exps)
+        for pair, value in zip(pairs, exps):
+            weights[pair] = value / total
+    return weights

@@ -1,0 +1,27 @@
+"""Neural-network substrate: numpy autograd, layers, optimizers, losses.
+
+Every learned component in the reproduction (C-BERT, the GNN encoders, the
+edge-classification MLP) is built on this package; no external deep-learning
+framework is used.
+"""
+
+from .tensor import Tensor, no_grad, is_grad_enabled
+from .layers import (
+    Module, Parameter, Linear, Embedding, LayerNorm, Dropout, Sequential,
+    ReLU, GELU, Tanh, Sigmoid,
+)
+from .optim import Optimizer, SGD, Adam, clip_grad_norm
+from .losses import bce_with_logits, binary_cross_entropy, cross_entropy, info_nce
+from .attention import MultiHeadSelfAttention
+from .transformer import TransformerEncoder, TransformerEncoderLayer
+from .serialization import save_module, load_module
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled",
+    "Module", "Parameter", "Linear", "Embedding", "LayerNorm", "Dropout",
+    "Sequential", "ReLU", "GELU", "Tanh", "Sigmoid",
+    "Optimizer", "SGD", "Adam", "clip_grad_norm",
+    "bce_with_logits", "binary_cross_entropy", "cross_entropy", "info_nce",
+    "MultiHeadSelfAttention", "TransformerEncoder", "TransformerEncoderLayer",
+    "save_module", "load_module",
+]

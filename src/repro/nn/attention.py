@@ -1,0 +1,57 @@
+"""Multi-head self-attention for the MiniBert encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Dropout, Linear, Module
+from .tensor import Tensor
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` heads.
+
+    Accepts input of shape ``(batch, seq, dim)`` and an optional padding mask
+    of shape ``(batch, seq)`` where 1 marks real tokens and 0 marks padding.
+    """
+
+    def __init__(self, dim: int, num_heads: int, dropout: float = 0.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query = Linear(dim, dim, rng=rng)
+        self.key = Linear(dim, dim, rng=rng)
+        self.value = Linear(dim, dim, rng=rng)
+        self.out = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.head_dim) \
+                .transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, padding_mask: np.ndarray | None = None) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq)
+        k = self._split_heads(self.key(x), batch, seq)
+        v = self._split_heads(self.value(x), batch, seq)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        if padding_mask is not None:
+            mask = np.asarray(padding_mask, dtype=np.float64)
+            if mask.shape != (batch, seq):
+                raise ValueError("padding_mask must be (batch, seq)")
+            # Broadcast over heads and query positions; -1e9 on padding keys.
+            bias = (1.0 - mask)[:, None, None, :] * -1e9
+            scores = scores + Tensor(bias)
+        weights = scores.softmax(axis=-1)
+        weights = self.dropout(weights)
+        context = weights @ v  # (batch, heads, seq, head_dim)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.out(merged)

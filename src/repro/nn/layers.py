@@ -1,0 +1,270 @@
+"""Neural-network layers built on the :mod:`repro.nn.tensor` autograd engine.
+
+The layer set mirrors what the paper's models need: dense projections and
+embeddings for the BERT-style encoder and GNNs, layer normalisation and
+dropout for the transformer, and a generic :class:`Module` base with
+parameter collection and train/eval mode switching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "Module", "Parameter", "Linear", "Embedding", "LayerNorm", "Dropout",
+    "Sequential", "ReLU", "GELU", "Tanh", "Sigmoid",
+]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a learnable parameter of a module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class with recursive parameter discovery and mode switching."""
+
+    def __init__(self):
+        self.training = True
+
+    def parameters(self) -> list[Parameter]:
+        """Return all parameters in this module and its submodules."""
+        found: list[Parameter] = []
+        seen: set[int] = set()
+        self._collect(found, seen)
+        return found
+
+    def _collect(self, found: list, seen: set) -> None:
+        for value in self.__dict__.values():
+            self._collect_value(value, found, seen)
+
+    def _collect_value(self, value, found: list, seen: set) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        elif isinstance(value, Module):
+            value._collect(found, seen)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect_value(item, found, seen)
+        elif isinstance(value, dict):
+            for item in value.values():
+                self._collect_value(item, found, seen)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            self._mode_value(value, training)
+
+    def _mode_value(self, value, training: bool) -> None:
+        if isinstance(value, Module):
+            value._set_mode(training)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._mode_value(item, training)
+        elif isinstance(value, dict):
+            for item in value.values():
+                self._mode_value(item, training)
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # state dict (used by repro.nn.serialization)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flatten parameters into ``{path: array}`` for serialization."""
+        state: dict[str, np.ndarray] = {}
+        self._state("", state)
+        return state
+
+    def _state(self, prefix: str, state: dict) -> None:
+        for name, value in self.__dict__.items():
+            self._state_value(f"{prefix}{name}", value, state)
+
+    def _state_value(self, path: str, value, state: dict) -> None:
+        if isinstance(value, Parameter):
+            state[path] = value.data
+        elif isinstance(value, Module):
+            value._state(path + ".", state)
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                self._state_value(f"{path}.{i}", item, state)
+        elif isinstance(value, dict):
+            for key, item in value.items():
+                self._state_value(f"{path}.{key}", item, state)
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays produced by :meth:`state_dict`."""
+        own = self.state_dict_parameters()
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise KeyError(f"state mismatch: missing={sorted(missing)} "
+                           f"extra={sorted(extra)}")
+        for path, param in own.items():
+            array = np.asarray(state[path], dtype=np.float64)
+            if array.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {path}: "
+                                 f"{array.shape} vs {param.data.shape}")
+            param.data = array.copy()
+
+    def state_dict_parameters(self) -> dict[str, Parameter]:
+        """Like :meth:`state_dict` but mapping to Parameter objects."""
+        params: dict[str, Parameter] = {}
+        self._param_state("", params)
+        return params
+
+    def _param_state(self, prefix: str, params: dict) -> None:
+        for name, value in self.__dict__.items():
+            self._param_state_value(f"{prefix}{name}", value, params)
+
+    def _param_state_value(self, path: str, value, params: dict) -> None:
+        if isinstance(value, Parameter):
+            params[path] = value
+        elif isinstance(value, Module):
+            value._param_state(path + ".", params)
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                self._param_state_value(f"{path}.{i}", item, params)
+        elif isinstance(value, dict):
+            for key, item in value.items():
+                self._param_state_value(f"{path}.{key}", item, params)
+
+
+def _xavier(rng: np.random.Generator, fan_in: int, fan_out: int,
+            shape: tuple) -> np.ndarray:
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+class Linear(Module):
+    """Affine projection ``y = x W + b`` with Xavier initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            _xavier(rng, in_features, out_features,
+                    (in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim)))
+
+    def forward(self, ids) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.num_embeddings:
+            raise IndexError("embedding id out of range")
+        return self.weight[ids]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float = 0.1, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x

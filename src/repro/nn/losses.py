@@ -1,0 +1,90 @@
+"""Loss functions used across the reproduction.
+
+* binary cross-entropy for the edge classifier (paper Eq. 16),
+* masked-token cross-entropy for C-BERT's MLM pretraining,
+* InfoNCE for the graph contrastive pretraining (paper Eq. 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "bce_with_logits", "binary_cross_entropy", "cross_entropy", "info_nce",
+]
+
+
+def bce_with_logits(logits: Tensor, targets) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits.
+
+    Uses ``max(x, 0) - x*t + log(1 + exp(-|x|))`` which never overflows.
+    """
+    targets = Tensor(np.asarray(targets, dtype=np.float64))
+    relu_x = logits.relu()
+    abs_x = logits.relu() + (-logits).relu()
+    loss = relu_x - logits * targets + (1.0 + (-abs_x).exp()).log()
+    return loss.mean()
+
+
+def binary_cross_entropy(probs: Tensor, targets, eps: float = 1e-12) -> Tensor:
+    """BCE on probabilities already passed through a sigmoid/softmax."""
+    targets_arr = np.asarray(targets, dtype=np.float64)
+    clipped = probs * (1.0 - 2 * eps) + eps
+    targets_t = Tensor(targets_arr)
+    loss = -(targets_t * clipped.log()
+             + (1.0 - targets_t) * (1.0 - clipped).log())
+    return loss.mean()
+
+
+def cross_entropy(logits: Tensor, targets, mask=None) -> Tensor:
+    """Cross-entropy over the last axis of ``logits``.
+
+    Parameters
+    ----------
+    logits:
+        ``(..., num_classes)`` raw scores.
+    targets:
+        Integer class ids with shape ``logits.shape[:-1]``.
+    mask:
+        Optional 0/1 array of the same shape as ``targets``; positions with
+        mask 0 are excluded (used for MLM where only masked slots count).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = logits.log_softmax(axis=-1)
+    flat = log_probs.reshape(-1, logits.shape[-1])
+    ids = targets.reshape(-1)
+    picked = flat[np.arange(ids.size), ids]
+    if mask is None:
+        return -picked.mean()
+    mask_arr = np.asarray(mask, dtype=np.float64).reshape(-1)
+    denom = max(float(mask_arr.sum()), 1.0)
+    return -(picked * Tensor(mask_arr)).sum() * (1.0 / denom)
+
+
+def info_nce(similarities: Tensor, positive_mask, axis: int = -1) -> Tensor:
+    """InfoNCE contrastive loss, paper Eq. (10).
+
+    ``L = -log( sum_{v in N(u)} exp(S(u,v)) / sum_{v in all} exp(S(u,v)) )``
+
+    Parameters
+    ----------
+    similarities:
+        ``(num_anchors, num_candidates)`` similarity scores ``S(u, v)``.
+    positive_mask:
+        Same-shape 0/1 array marking which candidates are neighbors of each
+        anchor.  Anchors with no positives contribute zero loss.
+    """
+    mask = np.asarray(positive_mask, dtype=np.float64)
+    if mask.shape != similarities.shape:
+        raise ValueError("positive_mask shape must match similarities")
+    exp = (similarities - similarities.max(axis=axis, keepdims=True).detach()).exp()
+    pos = (exp * Tensor(mask)).sum(axis=axis)
+    total = exp.sum(axis=axis)
+    has_pos = (mask.sum(axis=axis) > 0).astype(np.float64)
+    eps = 1e-12
+    ratio = (pos + eps) / total
+    losses = -(ratio.log()) * Tensor(has_pos)
+    denom = max(float(has_pos.sum()), 1.0)
+    return losses.sum() * (1.0 / denom)

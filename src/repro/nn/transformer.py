@@ -1,0 +1,54 @@
+"""Transformer encoder blocks (post-norm, BERT-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadSelfAttention
+from .layers import Dropout, GELU, LayerNorm, Linear, Module, Sequential
+from .tensor import Tensor
+
+__all__ = ["TransformerEncoderLayer", "TransformerEncoder"]
+
+
+class TransformerEncoderLayer(Module):
+    """One encoder block: self-attention + feed-forward, residual + LayerNorm."""
+
+    def __init__(self, dim: int, num_heads: int, ffn_dim: int,
+                 dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.attention = MultiHeadSelfAttention(dim, num_heads, dropout, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.ffn = Sequential(
+            Linear(dim, ffn_dim, rng=rng),
+            GELU(),
+            Linear(ffn_dim, dim, rng=rng),
+        )
+        self.norm2 = LayerNorm(dim)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, padding_mask: np.ndarray | None = None) -> Tensor:
+        attended = self.attention(x, padding_mask)
+        x = self.norm1(x + self.dropout(attended))
+        x = self.norm2(x + self.dropout(self.ffn(x)))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of :class:`TransformerEncoderLayer`."""
+
+    def __init__(self, num_layers: int, dim: int, num_heads: int,
+                 ffn_dim: int, dropout: float = 0.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.layers = [
+            TransformerEncoderLayer(dim, num_heads, ffn_dim, dropout, rng=rng)
+            for _ in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor, padding_mask: np.ndarray | None = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, padding_mask)
+        return x

@@ -1,0 +1,17 @@
+"""PLM substrate: tokenizer, segmentation, masking, MiniBert, pretraining."""
+
+from .tokenizer import WordTokenizer, PAD, UNK, CLS, SEP, MASK
+from .segmentation import ConceptSpan, DictSegmenter
+from .masking import token_level_mask, concept_level_mask
+from .bert import BertConfig, MiniBert
+from .pretrain import PretrainConfig, pretrain_mlm
+from .relational import RelationalEncoder
+
+__all__ = [
+    "WordTokenizer", "PAD", "UNK", "CLS", "SEP", "MASK",
+    "ConceptSpan", "DictSegmenter",
+    "token_level_mask", "concept_level_mask",
+    "BertConfig", "MiniBert",
+    "PretrainConfig", "pretrain_mlm",
+    "RelationalEncoder",
+]

@@ -1,0 +1,102 @@
+"""MiniBert: a from-scratch BERT-style encoder on the numpy autograd engine.
+
+Substitutes for BERT-Chinese (DESIGN.md §2).  Same architecture family —
+learned token + position embeddings, post-norm transformer blocks, weight-
+tied MLM head — at a scale that pretrains on a laptop in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import (
+    Dropout, Embedding, LayerNorm, Linear, Module, Parameter, Tensor,
+    TransformerEncoder,
+)
+
+__all__ = ["BertConfig", "MiniBert"]
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Architecture hyperparameters for :class:`MiniBert`."""
+
+    vocab_size: int
+    dim: int = 48
+    num_layers: int = 2
+    num_heads: int = 4
+    ffn_dim: int = 96
+    max_len: int = 32
+    dropout: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.dim % self.num_heads:
+            raise ValueError("dim must be divisible by num_heads")
+
+
+class MiniBert(Module):
+    """Transformer encoder with an MLM head tied to the token embeddings."""
+
+    def __init__(self, config: BertConfig):
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.dim, rng=rng)
+        self.position_embedding = Embedding(config.max_len, config.dim, rng=rng)
+        self.segment_embedding = Embedding(2, config.dim, rng=rng)
+        self.embedding_norm = LayerNorm(config.dim)
+        self.embedding_dropout = Dropout(config.dropout, rng=rng)
+        self.encoder = TransformerEncoder(
+            config.num_layers, config.dim, config.num_heads, config.ffn_dim,
+            config.dropout, rng=rng)
+        self.mlm_transform = Linear(config.dim, config.dim, rng=rng)
+        self.mlm_bias = Parameter(np.zeros(config.vocab_size))
+
+    # ------------------------------------------------------------------
+    # forward passes
+    # ------------------------------------------------------------------
+    def encode(self, ids: np.ndarray, attention_mask: np.ndarray | None = None,
+               segment_ids: np.ndarray | None = None) -> Tensor:
+        """ids ``(batch, seq)`` -> contextual hidden states ``(batch, seq, dim)``.
+
+        ``segment_ids`` (0/1 per position) mark the two template halves for
+        pair inputs, as in BERT's token-type embeddings.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ValueError("ids must be (batch, seq)")
+        batch, seq = ids.shape
+        if seq > self.config.max_len:
+            raise ValueError(f"sequence length {seq} exceeds max_len "
+                             f"{self.config.max_len}")
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        hidden = (self.token_embedding(ids)
+                  + self.position_embedding(positions))
+        if segment_ids is not None:
+            segment_ids = np.asarray(segment_ids, dtype=np.int64)
+            if segment_ids.shape != ids.shape:
+                raise ValueError("segment_ids must match ids shape")
+            hidden = hidden + self.segment_embedding(segment_ids)
+        hidden = self.embedding_dropout(self.embedding_norm(hidden))
+        return self.encoder(hidden, attention_mask)
+
+    def cls_representation(self, ids: np.ndarray,
+                           attention_mask: np.ndarray | None = None,
+                           segment_ids: np.ndarray | None = None) -> Tensor:
+        """Final-layer ``[CLS]`` vector, shape ``(batch, dim)`` (Eqs. 7-8)."""
+        return self.encode(ids, attention_mask, segment_ids)[:, 0, :]
+
+    def mlm_logits(self, ids: np.ndarray,
+                   attention_mask: np.ndarray | None = None) -> Tensor:
+        """Masked-LM logits ``(batch, seq, vocab)`` with tied output weights."""
+        hidden = self.encode(ids, attention_mask)
+        transformed = self.mlm_transform(hidden).gelu()
+        # Weight tying: project back through the token embedding matrix.
+        logits = transformed @ self.token_embedding.weight.transpose(1, 0)
+        return logits + self.mlm_bias
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())

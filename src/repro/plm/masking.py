@@ -1,0 +1,94 @@
+"""Masking strategies for MLM pretraining (paper §III-B-1).
+
+* **token-level** — vanilla BERT: 15% of tokens selected; of those 80% become
+  ``[MASK]``, 10% a random token, 10% unchanged.
+* **concept-level** — the paper's C-BERT strategy: whole concept mentions
+  (found by the dictionary segmenter) are masked as units, forcing the model
+  to recover concepts from sentence context — the mechanism that encodes
+  relational knowledge.
+
+Both return ``(input_ids, labels, loss_mask)`` aligned to the already
+encoded (``[CLS]``-wrapped) sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .segmentation import DictSegmenter
+from .tokenizer import WordTokenizer
+
+__all__ = ["token_level_mask", "concept_level_mask"]
+
+
+def _apply_bert_noise(input_ids: np.ndarray, positions: np.ndarray,
+                      tokenizer: WordTokenizer,
+                      rng: np.random.Generator) -> None:
+    """BERT's 80/10/10 corruption applied in place at ``positions``."""
+    for pos in positions:
+        roll = rng.random()
+        if roll < 0.8:
+            input_ids[pos] = tokenizer.mask_id
+        elif roll < 0.9:
+            input_ids[pos] = int(rng.integers(tokenizer.num_special,
+                                              tokenizer.vocab_size))
+        # else: keep the original token
+
+
+def token_level_mask(ids: list[int], tokenizer: WordTokenizer,
+                     rng: np.random.Generator, rate: float = 0.15
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vanilla token-level masking over non-special positions."""
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    labels = ids_arr.copy()
+    special = {tokenizer.pad_id, tokenizer.cls_id, tokenizer.sep_id}
+    eligible = np.array([i for i, t in enumerate(ids_arr)
+                         if int(t) not in special], dtype=np.int64)
+    loss_mask = np.zeros(len(ids_arr), dtype=np.float64)
+    if eligible.size == 0:
+        return ids_arr, labels, loss_mask
+    count = max(1, int(round(rate * eligible.size)))
+    chosen = rng.choice(eligible, size=min(count, eligible.size),
+                        replace=False)
+    input_ids = ids_arr.copy()
+    _apply_bert_noise(input_ids, chosen, tokenizer, rng)
+    loss_mask[chosen] = 1.0
+    return input_ids, labels, loss_mask
+
+
+def concept_level_mask(sentence: str, tokenizer: WordTokenizer,
+                       segmenter: DictSegmenter, rng: np.random.Generator,
+                       mask_probability: float = 0.5,
+                       max_len: int | None = None
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """C-BERT concept-level masking.
+
+    Each concept mention in the sentence is masked (all its tokens) with
+    ``mask_probability``; at least one mention is always masked when any
+    exist.  Falls back to token-level masking for sentences without
+    mentions, so pretraining still covers noise sentences.
+    """
+    tokens = tokenizer.tokenize(sentence)
+    spans = segmenter.find_mentions(tokens)
+    ids = tokenizer.encode(sentence, max_len=max_len)
+    if not spans:
+        return token_level_mask(ids, tokenizer, rng)
+
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    labels = ids_arr.copy()
+    input_ids = ids_arr.copy()
+    loss_mask = np.zeros(len(ids_arr), dtype=np.float64)
+
+    chosen = [span for span in spans if rng.random() < mask_probability]
+    if not chosen:
+        chosen = [spans[int(rng.integers(0, len(spans)))]]
+    offset = 1  # the [CLS] prepended by encode()
+    limit = len(ids_arr) - 1  # keep [SEP] intact
+    for span in chosen:
+        for pos in range(span.start + offset, span.end + offset):
+            if 0 < pos < limit:
+                input_ids[pos] = tokenizer.mask_id
+                loss_mask[pos] = 1.0
+    if loss_mask.sum() == 0:  # entire mention fell past truncation
+        return token_level_mask(ids, tokenizer, rng)
+    return input_ids, labels, loss_mask

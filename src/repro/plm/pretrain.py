@@ -1,0 +1,111 @@
+"""MLM pretraining loops for MiniBert (paper §III-B-1, pretraining stage).
+
+``pretrain_mlm`` runs either the token-level ("vanilla") or concept-level
+("C-BERT") masking strategy over a sentence corpus.  The returned history
+lets tests assert that the loss actually decreases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Adam, clip_grad_norm, cross_entropy
+from .bert import MiniBert
+from .masking import concept_level_mask, token_level_mask
+from .segmentation import DictSegmenter
+from .tokenizer import WordTokenizer
+
+__all__ = ["PretrainConfig", "pretrain_mlm"]
+
+
+@dataclass(frozen=True)
+class PretrainConfig:
+    """Optimisation knobs for MLM pretraining."""
+
+    steps: int = 200
+    batch_size: int = 16
+    lr: float = 3e-3
+    #: linearly decay the learning rate to ``lr * final_lr_fraction``
+    final_lr_fraction: float = 0.1
+    seed: int = 0
+    #: "concept" (C-BERT) or "token" (vanilla)
+    strategy: str = "concept"
+    mask_probability: float = 0.5
+    grad_clip: float = 5.0
+
+    def __post_init__(self):
+        if self.strategy not in ("concept", "token"):
+            raise ValueError("strategy must be 'concept' or 'token'")
+
+
+def _make_batch(corpus: list[str], tokenizer: WordTokenizer,
+                segmenter: DictSegmenter | None, config: PretrainConfig,
+                rng: np.random.Generator
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    max_len = None  # encode() truncation handled below via pad_batch
+    picks = rng.integers(0, len(corpus), size=config.batch_size)
+    inputs, labels, losses = [], [], []
+    limit = None
+    for pick in picks:
+        sentence = corpus[int(pick)]
+        if config.strategy == "concept":
+            inp, lab, msk = concept_level_mask(
+                sentence, tokenizer, segmenter, rng,
+                config.mask_probability, max_len=max_len)
+        else:
+            ids = tokenizer.encode(sentence, max_len=max_len)
+            inp, lab, msk = token_level_mask(ids, tokenizer, rng)
+        inputs.append(list(inp))
+        labels.append(list(lab))
+        losses.append(list(msk))
+    width = max(len(s) for s in inputs)
+    batch = len(inputs)
+    pad = tokenizer.pad_id
+    ids_arr = np.full((batch, width), pad, dtype=np.int64)
+    lab_arr = np.full((batch, width), pad, dtype=np.int64)
+    loss_arr = np.zeros((batch, width), dtype=np.float64)
+    attn = np.zeros((batch, width), dtype=np.float64)
+    for row, (inp, lab, msk) in enumerate(zip(inputs, labels, losses)):
+        ids_arr[row, :len(inp)] = inp
+        lab_arr[row, :len(lab)] = lab
+        loss_arr[row, :len(msk)] = msk
+        attn[row, :len(inp)] = 1.0
+    return ids_arr, lab_arr, loss_arr, attn
+
+
+def pretrain_mlm(model: MiniBert, corpus: list[str],
+                 tokenizer: WordTokenizer,
+                 segmenter: DictSegmenter | None = None,
+                 config: PretrainConfig | None = None) -> list[float]:
+    """Pretrain ``model`` in place; returns the per-step loss history."""
+    config = config or PretrainConfig()
+    if config.strategy == "concept" and segmenter is None:
+        raise ValueError("concept-level masking needs a segmenter")
+    if not corpus:
+        raise ValueError("empty corpus")
+    rng = np.random.default_rng(config.seed)
+    # Pre-truncate overlong sentences once so every batch fits max_len.
+    budget = model.config.max_len - 2
+    trimmed = [" ".join(s.split()[:budget]) for s in corpus]
+    optimizer = Adam(model.parameters(), lr=config.lr)
+    history: list[float] = []
+    model.train()
+    for step in range(config.steps):
+        progress = step / max(config.steps - 1, 1)
+        optimizer.lr = config.lr * (
+            1.0 - (1.0 - config.final_lr_fraction) * progress)
+        ids, labels, loss_mask, attn = _make_batch(
+            trimmed, tokenizer, segmenter, config, rng)
+        if loss_mask.sum() == 0:  # pragma: no cover - extremely unlikely
+            continue
+        optimizer.zero_grad()
+        logits = model.mlm_logits(ids, attn)
+        loss = cross_entropy(logits, labels, loss_mask)
+        loss.backward()
+        clip_grad_norm(optimizer.parameters, config.grad_clip)
+        optimizer.step()
+        history.append(loss.item())
+    model.eval()
+    return history

@@ -1,0 +1,141 @@
+"""Relational representation from the PLM (paper §III-B-1, representation stage).
+
+A concept pair ``(c_q, c_i)`` is rendered through the pre-defined template
+``[CLS] c_q is a c_i [SEP]`` (Eq. 6) and encoded by C-BERT; the final-layer
+``[CLS]`` vector is the pair's relational representation (Eq. 7).  Single
+concepts are encoded as ``[CLS] u [SEP]`` (Eq. 8) for GNN initial features
+and the distance baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+from .bert import MiniBert
+from .tokenizer import WordTokenizer
+
+__all__ = ["RelationalEncoder"]
+
+TEMPLATE_WORDS = ["is", "a"]
+
+
+class RelationalEncoder:
+    """Template-based pair encoder around a (C-)BERT model.
+
+    Parameters
+    ----------
+    model, tokenizer:
+        The pretrained language model and its tokenizer.
+    use_template:
+        When False (the "- Template" ablation, Table VIII) the pair is
+        encoded as ``[CLS] c_q [SEP] c_i [SEP]`` without the "is a" infix.
+    """
+
+    def __init__(self, model: MiniBert, tokenizer: WordTokenizer,
+                 use_template: bool = True):
+        self.model = model
+        self.tokenizer = tokenizer
+        self.use_template = use_template
+
+    @property
+    def dim(self) -> int:
+        return self.model.config.dim
+
+    # ------------------------------------------------------------------
+    # input building
+    # ------------------------------------------------------------------
+    def pair_ids(self, query: str, item: str) -> tuple[list[int], list[int]]:
+        """Template input ids + segment ids for one concept pair (Eq. 6).
+
+        Segment 0 covers ``[CLS]`` and the query half (template infix
+        included); segment 1 covers the item half and the closing ``[SEP]``,
+        mirroring BERT's token-type embeddings.
+        """
+        tok = self.tokenizer
+        query_ids = [tok.token_to_id(t) for t in query.split()]
+        item_ids = [tok.token_to_id(t) for t in item.split()]
+        if self.use_template:
+            infix = [tok.token_to_id(w) for w in TEMPLATE_WORDS]
+            ids = [tok.cls_id] + query_ids + infix + item_ids + [tok.sep_id]
+            segments = ([0] * (1 + len(query_ids) + len(infix))
+                        + [1] * (len(item_ids) + 1))
+        else:
+            ids = ([tok.cls_id] + query_ids + [tok.sep_id]
+                   + item_ids + [tok.sep_id])
+            segments = ([0] * (2 + len(query_ids))
+                        + [1] * (len(item_ids) + 1))
+        limit = self.model.config.max_len
+        if len(ids) > limit:
+            ids = ids[:limit]
+            segments = segments[:limit]
+            ids[-1] = tok.sep_id
+        return ids, segments
+
+    def concept_ids(self, concept: str) -> list[int]:
+        """``[CLS] u [SEP]`` ids for a single concept (Eq. 8)."""
+        tok = self.tokenizer
+        ids = ([tok.cls_id]
+               + [tok.token_to_id(t) for t in concept.split()]
+               + [tok.sep_id])
+        limit = self.model.config.max_len
+        if len(ids) > limit:
+            ids = ids[:limit]
+            ids[-1] = tok.sep_id
+        return ids
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def encode_pairs(self, pairs: list[tuple[str, str]]) -> Tensor:
+        """Relational representations, shape ``(len(pairs), dim)``.
+
+        Gradients flow into the underlying model, so this method is used
+        both for finetuning and (inside ``no_grad``) for inference.
+        """
+        encoded = [self.pair_ids(q, i) for q, i in pairs]
+        sequences = [ids for ids, _ in encoded]
+        ids, mask = self.tokenizer.pad_batch(sequences)
+        segments = np.zeros_like(ids)
+        for row, (_, seg) in enumerate(encoded):
+            segments[row, :len(seg)] = seg
+        return self.model.cls_representation(ids, mask, segments)
+
+    def encode_concepts(self, concepts: list[str],
+                        pool: str = "cls") -> Tensor:
+        """Single-concept representations, ``(len(concepts), dim)``.
+
+        ``pool="cls"`` takes the ``[CLS]`` state (the paper's Eq. 8);
+        ``pool="mean"`` averages the contextual states of the concept's own
+        tokens, which for a model this size yields markedly more
+        discriminative concept vectors (the tiny encoder's ``[CLS]`` slot
+        collapses without an NSP-style objective).
+        """
+        if pool not in ("cls", "mean"):
+            raise ValueError("pool must be 'cls' or 'mean'")
+        sequences = [self.concept_ids(c) for c in concepts]
+        ids, mask = self.tokenizer.pad_batch(sequences)
+        hidden = self.model.encode(ids, mask)
+        if pool == "cls":
+            return hidden[:, 0, :]
+        # Mean over real (non-special) token positions.
+        tok = self.tokenizer
+        content = mask.copy()
+        content[ids == tok.cls_id] = 0.0
+        content[ids == tok.sep_id] = 0.0
+        denom = np.maximum(content.sum(axis=1, keepdims=True), 1.0)
+        weights = content / denom
+        return (hidden * Tensor(weights[:, :, None])).sum(axis=1)
+
+    def concept_embedding_matrix(self, concepts: list[str],
+                                 batch_size: int = 64,
+                                 pool: str = "cls") -> np.ndarray:
+        """Detached concept embeddings computed in batches (GNN features)."""
+        from ..nn import no_grad
+        rows: list[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(concepts), batch_size):
+                chunk = concepts[start:start + batch_size]
+                rows.append(self.encode_concepts(chunk, pool=pool).data)
+        return np.concatenate(rows, axis=0) if rows else np.zeros(
+            (0, self.dim))

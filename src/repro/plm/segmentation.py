@@ -1,0 +1,64 @@
+"""Dictionary-based word segmentation (paper §III-B-1, pretraining stage).
+
+The paper uses an internal segmentation tool (Jieba-replaceable) to find
+concept mentions in UGC sentences before concept-level masking.  Our
+substitute is greedy longest-match against the concept vocabulary: scan the
+token sequence left-to-right, at each position take the longest vocabulary
+concept starting there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..taxonomy import ConceptVocabulary
+
+__all__ = ["ConceptSpan", "DictSegmenter"]
+
+
+@dataclass(frozen=True)
+class ConceptSpan:
+    """A concept mention: tokens ``[start, end)`` of a sentence."""
+
+    start: int
+    end: int
+    concept: str
+
+
+class DictSegmenter:
+    """Greedy longest-match concept mention finder."""
+
+    def __init__(self, vocabulary: ConceptVocabulary):
+        self._vocabulary = vocabulary
+        # Index concepts by first token for O(tokens * max_len) scanning.
+        self._by_first: dict[str, list[list[str]]] = {}
+        for concept in vocabulary:
+            tokens = concept.split()
+            bucket = self._by_first.setdefault(tokens[0], [])
+            bucket.append(tokens)
+        for bucket in self._by_first.values():
+            bucket.sort(key=len, reverse=True)  # longest first
+
+    def find_mentions(self, tokens: list[str]) -> list[ConceptSpan]:
+        """Non-overlapping concept mentions, greedy longest-match."""
+        spans: list[ConceptSpan] = []
+        position = 0
+        n = len(tokens)
+        while position < n:
+            matched = None
+            for candidate in self._by_first.get(tokens[position], ()):  # longest first
+                width = len(candidate)
+                if tokens[position:position + width] == candidate:
+                    matched = candidate
+                    break
+            if matched is None:
+                position += 1
+            else:
+                spans.append(ConceptSpan(position, position + len(matched),
+                                         " ".join(matched)))
+                position += len(matched)
+        return spans
+
+    def segment(self, sentence: str) -> list[ConceptSpan]:
+        """Convenience wrapper taking raw text."""
+        return self.find_mentions(sentence.split())

@@ -1,0 +1,129 @@
+"""Word-level tokenizer for the MiniBert substrate.
+
+The paper tokenises Chinese at character level; our synthetic concepts are
+whitespace-separated English-like words, so the natural unit is the word.
+Special tokens follow BERT conventions: ``[PAD] [UNK] [CLS] [SEP] [MASK]``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = ["WordTokenizer", "PAD", "UNK", "CLS", "SEP", "MASK"]
+
+PAD, UNK, CLS, SEP, MASK = "[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"
+_SPECIALS = [PAD, UNK, CLS, SEP, MASK]
+
+
+class WordTokenizer:
+    """Fixed-vocabulary whitespace tokenizer with BERT-style specials."""
+
+    def __init__(self, vocab: Iterable[str]):
+        self._itos: list[str] = list(_SPECIALS)
+        seen = set(self._itos)
+        for word in vocab:
+            if word not in seen:
+                seen.add(word)
+                self._itos.append(word)
+        self._stoi = {word: i for i, word in enumerate(self._itos)}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_corpus(cls, corpus: Iterable[str], min_count: int = 1,
+                    extra_words: Iterable[str] = ()) -> "WordTokenizer":
+        """Build a vocabulary from sentence corpus frequencies.
+
+        ``extra_words`` (e.g. every concept-vocabulary token) are always
+        included so concept names never map to ``[UNK]``.
+        """
+        counts: Counter = Counter()
+        for sentence in corpus:
+            counts.update(sentence.split())
+        words = sorted(w for w, c in counts.items() if c >= min_count)
+        extras = sorted(set(extra_words) - set(words))
+        return cls(words + extras)
+
+    # ------------------------------------------------------------------
+    # core API
+    # ------------------------------------------------------------------
+    @property
+    def vocab_size(self) -> int:
+        return len(self._itos)
+
+    @property
+    def pad_id(self) -> int:
+        return self._stoi[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._stoi[UNK]
+
+    @property
+    def cls_id(self) -> int:
+        return self._stoi[CLS]
+
+    @property
+    def sep_id(self) -> int:
+        return self._stoi[SEP]
+
+    @property
+    def mask_id(self) -> int:
+        return self._stoi[MASK]
+
+    @property
+    def num_special(self) -> int:
+        return len(_SPECIALS)
+
+    def token_to_id(self, token: str) -> int:
+        return self._stoi.get(token, self.unk_id)
+
+    def id_to_token(self, token_id: int) -> str:
+        return self._itos[token_id]
+
+    def tokenize(self, text: str) -> list[str]:
+        return text.split()
+
+    def encode(self, text: str, max_len: int | None = None,
+               add_special: bool = True) -> list[int]:
+        """Text -> id list, optionally wrapped in [CLS]/[SEP] and truncated."""
+        ids = [self.token_to_id(t) for t in self.tokenize(text)]
+        if add_special:
+            ids = [self.cls_id] + ids + [self.sep_id]
+        if max_len is not None and len(ids) > max_len:
+            ids = ids[:max_len]
+            if add_special:
+                ids[-1] = self.sep_id
+        return ids
+
+    def decode(self, ids: Iterable[int], skip_special: bool = True) -> str:
+        tokens = [self._itos[i] for i in ids]
+        if skip_special:
+            tokens = [t for t in tokens if t not in _SPECIALS]
+        return " ".join(tokens)
+
+    def pad_batch(self, sequences: list[list[int]],
+                  max_len: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Pad to a rectangle; returns ``(ids, attention_mask)`` arrays."""
+        if not sequences:
+            raise ValueError("empty batch")
+        width = max(len(s) for s in sequences)
+        if max_len is not None:
+            width = min(width, max_len)
+        ids = np.full((len(sequences), width), self.pad_id, dtype=np.int64)
+        mask = np.zeros((len(sequences), width), dtype=np.float64)
+        for row, seq in enumerate(sequences):
+            seq = seq[:width]
+            ids[row, :len(seq)] = seq
+            mask[row, :len(seq)] = 1.0
+        return ids, mask
+
+    def __len__(self) -> int:
+        return self.vocab_size
+
+    def __repr__(self) -> str:
+        return f"WordTokenizer(vocab_size={self.vocab_size})"

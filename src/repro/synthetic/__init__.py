@@ -1,0 +1,21 @@
+"""Synthetic e-commerce world: taxonomies, items, click logs, UGC.
+
+This package is the documented substitute for Meituan's proprietary data
+(see DESIGN.md §2): it generates ground-truth taxonomies with the paper's
+headword/other pattern skew, Zipf-shaped click logs with the paper's two
+noise channels, and a review corpus that implicitly expresses hyponymy.
+"""
+
+from .lexicon import Lexicon, MODIFIERS, DOMAIN_HEADS, ATOMIC_BANKS
+from .world import WorldConfig, SyntheticWorld, build_world, DOMAIN_PRESETS
+from .items import decorate_item, junk_item
+from .clicklogs import ClickLogConfig, ClickLog, generate_click_logs
+from .ugc import UgcConfig, generate_ugc
+
+__all__ = [
+    "Lexicon", "MODIFIERS", "DOMAIN_HEADS", "ATOMIC_BANKS",
+    "WorldConfig", "SyntheticWorld", "build_world", "DOMAIN_PRESETS",
+    "decorate_item", "junk_item",
+    "ClickLogConfig", "ClickLog", "generate_click_logs",
+    "UgcConfig", "generate_ugc",
+]

@@ -1,0 +1,164 @@
+"""User click-log generation (paper Definition 3).
+
+Click logs are ``(query, clicked item)`` records.  The generator reproduces
+the paper's observed structure:
+
+* queries are taxonomy concepts; clicked items are decorated titles of their
+  true hyponyms with a Zipf-shaped popularity (the "Bread" example in
+  §IV-A-4: top clicks are all correct hyponyms, noise sits in the tail),
+* noise channel (i) — *intention-drifted behavior*: a fraction of clicks land
+  on distractors shown nearby, i.e. hyponyms of a sibling category,
+* noise channel (ii) — *common-but-non-sense behavior*: items like "sweet
+  soup" co-ordered with everything, appearing under most queries,
+* a slice of items mention no vocabulary concept at all (the paper's
+  #IOthers column),
+* only a subset of taxonomy nodes ever appear as queries (Figure 3: ~18% of
+  nodes are never asked for; most leaves have nothing to click below them).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .items import decorate_item, junk_item
+from .world import SyntheticWorld
+
+__all__ = ["ClickLogConfig", "ClickLog", "generate_click_logs"]
+
+
+@dataclass(frozen=True)
+class ClickLogConfig:
+    """Knobs for click-log generation."""
+
+    seed: int = 0
+    #: expected number of click events per query concept
+    clicks_per_query: int = 60
+    #: Zipf exponent for hyponym popularity
+    zipf_exponent: float = 1.3
+    #: probability a click drifts to a sibling-category distractor
+    drift_rate: float = 0.06
+    #: probability a click is a common-but-non-sense item
+    common_rate: float = 0.05
+    #: probability a clicked item mentions no vocabulary concept
+    junk_rate: float = 0.04
+    #: fraction of eligible query concepts that users never search
+    unqueried_rate: float = 0.18
+    #: fraction of leaf concepts users also query directly (clicking the
+    #: product itself); raises node coverage as in the paper's Table I
+    leaf_query_fraction: float = 0.55
+
+    def __post_init__(self):
+        total = self.drift_rate + self.common_rate + self.junk_rate
+        if total >= 1.0:
+            raise ValueError("noise rates must sum to < 1")
+
+
+@dataclass
+class ClickLog:
+    """Aggregated click records: ``counts[(query, item_title)] = clicks``."""
+
+    counts: Counter = field(default_factory=Counter)
+    #: item title -> concept actually used to build it (None for junk);
+    #: ground truth for analysis only — never shown to the models.
+    provenance: dict[str, str | None] = field(default_factory=dict)
+
+    @property
+    def num_records(self) -> int:
+        """Total number of click events."""
+        return sum(self.counts.values())
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of distinct (query, item) pairs."""
+        return len(self.counts)
+
+    def queries(self) -> set[str]:
+        return {query for query, _ in self.counts}
+
+    def items_for(self, query: str) -> dict[str, int]:
+        """Item title -> click count for one query."""
+        return {item: count for (q, item), count in self.counts.items()
+                if q == query}
+
+    def pairs(self) -> list[tuple[str, str, int]]:
+        """All ``(query, item, count)`` triples."""
+        return [(q, item, count) for (q, item), count in self.counts.items()]
+
+
+def _zipf_weights(n: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def generate_click_logs(world: SyntheticWorld,
+                        config: ClickLogConfig | None = None) -> ClickLog:
+    """Generate a :class:`ClickLog` for ``world``.
+
+    Query concepts are the non-leaf nodes of the *full* taxonomy (users query
+    coarse concepts and click fine-grained products), minus a random
+    ``unqueried_rate`` slice.  Held-out ("new") concepts also appear inside
+    clicked items, which is exactly how the framework discovers them.
+    """
+    config = config or ClickLogConfig()
+    rng = np.random.default_rng(config.seed)
+    log = ClickLog()
+
+    full = world.full_taxonomy
+    internal = [n for n in sorted(full.nodes) if full.children(n)
+                and n != world.root]
+    rng.shuffle(internal)
+    cut = int(len(internal) * (1.0 - config.unqueried_rate))
+    queried = sorted(internal[:cut])
+
+    leaves = [n for n in sorted(full.nodes) if not full.children(n)]
+    rng.shuffle(leaves)
+    leaf_cut = int(len(leaves) * config.leaf_query_fraction)
+    leaf_queries = set(sorted(leaves[:leaf_cut]))
+    queried = sorted(set(queried) | leaf_queries)
+
+    sibling_pool = sorted(full.nodes - {world.root})
+    common = world.common_concepts
+
+    for query in queried:
+        if query in leaf_queries:
+            # Users searching a specific product click that product.
+            hyponyms = [query]
+        else:
+            hyponyms = sorted(full.descendants(query))
+        if not hyponyms:
+            continue
+        rng.shuffle(hyponyms)
+        weights = _zipf_weights(len(hyponyms), config.zipf_exponent)
+        # Specific-product searches are rarer than category browsing.
+        rate = (config.clicks_per_query / 4 if query in leaf_queries
+                else config.clicks_per_query)
+        clicks = int(rng.poisson(rate))
+        for _ in range(clicks):
+            roll = rng.random()
+            if roll < config.junk_rate:
+                item = junk_item(rng)
+                concept = None
+            elif roll < config.junk_rate + config.common_rate and common:
+                concept = common[int(rng.integers(0, len(common)))]
+                item = decorate_item(concept, rng)
+            elif roll < (config.junk_rate + config.common_rate
+                         + config.drift_rate):
+                # Intention drift: a concept that is NOT a hyponym of query.
+                for _ in range(20):
+                    concept = sibling_pool[int(rng.integers(0, len(sibling_pool)))]
+                    if (not world.is_true_hyponym(query, concept)
+                            and concept != query):
+                        break
+                item = decorate_item(concept, rng)
+            else:
+                idx = int(rng.choice(len(hyponyms), p=weights))
+                concept = hyponyms[idx]
+                item = decorate_item(concept, rng)
+            log.counts[(query, item)] += 1
+            if item not in log.provenance:
+                log.provenance[item] = concept
+    return log

@@ -1,0 +1,37 @@
+"""Item-title decoration.
+
+Merchants describe products with marketing text around the concept name
+(paper example: "Well-known Cheese Bun" for the concept "Cheese Bun").  The
+decorator wraps a concept in optional prefixes/suffixes; node identification
+(paper §III-A-2) must then recover the concept via longest-common-substring
+matching against the vocabulary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lexicon import ITEM_PREFIXES, ITEM_SUFFIXES
+
+__all__ = ["decorate_item", "junk_item"]
+
+
+def decorate_item(concept: str, rng: np.random.Generator) -> str:
+    """Wrap ``concept`` in merchant decorations to form an item title."""
+    parts = [concept]
+    roll = rng.random()
+    if roll < 0.55:
+        parts.insert(0, ITEM_PREFIXES[int(rng.integers(0, len(ITEM_PREFIXES)))])
+    roll = rng.random()
+    if roll < 0.45:
+        parts.append(ITEM_SUFFIXES[int(rng.integers(0, len(ITEM_SUFFIXES)))])
+    return " ".join(parts)
+
+
+def junk_item(rng: np.random.Generator) -> str:
+    """An item title mentioning no vocabulary concept (paper's #IOthers)."""
+    syllables = ["zort", "quib", "flam", "nuxo", "prev", "dask", "wumb"]
+    a = syllables[int(rng.integers(0, len(syllables)))]
+    b = syllables[int(rng.integers(0, len(syllables)))]
+    prefix = ITEM_PREFIXES[int(rng.integers(0, len(ITEM_PREFIXES)))]
+    return f"{prefix} {a}{b} special"

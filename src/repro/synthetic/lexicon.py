@@ -1,0 +1,173 @@
+"""Lexicon generation for the synthetic e-commerce world.
+
+The Meituan taxonomy is built from Chinese compound nouns where most hyponyms
+embed the hypernym as a suffix headword ("黑麦面包" IsA "面包"), while a
+minority are atomic words related only semantically ("吐司" IsA "面包").  We
+reproduce the same compositional structure with English-like names:
+
+* *headword hyponyms* are ``modifier + parent-name`` compounds
+  ("rye bread" IsA "bread"),
+* *other hyponyms* are atomic names with no lexical overlap with the parent
+  ("toast" IsA "bread"), generated either from curated food-word banks or,
+  once those are exhausted, from a syllable-based pseudo-word generator so
+  worlds can scale to thousands of concepts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Lexicon", "MODIFIERS", "DOMAIN_HEADS", "ATOMIC_BANKS",
+           "ITEM_PREFIXES", "ITEM_SUFFIXES", "COMMON_NONSENSE_CONCEPTS"]
+
+# Modifier words used to build headword compounds ("rye bread", "iced melon").
+MODIFIERS = [
+    "rye", "honey", "golden", "spicy", "sweet", "sour", "iced", "frozen",
+    "fresh", "crispy", "soft", "fried", "baked", "steamed", "roasted",
+    "grilled", "smoked", "salted", "creamy", "cheesy", "garlic", "ginger",
+    "sesame", "walnut", "almond", "peanut", "coconut", "vanilla", "matcha",
+    "chocolate", "caramel", "berry", "mango", "taro", "pumpkin", "purple",
+    "black", "white", "red", "green", "mini", "jumbo", "royal", "classic",
+    "village", "farmhouse", "island", "mountain", "river", "garden",
+    "morning", "midnight", "double", "triple", "silky", "crunchy", "tender",
+    "juicy", "zesty", "herbal", "smoky", "tangy", "glazed", "stuffed",
+    "layered", "braided", "marble", "cloud", "snow", "amber", "crystal",
+    "velvet", "rustic", "imperial", "lucky", "jade", "pearl", "sunrise",
+    "harvest", "winter", "summer", "spring", "autumn",
+]
+
+# Curated category head nouns per domain (used for level-2 categories).
+DOMAIN_HEADS = {
+    "snack": [
+        "bread", "cake", "cookie", "candy", "pastry", "pie", "bun", "roll",
+        "donut", "tart", "waffle", "pudding", "mochi", "biscuit", "brownie",
+        "muffin", "scone", "cracker", "toffee", "nougat", "macaron",
+        "eclair", "churro", "pretzel", "fudge", "jelly", "wafer", "gateau",
+    ],
+    "fruits": [
+        "melon", "berry", "citrus", "apple", "pear", "peach", "plum",
+        "grape", "cherry", "mango", "banana", "lychee", "longan", "kiwi",
+        "papaya", "guava", "apricot", "fig", "date", "pomelo", "kumquat",
+        "persimmon", "durian", "rambutan", "loquat", "mulberry",
+    ],
+    "prepared": [
+        "soup", "noodle", "dumpling", "porridge", "stew", "curry", "salad",
+        "sandwich", "wrap", "skewer", "hotpot", "casserole", "omelet",
+        "pancake", "risotto", "paella", "gratin", "terrine", "broth",
+        "chowder", "goulash", "ramen", "udon", "congee", "bibimbap",
+    ],
+}
+
+# Curated atomic ("other"-pattern) hyponyms for a few well-known categories;
+# these make the case-study output (Table X) read like the paper's examples.
+ATOMIC_BANKS = {
+    "bread": ["toast", "baguette", "bagel", "croissant", "brioche",
+              "ciabatta", "focaccia", "sourdough", "pita", "naan"],
+    "melon": ["watermelon", "cantaloupe", "honeydew", "muskmelon"],
+    "soup": ["minestrone", "gazpacho", "bisque", "consomme", "pho"],
+    "candy": ["lollipop", "gumdrop", "marshmallow", "praline"],
+    "noodle": ["spaghetti", "linguine", "vermicelli", "soba"],
+    "berry": ["strawberry", "blueberry", "raspberry", "cranberry"],
+}
+
+# Merchant decorations wrapped around concept names to form item titles
+# ("Well-known Cheese Bun" in the paper).
+ITEM_PREFIXES = [
+    "well-known", "signature", "homemade", "artisan", "premium", "famous",
+    "chef's", "grandma's", "authentic", "deluxe", "select", "daily",
+    "bestselling", "handcrafted", "original",
+]
+ITEM_SUFFIXES = [
+    "combo", "set", "box", "cup", "slice", "family pack", "half portion",
+    "large", "small", "twin pack", "gift box", "to go", "per 500g",
+    "6 in a bag", "with sauce",
+]
+
+# Concepts ordered alongside anything (paper's "Sweet Soup" noise channel).
+COMMON_NONSENSE_CONCEPTS = [
+    "sweet soup", "herbal tea", "soda water", "plain rice",
+]
+
+_SYLLABLES = [
+    "ka", "ri", "mo", "ta", "lu", "pe", "shi", "no", "va", "zu", "bel",
+    "dor", "fin", "gra", "hol", "jin", "kel", "lam", "mir", "nol", "pon",
+    "qua", "ros", "sul", "tev", "ul", "vin", "wex", "yor", "zan", "bri",
+    "cho", "dre", "fle", "gli",
+]
+
+
+class Lexicon:
+    """Deterministic name factory for one synthetic world.
+
+    Guarantees global uniqueness of generated atomic names and head nouns so
+    the concept vocabulary never aliases two different taxonomy nodes.
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._used: set[str] = set()
+        for bank in ATOMIC_BANKS.values():
+            pass  # banks are consumed lazily; uniqueness enforced on draw
+
+    def reserve(self, name: str) -> str:
+        """Mark ``name`` as used and return it; raises if already taken."""
+        if name in self._used:
+            raise ValueError(f"name already used: {name!r}")
+        self._used.add(name)
+        return name
+
+    def is_used(self, name: str) -> bool:
+        return name in self._used
+
+    def pseudo_word(self, min_syllables: int = 2, max_syllables: int = 3) -> str:
+        """Draw a unique pronounceable pseudo-word ("karimo", "belfin")."""
+        for _ in range(1000):
+            count = int(self._rng.integers(min_syllables, max_syllables + 1))
+            idx = self._rng.integers(0, len(_SYLLABLES), size=count)
+            word = "".join(_SYLLABLES[i] for i in idx)
+            if word not in self._used and not word.isdigit():
+                self._used.add(word)
+                return word
+        raise RuntimeError("pseudo-word space exhausted")  # pragma: no cover
+
+    def atomic_hyponym(self, parent_head: str) -> str:
+        """An atomic hyponym name sharing no token with ``parent_head``.
+
+        Prefers the curated bank for the category head, falling back to
+        pseudo-words once the bank is exhausted.
+        """
+        bank = ATOMIC_BANKS.get(parent_head, [])
+        for word in bank:
+            if word not in self._used and parent_head not in word.split():
+                self._used.add(word)
+                return word
+        return self.pseudo_word()
+
+    def headword_child(self, parent: str) -> str:
+        """A ``modifier + parent`` compound not yet used."""
+        order = self._rng.permutation(len(MODIFIERS))
+        for i in order:
+            candidate = f"{MODIFIERS[i]} {parent}"
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return candidate
+        # All single modifiers taken for this parent: stack two modifiers.
+        for _ in range(1000):
+            i, j = self._rng.integers(0, len(MODIFIERS), size=2)
+            candidate = f"{MODIFIERS[i]} {MODIFIERS[j]} {parent}"
+            if MODIFIERS[i] != MODIFIERS[j] and candidate not in self._used:
+                self._used.add(candidate)
+                return candidate
+        raise RuntimeError("modifier space exhausted")  # pragma: no cover
+
+    def category_head(self, domain: str, index: int) -> str:
+        """The ``index``-th category head noun for ``domain``.
+
+        Falls back to pseudo-words beyond the curated bank so worlds can have
+        arbitrarily many categories.
+        """
+        bank = DOMAIN_HEADS.get(domain, [])
+        if index < len(bank) and bank[index] not in self._used:
+            self._used.add(bank[index])
+            return bank[index]
+        return self.pseudo_word()

@@ -1,0 +1,132 @@
+"""User-generated-content (UGC) corpus generation (paper Definition 4).
+
+UGC implicitly expresses hyponymy: "The toast in this bakery is delicious"
+next to "The bakery sells all kinds of bread" lets a language model infer
+"toast IsA bread".  The generator emits three sentence families:
+
+* *relational* sentences that mention a true (parent, child) pair together,
+  phrased with IsA-flavoured but non-Hearst templates (the paper stresses
+  the relation is implicit, so we also include weakly-relational templates
+  where the pair simply co-occurs),
+* *mention* sentences about a single concept (flavour/price/delivery talk),
+* *noise* sentences mentioning no concept at all.
+
+C-BERT's concept-level masking learns from exactly this co-occurrence
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .world import SyntheticWorld
+
+__all__ = ["UgcConfig", "generate_ugc"]
+
+RELATIONAL_TEMPLATES = [
+    "the {adj} {child} is my favourite kind of {parent}",
+    "this shop sells many {parent} and the {adj} {child} is the best",
+    "i always order the {child} when i want {adj} {parent}",
+    "their {child} tastes better than any other {adj} {parent} here",
+    "for {parent} lovers the {adj} {child} is a must try",
+    "the {child} here is the freshest {parent} in town",
+    "we shared a {adj} {child} and some other {parent} after dinner",
+    "among all the {parent} on the menu the {adj} {child} stands out",
+]
+
+#: filler adjectives diversify sentence shapes so pattern-based methods
+#: (Snowball) cannot enumerate them from a few seeds
+FILLER_ADJECTIVES = [
+    "lovely", "decent", "famous", "amazing", "ordinary", "pricey",
+    "humble", "gorgeous", "reliable", "curious", "generous", "delightful",
+]
+
+#: optional leading interjections add further shape variety
+FILLER_PREFIXES = [
+    "", "honestly", "frankly", "no kidding", "trust me", "in my opinion",
+    "hands down", "believe me", "for real", "no doubt", "to be fair",
+    "speaking of which",
+]
+
+MENTION_TEMPLATES = [
+    "the {concept} was fresh and tasty",
+    "portion of the {concept} is generous",
+    "i did not like the {concept} much",
+    "the {concept} arrived still warm",
+    "great value for the {concept}",
+    "the {concept} smells wonderful",
+    "my kids love the {concept} from this place",
+    "the {concept} was a bit too sweet for me",
+]
+
+NOISE_SENTENCES = [
+    "delivery was fast and the rider was polite",
+    "packaging could be better next time",
+    "the shop gave us free coupons",
+    "service was slow during lunch hours",
+    "will definitely order again soon",
+    "the price went up since last month",
+]
+
+
+@dataclass(frozen=True)
+class UgcConfig:
+    """Knobs for UGC generation."""
+
+    seed: int = 0
+    #: relational sentences per ground-truth edge (in expectation)
+    sentences_per_edge: float = 2.0
+    #: single-concept mention sentences per concept (in expectation)
+    mentions_per_concept: float = 1.5
+    #: fraction of extra pure-noise sentences relative to corpus size
+    noise_fraction: float = 0.15
+
+
+def generate_ugc(world: SyntheticWorld,
+                 config: UgcConfig | None = None) -> list[str]:
+    """Generate the review corpus for ``world``.
+
+    Relational sentences are drawn for *ground-truth* edges, including those
+    involving held-out concepts — users review products that exist on the
+    platform regardless of taxonomy coverage.  This is the signal that lets
+    the relational representation attach new concepts.
+    """
+    config = config or UgcConfig()
+    rng = np.random.default_rng(config.seed)
+    corpus: list[str] = []
+
+    edges = sorted(world.full_taxonomy.edges())
+    for parent, child in edges:
+        if parent == world.root:
+            continue  # nobody reviews "snack food" as a product
+        count = int(rng.poisson(config.sentences_per_edge))
+        for _ in range(count):
+            template = RELATIONAL_TEMPLATES[
+                int(rng.integers(0, len(RELATIONAL_TEMPLATES)))]
+            adjective = FILLER_ADJECTIVES[
+                int(rng.integers(0, len(FILLER_ADJECTIVES)))]
+            prefix = FILLER_PREFIXES[
+                int(rng.integers(0, len(FILLER_PREFIXES)))]
+            sentence = template.format(parent=parent, child=child,
+                                       adj=adjective)
+            if prefix:
+                sentence = f"{prefix} {sentence}"
+            corpus.append(sentence)
+
+    concepts = sorted(world.full_taxonomy.nodes - {world.root})
+    for concept in concepts:
+        count = int(rng.poisson(config.mentions_per_concept))
+        for _ in range(count):
+            template = MENTION_TEMPLATES[
+                int(rng.integers(0, len(MENTION_TEMPLATES)))]
+            corpus.append(template.format(concept=concept))
+
+    noise_count = int(len(corpus) * config.noise_fraction)
+    for _ in range(noise_count):
+        corpus.append(NOISE_SENTENCES[
+            int(rng.integers(0, len(NOISE_SENTENCES)))])
+
+    rng.shuffle(corpus)
+    return corpus

@@ -1,0 +1,228 @@
+"""Synthetic e-commerce world builder.
+
+Substitutes for the Meituan Gourmet Food taxonomy and its concept vocabulary
+(paper §IV-A).  A :class:`SyntheticWorld` holds
+
+* ``full_taxonomy`` — the ground-truth taxonomy (what a perfect expansion
+  would recover),
+* ``existing_taxonomy`` — the full taxonomy with a held-out fraction of
+  concepts detached (these are the "new concepts" to attach),
+* ``vocabulary`` — the clean concept vocabulary C covering all concepts,
+* ``new_concepts`` — the held-out concepts with their true parents,
+* ``common_concepts`` — "sweet soup"-style concepts ordered alongside
+  anything (noise channel ii in §III-A-4).
+
+The pattern mix is controllable: ``headword_fraction`` of edges are
+modifier+head compounds (detectable by headword, ~93% in the paper's data)
+and the rest are atomic names (the hard "others" pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..taxonomy import (
+    ConceptVocabulary, Taxonomy, is_headword_detectable,
+)
+from .lexicon import COMMON_NONSENSE_CONCEPTS, Lexicon
+
+__all__ = ["WorldConfig", "SyntheticWorld", "build_world", "DOMAIN_PRESETS"]
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Shape parameters for one synthetic domain taxonomy."""
+
+    domain: str = "snack"
+    seed: int = 0
+    num_categories: int = 12
+    #: children drawn per category at depth 2 (uniform in the range)
+    children_per_category: tuple[int, int] = (6, 14)
+    #: children drawn per node at depth >= 3
+    children_per_node: tuple[int, int] = (0, 4)
+    #: maximum depth of the generated tree (root at depth 1)
+    max_depth: int = 5
+    #: fraction of edges whose child is a modifier+parent compound
+    headword_fraction: float = 0.93
+    #: fraction of concepts held out as "new concepts" to re-attach
+    holdout_fraction: float = 0.25
+    #: probability a deeper node keeps branching at all
+    branch_probability: float = 0.45
+
+    def __post_init__(self):
+        if not 0.0 <= self.headword_fraction <= 1.0:
+            raise ValueError("headword_fraction must be in [0, 1]")
+        if not 0.0 <= self.holdout_fraction < 1.0:
+            raise ValueError("holdout_fraction must be in [0, 1)")
+        if self.max_depth < 2:
+            raise ValueError("max_depth must be >= 2")
+
+
+#: Presets approximating Table II's three domains (scaled down ~20x).
+#: Snack is the largest and deepest with the strongest headword skew;
+#: Fruits and Prepared Food are shallower with more "others" edges,
+#: mirroring the per-domain |E_Others|/|E| ratios the paper reports.
+DOMAIN_PRESETS = {
+    "snack": WorldConfig(domain="snack", seed=11, num_categories=26,
+                         children_per_category=(10, 18), max_depth=7,
+                         children_per_node=(0, 4), branch_probability=0.5,
+                         headword_fraction=0.88, holdout_fraction=0.15),
+    "fruits": WorldConfig(domain="fruits", seed=22, num_categories=24,
+                          children_per_category=(10, 18), max_depth=5,
+                          children_per_node=(0, 4), branch_probability=0.55,
+                          headword_fraction=0.78, holdout_fraction=0.15),
+    "prepared": WorldConfig(domain="prepared", seed=33, num_categories=22,
+                            children_per_category=(9, 16), max_depth=5,
+                            children_per_node=(0, 4),
+                            branch_probability=0.5,
+                            headword_fraction=0.75, holdout_fraction=0.15),
+}
+
+
+@dataclass
+class SyntheticWorld:
+    """A generated domain world; see module docstring for the fields."""
+
+    config: WorldConfig
+    root: str
+    full_taxonomy: Taxonomy
+    existing_taxonomy: Taxonomy
+    vocabulary: ConceptVocabulary
+    #: held-out concept -> set of true parents in the full taxonomy
+    new_concepts: dict[str, set[str]] = field(default_factory=dict)
+    common_concepts: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # ground-truth oracles used by evaluation and the simulated annotators
+    # ------------------------------------------------------------------
+    def is_true_hyponym(self, parent: str, child: str) -> bool:
+        """True when ``child`` is a strict descendant of ``parent``."""
+        if parent not in self.full_taxonomy or child not in self.full_taxonomy:
+            return False
+        return self.full_taxonomy.is_ancestor(parent, child)
+
+    def is_true_edge(self, parent: str, child: str) -> bool:
+        """True when ``parent -> child`` is a direct ground-truth edge."""
+        return self.full_taxonomy.has_edge(parent, child)
+
+    def true_parents(self, concept: str) -> set[str]:
+        if concept not in self.full_taxonomy:
+            return set()
+        return self.full_taxonomy.parents(concept)
+
+    def __repr__(self) -> str:
+        return (f"SyntheticWorld(domain={self.config.domain!r}, "
+                f"full={self.full_taxonomy.num_nodes} nodes, "
+                f"new={len(self.new_concepts)})")
+
+
+def _grow(taxonomy: Taxonomy, lexicon: Lexicon, rng: np.random.Generator,
+          node: str, head: str, depth: int, config: WorldConfig) -> None:
+    """Recursively attach children below ``node`` (at ``depth``)."""
+    if depth >= config.max_depth:
+        return
+    if depth == 2:
+        low, high = config.children_per_category
+    else:
+        if rng.random() > config.branch_probability:
+            return
+        low, high = config.children_per_node
+    count = int(rng.integers(low, high + 1))
+    for _ in range(count):
+        if rng.random() < config.headword_fraction:
+            child = lexicon.headword_child(node)
+            child_head = head
+        else:
+            child = lexicon.atomic_hyponym(head)
+            child_head = child.split()[-1]
+        taxonomy.add_edge(node, child)
+        _grow(taxonomy, lexicon, rng, child, child_head, depth + 1, config)
+
+
+def build_world(config: WorldConfig | None = None, **overrides) -> SyntheticWorld:
+    """Generate a :class:`SyntheticWorld` from ``config`` (or overrides)."""
+    if config is None:
+        config = WorldConfig(**overrides)
+    elif overrides:
+        raise ValueError("pass either a config or keyword overrides, not both")
+    rng = np.random.default_rng(config.seed)
+    lexicon = Lexicon(rng)
+
+    root = lexicon.reserve(f"{config.domain} food")
+    full = Taxonomy()
+    full.add_node(root)
+    for index in range(config.num_categories):
+        category = lexicon.category_head(config.domain, index)
+        full.add_edge(root, category)
+        _grow(full, lexicon, rng, category, category.split()[-1], 2, config)
+
+    # Common-but-nonsense concepts live directly under the root: they are in
+    # the taxonomy (they are real products) but are hyponyms of nothing else.
+    common: list[str] = []
+    for name in COMMON_NONSENSE_CONCEPTS:
+        if not lexicon.is_used(name):
+            lexicon.reserve(name)
+            full.add_edge(root, name)
+            common.append(name)
+
+    vocabulary = ConceptVocabulary(full.nodes)
+
+    # Hold out a fraction of non-root concepts as "new".  A held-out concept
+    # keeps its descendants attached to it in the *ground truth*, but in the
+    # existing taxonomy the whole subtree below it is re-rooted at its
+    # parents only if the concept itself is a leaf-like node; to keep the
+    # existing taxonomy a sensible tree we only hold out leaves and nodes
+    # whose children are all leaves (the frontier, where growth happens).
+    depths = full.node_depths()
+    frontier = [
+        node for node in full.nodes
+        if node != root and node not in common
+        and depths[node] >= 2
+        and all(not full.children(mid) for mid in full.children(node))
+    ]
+    frontier.sort()  # determinism independent of set ordering
+    rng.shuffle(frontier)
+    quota = int(len(frontier) * config.holdout_fraction)
+    held: list[str] = []
+    held_set: set[str] = set()
+    for node in frontier:
+        if len(held) >= quota:
+            break
+        # Never hold out a node whose parent is already held out; keeps the
+        # attachment ground truth inside the existing taxonomy.
+        if full.parents(node) & held_set:
+            continue
+        held.append(node)
+        held_set.add(node)
+
+    existing = full.copy()
+    new_concepts: dict[str, set[str]] = {}
+    for node in held:
+        # Children of a held-out node (always leaves, by the frontier rule)
+        # are held out with it: they become depth-expansion targets whose
+        # true parent is itself a new concept.
+        for child in sorted(full.children(node)):
+            if child in existing:
+                new_concepts[child] = full.parents(child)
+                existing.remove_node(child)
+        new_concepts[node] = full.parents(node)
+        existing.remove_node(node)
+
+    return SyntheticWorld(
+        config=config,
+        root=root,
+        full_taxonomy=full,
+        existing_taxonomy=existing,
+        vocabulary=vocabulary,
+        new_concepts=new_concepts,
+        common_concepts=common,
+    )
+
+
+def _selfcheck(world: SyntheticWorld) -> None:  # pragma: no cover - debug aid
+    head = sum(1 for p, c in world.full_taxonomy.edges()
+               if is_headword_detectable(p, c))
+    total = world.full_taxonomy.num_edges
+    print(f"{world}: headword share {head / max(total, 1):.2%}")

@@ -1,0 +1,21 @@
+"""Taxonomy substrate: tree structure, vocabulary, headwords, pruning."""
+
+from .tree import Taxonomy, CycleError
+from .vocabulary import ConceptVocabulary
+from .headword import (
+    headword, is_headword_detectable, is_substring_hyponym,
+    split_edges_by_headword,
+)
+from .transitive import redundant_edges, transitive_reduction
+from .serialization import (
+    taxonomy_to_dict, taxonomy_from_dict, save_taxonomy, load_taxonomy,
+)
+
+__all__ = [
+    "Taxonomy", "CycleError", "ConceptVocabulary",
+    "headword", "is_headword_detectable", "is_substring_hyponym",
+    "split_edges_by_headword",
+    "redundant_edges", "transitive_reduction",
+    "taxonomy_to_dict", "taxonomy_from_dict", "save_taxonomy",
+    "load_taxonomy",
+]

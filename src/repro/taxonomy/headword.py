@@ -1,0 +1,57 @@
+"""Headword detection (paper §III-C-1, Table II's |E_Head| / |E_Others| split).
+
+In the paper's Chinese taxonomy a hyponymy edge is "detectable by headword"
+when the child name ends with the parent name, e.g. "黑麦面包" (Rye Bread)
+IsA "面包" (Bread).  Our synthetic concepts are space-separated English-like
+compounds, so the analogous rule is: the child's token sequence ends with the
+parent's token sequence.  "rye bread" IsA "bread" is headword-detectable;
+"toast" IsA "bread" is not.
+"""
+
+from __future__ import annotations
+
+from .tree import Taxonomy
+
+__all__ = [
+    "headword", "is_headword_detectable", "is_substring_hyponym",
+    "split_edges_by_headword",
+]
+
+
+def headword(concept: str) -> str:
+    """Return the head token (last whitespace-separated token)."""
+    tokens = concept.split()
+    if not tokens:
+        raise ValueError("empty concept name")
+    return tokens[-1]
+
+
+def is_headword_detectable(parent: str, child: str) -> bool:
+    """True when ``child IsA parent`` is recoverable from the headword rule.
+
+    The child's token sequence must strictly end with the parent's full token
+    sequence (the paper's "xxx Bread IsA Bread" pattern).
+    """
+    parent_tokens = parent.split()
+    child_tokens = child.split()
+    if not parent_tokens or len(child_tokens) <= len(parent_tokens):
+        return False
+    return child_tokens[-len(parent_tokens):] == parent_tokens
+
+
+def is_substring_hyponym(parent: str, child: str) -> bool:
+    """The Substr baseline's looser rule: parent is a substring of child."""
+    return parent != child and parent in child
+
+
+def split_edges_by_headword(taxonomy: Taxonomy) -> tuple[
+        list[tuple[str, str]], list[tuple[str, str]]]:
+    """Partition taxonomy edges into (headword-detectable, others)."""
+    head_edges: list[tuple[str, str]] = []
+    other_edges: list[tuple[str, str]] = []
+    for parent, child in taxonomy.edges():
+        if is_headword_detectable(parent, child):
+            head_edges.append((parent, child))
+        else:
+            other_edges.append((parent, child))
+    return head_edges, other_edges

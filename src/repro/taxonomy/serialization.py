@@ -1,0 +1,54 @@
+"""Taxonomy persistence: JSON import/export and adjacency dumps.
+
+The deployed system continuously updates its taxonomy as behaviour data
+grows (paper §I); persisting and reloading expanded taxonomies between
+runs is the operational counterpart of that claim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .tree import Taxonomy
+
+__all__ = ["taxonomy_to_dict", "taxonomy_from_dict", "save_taxonomy",
+           "load_taxonomy"]
+
+FORMAT_VERSION = 1
+
+
+def taxonomy_to_dict(taxonomy: Taxonomy) -> dict:
+    """A JSON-serialisable snapshot of a taxonomy."""
+    return {
+        "version": FORMAT_VERSION,
+        "nodes": sorted(taxonomy.nodes),
+        "edges": sorted(taxonomy.edges()),
+    }
+
+
+def taxonomy_from_dict(payload: dict) -> Taxonomy:
+    """Rebuild a taxonomy from :func:`taxonomy_to_dict` output."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported taxonomy format version: {version!r}")
+    taxonomy = Taxonomy()
+    for node in payload.get("nodes", []):
+        taxonomy.add_node(node)
+    for parent, child in payload.get("edges", []):
+        taxonomy.add_edge(parent, child)
+    return taxonomy
+
+
+def save_taxonomy(taxonomy: Taxonomy, path: str) -> None:
+    """Write a taxonomy to ``path`` as JSON."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(taxonomy_to_dict(taxonomy), handle, indent=1)
+
+
+def load_taxonomy(path: str) -> Taxonomy:
+    """Read a taxonomy saved by :func:`save_taxonomy`."""
+    with open(path, encoding="utf-8") as handle:
+        return taxonomy_from_dict(json.load(handle))

@@ -1,0 +1,40 @@
+"""Transitive-redundancy pruning (paper §III-C-3).
+
+After attaching predicted hyponymy edges, the expanded taxonomy may contain
+edges that are implied by longer paths ("redundant edge that can infer from
+the path").  :func:`transitive_reduction` removes exactly those edges.
+"""
+
+from __future__ import annotations
+
+from .tree import Taxonomy
+
+__all__ = ["redundant_edges", "transitive_reduction"]
+
+
+def redundant_edges(taxonomy: Taxonomy) -> set[tuple[str, str]]:
+    """Edges ``(a, c)`` for which another path ``a -> ... -> c`` exists."""
+    redundant: set[tuple[str, str]] = set()
+    for parent, child in taxonomy.edges():
+        for mid in taxonomy.children(parent):
+            if mid == child:
+                continue
+            if mid == parent:  # pragma: no cover - impossible, no self loops
+                continue
+            if taxonomy.is_ancestor(mid, child):
+                redundant.add((parent, child))
+                break
+    return redundant
+
+
+def transitive_reduction(taxonomy: Taxonomy) -> Taxonomy:
+    """Return a copy of ``taxonomy`` with all redundant edges removed.
+
+    For a DAG the transitive reduction is unique; removing an implied edge
+    never makes another implied edge become non-implied, so a single sweep
+    suffices.
+    """
+    reduced = taxonomy.copy()
+    for parent, child in redundant_edges(taxonomy):
+        reduced.remove_edge(parent, child)
+    return reduced

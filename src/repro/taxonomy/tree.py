@@ -1,0 +1,232 @@
+"""Taxonomy data structure (paper Definition 1).
+
+A taxonomy is a rooted hierarchy of concept nodes with directed hyponymy
+edges ``parent -> child``.  The paper's existing taxonomies are trees, but
+expansion may attach a new concept under multiple parents (§II-B discards the
+single-parent assumption), so this class supports a DAG while enforcing
+acyclicity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+__all__ = ["Taxonomy", "CycleError"]
+
+
+class CycleError(ValueError):
+    """Raised when an edge insertion would create a directed cycle."""
+
+
+class Taxonomy:
+    """Directed acyclic hierarchy of concepts.
+
+    Nodes are concept strings.  Edges are hyponymy relations
+    ``(parent, child)`` meaning *child IsA parent*.
+    """
+
+    def __init__(self, edges: Iterable[tuple[str, str]] | None = None,
+                 nodes: Iterable[str] | None = None):
+        self._children: dict[str, set[str]] = {}
+        self._parents: dict[str, set[str]] = {}
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for parent, child in edges:
+                self.add_edge(parent, child)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> None:
+        """Add a concept node (no-op if present)."""
+        if node not in self._children:
+            self._children[node] = set()
+            self._parents[node] = set()
+
+    def add_edge(self, parent: str, child: str) -> None:
+        """Add hyponymy edge ``parent -> child``; rejects self-loops/cycles."""
+        if parent == child:
+            raise CycleError(f"self-loop on {parent!r}")
+        self.add_node(parent)
+        self.add_node(child)
+        if child in self._children[parent]:
+            return
+        if self.is_ancestor(child, parent):
+            raise CycleError(f"edge {parent!r}->{child!r} would create a cycle")
+        self._children[parent].add(child)
+        self._parents[child].add(parent)
+
+    def remove_edge(self, parent: str, child: str) -> None:
+        """Remove edge ``parent -> child``; KeyError if absent."""
+        if child not in self._children.get(parent, ()):  # pragma: no branch
+            raise KeyError(f"no edge {parent!r}->{child!r}")
+        self._children[parent].discard(child)
+        self._parents[child].discard(parent)
+
+    def remove_node(self, node: str) -> None:
+        """Remove a node and all incident edges."""
+        if node not in self._children:
+            raise KeyError(node)
+        for child in list(self._children[node]):
+            self.remove_edge(node, child)
+        for parent in list(self._parents[node]):
+            self.remove_edge(parent, node)
+        del self._children[node]
+        del self._parents[node]
+
+    def copy(self) -> "Taxonomy":
+        """Deep copy of structure (node strings shared)."""
+        clone = Taxonomy()
+        for node in self._children:
+            clone.add_node(node)
+        for parent, children in self._children.items():
+            for child in children:
+                clone._children[parent].add(child)
+                clone._parents[child].add(parent)
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> set[str]:
+        return set(self._children)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._children)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(ch) for ch in self._children.values())
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """Iterate over ``(parent, child)`` pairs."""
+        for parent, children in self._children.items():
+            for child in children:
+                yield (parent, child)
+
+    def edge_set(self) -> set[tuple[str, str]]:
+        return set(self.edges())
+
+    def has_edge(self, parent: str, child: str) -> bool:
+        return child in self._children.get(parent, ())
+
+    def children(self, node: str) -> set[str]:
+        return set(self._children[node])
+
+    def parents(self, node: str) -> set[str]:
+        return set(self._parents[node])
+
+    def roots(self) -> list[str]:
+        """Nodes with no parent, in insertion order."""
+        return [n for n in self._children if not self._parents[n]]
+
+    def leaves(self) -> list[str]:
+        """Nodes with no children, in insertion order."""
+        return [n for n in self._children if not self._children[n]]
+
+    def ancestors(self, node: str) -> set[str]:
+        """All strict ancestors of ``node``."""
+        result: set[str] = set()
+        frontier = deque(self._parents[node])
+        while frontier:
+            current = frontier.popleft()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self._parents[current])
+        return result
+
+    def descendants(self, node: str) -> set[str]:
+        """All strict descendants of ``node``."""
+        result: set[str] = set()
+        frontier = deque(self._children[node])
+        while frontier:
+            current = frontier.popleft()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self._children[current])
+        return result
+
+    def is_ancestor(self, ancestor: str, node: str) -> bool:
+        """True if a directed path ``ancestor -> ... -> node`` exists."""
+        if ancestor not in self._children or node not in self._children:
+            return False
+        frontier = deque(self._children[ancestor])
+        seen: set[str] = set()
+        while frontier:
+            current = frontier.popleft()
+            if current == node:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._children[current])
+        return False
+
+    def depth(self) -> int:
+        """Number of levels |D| (a lone root counts as depth 1)."""
+        if not self._children:
+            return 0
+        return max(self.node_depths().values()) + 1
+
+    def node_depths(self) -> dict[str, int]:
+        """Map node -> depth (roots at 0, longest path from any root)."""
+        depths: dict[str, int] = {}
+        for node in self._topological_order():
+            parents = self._parents[node]
+            if not parents:
+                depths[node] = 0
+            else:
+                depths[node] = max(depths[p] for p in parents) + 1
+        return depths
+
+    def level_order(self) -> list[list[str]]:
+        """Nodes grouped by depth, shallowest first (paper Fig. 2 traversal)."""
+        depths = self.node_depths()
+        if not depths:
+            return []
+        levels: list[list[str]] = [[] for _ in range(max(depths.values()) + 1)]
+        for node in self._children:  # preserve insertion order inside level
+            levels[depths[node]].append(node)
+        return levels
+
+    def _topological_order(self) -> list[str]:
+        indegree = {n: len(self._parents[n]) for n in self._children}
+        frontier = deque(n for n, d in indegree.items() if d == 0)
+        order: list[str] = []
+        while frontier:
+            node = frontier.popleft()
+            order.append(node)
+            for child in self._children[node]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    frontier.append(child)
+        if len(order) != len(self._children):  # pragma: no cover - guarded
+            raise CycleError("taxonomy contains a cycle")
+        return order
+
+    def subtree(self, root: str) -> "Taxonomy":
+        """Extract the sub-taxonomy rooted at ``root`` (descendants only)."""
+        keep = {root} | self.descendants(root)
+        sub = Taxonomy()
+        sub.add_node(root)
+        for parent, child in self.edges():
+            if parent in keep and child in keep:
+                sub.add_edge(parent, child)
+        return sub
+
+    def __repr__(self) -> str:
+        return (f"Taxonomy(nodes={self.num_nodes}, edges={self.num_edges}, "
+                f"depth={self.depth()})")

@@ -1,0 +1,84 @@
+"""Concept vocabulary (paper Definition 2).
+
+The clean product-concept vocabulary C is the pool of candidate concepts that
+may be attached to the taxonomy.  It also powers item-name -> concept
+identification (paper §III-A-2) via longest-common-substring matching,
+implemented in :mod:`repro.graph.matching`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["ConceptVocabulary"]
+
+
+class ConceptVocabulary:
+    """An ordered set of clean concept names with token-level indexing."""
+
+    def __init__(self, concepts: Iterable[str] = ()):
+        self._concepts: dict[str, None] = {}
+        self._by_token: dict[str, set[str]] = {}
+        for concept in concepts:
+            self.add(concept)
+
+    def add(self, concept: str) -> None:
+        """Register a concept (idempotent); empty names are rejected."""
+        name = concept.strip()
+        if not name:
+            raise ValueError("empty concept name")
+        if name in self._concepts:
+            return
+        self._concepts[name] = None
+        for token in name.split():
+            self._by_token.setdefault(token, set()).add(name)
+
+    def discard(self, concept: str) -> None:
+        """Remove a concept if present."""
+        if concept not in self._concepts:
+            return
+        del self._concepts[concept]
+        for token in concept.split():
+            bucket = self._by_token.get(token)
+            if bucket is not None:
+                bucket.discard(concept)
+                if not bucket:
+                    del self._by_token[token]
+
+    def __contains__(self, concept: str) -> bool:
+        return concept in self._concepts
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._concepts)
+
+    def concepts(self) -> list[str]:
+        """All concepts in insertion order."""
+        return list(self._concepts)
+
+    def with_token(self, token: str) -> set[str]:
+        """Concepts containing ``token`` as a whitespace-separated token."""
+        return set(self._by_token.get(token, ()))
+
+    def candidates_in_text(self, text: str) -> list[str]:
+        """Concepts whose every token occurs in ``text``'s token set.
+
+        A cheap pre-filter used before exact longest-common-substring
+        matching on decorated item names.
+        """
+        tokens = set(text.split())
+        seen: set[str] = set()
+        result: list[str] = []
+        for token in tokens:
+            for concept in self._by_token.get(token, ()):
+                if concept in seen:
+                    continue
+                if all(t in tokens for t in concept.split()):
+                    seen.add(concept)
+                    result.append(concept)
+        return sorted(result)
+
+    def __repr__(self) -> str:
+        return f"ConceptVocabulary(size={len(self)})"

@@ -1,0 +1,41 @@
+"""Shared fixtures: a small deterministic world and derived artifacts.
+
+Session-scoped where construction is expensive so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synthetic import (
+    ClickLogConfig, UgcConfig, WorldConfig, build_world, generate_click_logs,
+    generate_ugc,
+)
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A compact fruits world (~100 nodes) used across the suite."""
+    return build_world(WorldConfig(
+        domain="fruits", seed=7, num_categories=6,
+        children_per_category=(4, 7), max_depth=4,
+        headword_fraction=0.8, children_per_node=(0, 3),
+        holdout_fraction=0.2))
+
+
+@pytest.fixture(scope="session")
+def small_click_log(small_world):
+    return generate_click_logs(small_world, ClickLogConfig(
+        seed=5, clicks_per_query=40))
+
+
+@pytest.fixture(scope="session")
+def small_ugc(small_world):
+    return generate_ugc(small_world, UgcConfig(seed=5,
+                                               sentences_per_edge=2.0))
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,165 @@
+"""Baseline method tests (Table V comparison systems)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DistanceNeighborBaseline, DistanceParentBaseline, KBHeadwordBaseline,
+    RandomBaseline, SimulatedKnowledgeBase, SnowballBaseline, STEAMBaseline,
+    SubstrBaseline, TMNBaseline, TaxoExpanBaseline, VanillaBertBaseline,
+)
+from repro.core import LabeledPair
+from repro.taxonomy import Taxonomy
+
+
+@pytest.fixture()
+def toy_taxonomy():
+    t = Taxonomy()
+    t.add_edge("food", "bread")
+    t.add_edge("bread", "rye bread")
+    t.add_edge("bread", "toast")
+    t.add_edge("food", "soup")
+    return t
+
+
+@pytest.fixture()
+def toy_dataset():
+    return [
+        LabeledPair("bread", "rye bread", 1, "head"),
+        LabeledPair("bread", "toast", 1, "other"),
+        LabeledPair("rye bread", "bread", 0, "shuffle"),
+        LabeledPair("bread", "soup", 0, "replace"),
+    ]
+
+
+@pytest.fixture()
+def toy_embeddings(rng):
+    names = ["food", "bread", "rye bread", "toast", "soup"]
+    base = rng.normal(size=8)
+    emb = {}
+    for i, name in enumerate(names):
+        # bread-family vectors correlate; soup diverges
+        if "bread" in name or name == "toast":
+            emb[name] = base + rng.normal(scale=0.1, size=8)
+        else:
+            emb[name] = rng.normal(size=8)
+    return emb
+
+
+class TestRuleBaselines:
+    def test_random_probabilities(self):
+        baseline = RandomBaseline(seed=0)
+        probs = baseline.predict_proba([("a", "b")] * 100)
+        assert np.all((probs >= 0) & (probs <= 1))
+        assert 0.3 < probs.mean() < 0.7
+        assert 0.3 < baseline.predict([("a", "b")] * 100).mean() < 0.7
+
+    def test_substr(self):
+        baseline = SubstrBaseline()
+        probs = baseline.predict_proba(
+            [("bread", "rye bread"), ("bread", "toast"),
+             ("rye bread", "bread")])
+        assert probs.tolist() == [1.0, 0.0, 0.0]
+
+    def test_kb_headword(self, toy_taxonomy):
+        closure = {("bread", "rye bread"), ("bread", "toast")}
+        kb = SimulatedKnowledgeBase(closure, coverage=1.0, seed=0)
+        assert len(kb) == 2
+        baseline = KBHeadwordBaseline(kb)
+        probs = baseline.predict_proba(
+            [("bread", "rye bread"),   # in KB + headword -> 1
+             ("bread", "toast"),       # in KB, not headword -> 0
+             ("soup", "rice soup")])   # headword, not in KB -> 0
+        assert probs.tolist() == [1.0, 0.0, 0.0]
+
+    def test_kb_coverage_bounds(self):
+        with pytest.raises(ValueError):
+            SimulatedKnowledgeBase(set(), coverage=1.5)
+        assert len(SimulatedKnowledgeBase(set(), coverage=0.5)) == 0
+
+
+class TestSnowball:
+    def test_extracts_from_learned_patterns(self, toy_dataset):
+        from repro.taxonomy import ConceptVocabulary
+        vocab = ConceptVocabulary(["bread", "rye bread", "toast", "soup",
+                                   "bagel"])
+        corpus = (["the toast is my favourite kind of bread"] * 3
+                  + ["the bagel is my favourite kind of bread"] * 3
+                  + ["delivery was slow"] * 3)
+        baseline = SnowballBaseline(corpus, vocab, min_pattern_count=2,
+                                    seed=0)
+        baseline.fit(toy_dataset)
+        # seed pair (bread, toast) teaches the pattern; bagel is extracted
+        probs = baseline.predict_proba([("bread", "bagel"),
+                                        ("bread", "soup")])
+        assert probs[0] == 1.0
+        assert probs[1] == 0.0
+
+    def test_no_patterns_no_extractions(self, toy_dataset):
+        from repro.taxonomy import ConceptVocabulary
+        vocab = ConceptVocabulary(["bread", "toast"])
+        baseline = SnowballBaseline(["nothing here"], vocab, seed=0)
+        baseline.fit(toy_dataset)
+        assert baseline.predict_proba([("bread", "toast")])[0] == 0.0
+
+
+class TestDistanceBaselines:
+    def test_parent_scores_similarity(self, toy_embeddings, toy_dataset):
+        baseline = DistanceParentBaseline(toy_embeddings)
+        baseline.fit(toy_dataset)
+        probs = baseline.predict_proba([("bread", "rye bread"),
+                                        ("bread", "soup")])
+        assert probs[0] > probs[1]
+
+    def test_unknown_concept_scores_zero(self, toy_embeddings):
+        baseline = DistanceParentBaseline(toy_embeddings)
+        assert baseline.scores([("bread", "alien")])[0] == 0.0
+
+    def test_neighbor_uses_children(self, toy_embeddings, toy_taxonomy,
+                                    toy_dataset):
+        baseline = DistanceNeighborBaseline(toy_embeddings, toy_taxonomy)
+        baseline.fit(toy_dataset)
+        probs = baseline.predict_proba([("bread", "rye bread"),
+                                        ("bread", "soup")])
+        assert probs[0] > probs[1]
+
+
+class TestLearnedBaselines:
+    def test_tmn_learns_toy_task(self, toy_embeddings, toy_dataset):
+        baseline = TMNBaseline(toy_embeddings, epochs=60, lr=1e-2, seed=0)
+        baseline.fit(toy_dataset)
+        predictions = baseline.predict([s.pair for s in toy_dataset])
+        labels = np.array([s.label for s in toy_dataset])
+        assert (predictions == labels).mean() >= 0.75
+        assert baseline.predict_proba([]).shape == (0,)
+
+    def test_steam_learns_toy_task(self, toy_embeddings, toy_taxonomy,
+                                   toy_dataset):
+        baseline = STEAMBaseline(toy_embeddings, toy_taxonomy, epochs=80,
+                                 lr=1e-2, seed=0)
+        baseline.fit(toy_dataset)
+        predictions = baseline.predict([s.pair for s in toy_dataset])
+        labels = np.array([s.label for s in toy_dataset])
+        assert (predictions == labels).mean() >= 0.75
+
+    def test_taxoexpan_runs(self, toy_embeddings, toy_taxonomy,
+                            toy_dataset):
+        baseline = TaxoExpanBaseline(toy_taxonomy, toy_embeddings,
+                                     epochs=10, seed=0)
+        baseline.fit(toy_dataset)
+        probs = baseline.predict_proba([("bread", "toast")])
+        assert 0.0 <= probs[0] <= 1.0
+
+    def test_vanilla_bert_runs(self, toy_dataset):
+        corpus = ["the toast was nice", "bread is cheap",
+                  "rye bread is a bread", "soup was hot"] * 5
+        tokens = ["bread", "rye", "toast", "soup"]
+        baseline = VanillaBertBaseline(corpus, tokens, dim=16,
+                                       pretrain_steps=10, epochs=5, seed=0)
+        baseline.fit(toy_dataset)
+        probs = baseline.predict_proba([("bread", "toast")])
+        assert 0.0 <= probs[0] <= 1.0
+        assert baseline.predict_proba([]).shape == (0,)
+
+    def test_repr(self):
+        assert "Random" in repr(RandomBaseline())

@@ -1,0 +1,35 @@
+"""CLI smoke tests (fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_world_defaults(self):
+        args = build_parser().parse_args(["world"])
+        assert args.domain == "fruits"
+        assert args.clicks == 80
+
+    def test_expand_output_flag(self):
+        args = build_parser().parse_args(
+            ["expand", "--domain", "snack", "--output", "out.json"])
+        assert args.domain == "snack"
+        assert args.output == "out.json"
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["world", "--domain", "vehicles"])
+
+
+class TestWorldCommand:
+    def test_world_prints_statistics(self, capsys):
+        exit_code = main(["world", "--domain", "prepared", "--clicks", "5"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "concepts" in out
+        assert "click records" in out

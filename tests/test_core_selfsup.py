@@ -1,0 +1,144 @@
+"""Adaptively self-supervised dataset generation tests (paper §III-C-1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    PATTERN_HEAD, PATTERN_OTHER, PATTERN_REPLACE, PATTERN_SHUFFLE,
+    SelfSupConfig, generate_dataset,
+)
+from repro.taxonomy import Taxonomy, is_headword_detectable
+
+
+def make_taxonomy(num_heads=30, num_others=10):
+    """A category with controllable headword/other children mixes."""
+    t = Taxonomy()
+    t.add_edge("food", "bread")
+    t.add_edge("food", "soup")
+    for i in range(num_heads):
+        t.add_edge("bread", f"style{i} bread")
+    atomic = ["toast", "bagel", "brioche", "pita", "naan", "ciabatta",
+              "focaccia", "sourdough", "baguette", "croissant"]
+    for name in atomic[:num_others]:
+        t.add_edge("bread", name)
+    return t
+
+
+class TestConfigValidation:
+    def test_split_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            SelfSupConfig(split=(0.5, 0.2, 0.2))
+
+    def test_negatives_positive(self):
+        with pytest.raises(ValueError):
+            SelfSupConfig(negatives_per_positive=0)
+
+
+class TestAdaptiveGeneration:
+    def test_positive_negative_balance(self):
+        ds = generate_dataset(make_taxonomy(), config=SelfSupConfig(seed=0))
+        stats = ds.statistics()
+        assert stats["E_Positive"] >= stats["E_Negative"] > 0
+        # near 1:1 (duplicate negatives may be skipped)
+        assert stats["E_Negative"] >= 0.8 * stats["E_Positive"]
+
+    def test_head_other_rebalanced(self):
+        ds = generate_dataset(make_taxonomy(num_heads=50, num_others=10),
+                              config=SelfSupConfig(seed=0))
+        stats = ds.statistics()
+        # target 3:7 -> heads ~ (3/7)*others
+        assert stats["E_Head"] <= stats["E_Others"]
+        assert stats["E_Head"] == pytest.approx(
+            stats["E_Others"] * 3 / 7, abs=2)
+
+    def test_previous_setting_keeps_all(self):
+        taxonomy = make_taxonomy(num_heads=50, num_others=10)
+        ds = generate_dataset(taxonomy,
+                              config=SelfSupConfig(seed=0, adaptive=False))
+        stats = ds.statistics()
+        assert stats["E_Head"] == 50
+        assert stats["E_Positive"] == taxonomy.num_edges
+
+    def test_patterns_labelled_correctly(self):
+        ds = generate_dataset(make_taxonomy(), config=SelfSupConfig(seed=0))
+        for sample in ds.all_pairs:
+            if sample.pattern in (PATTERN_HEAD, PATTERN_OTHER):
+                assert sample.label == 1
+                assert (sample.pattern == PATTERN_HEAD) == \
+                    is_headword_detectable(sample.query, sample.item)
+            else:
+                assert sample.label == 0
+
+    def test_shuffle_negatives_are_reversed_edges(self):
+        taxonomy = make_taxonomy()
+        ds = generate_dataset(taxonomy, config=SelfSupConfig(seed=0))
+        for sample in ds.all_pairs:
+            if sample.pattern == PATTERN_SHUFFLE:
+                assert taxonomy.has_edge(sample.item, sample.query)
+
+    def test_replace_negatives_unrelated(self):
+        taxonomy = make_taxonomy()
+        ds = generate_dataset(taxonomy, config=SelfSupConfig(seed=0))
+        for sample in ds.all_pairs:
+            if sample.pattern == PATTERN_REPLACE:
+                assert not taxonomy.is_ancestor(sample.query, sample.item)
+                assert not taxonomy.is_ancestor(sample.item, sample.query)
+
+    def test_split_proportions(self):
+        ds = generate_dataset(make_taxonomy(), config=SelfSupConfig(seed=0))
+        total = len(ds.all_pairs)
+        assert len(ds.train) == int(total * 0.6)
+        assert abs(len(ds.val) - total * 0.2) <= 1
+        assert len(ds.train) + len(ds.val) + len(ds.test) == total
+
+    def test_click_pairs_steer_head_selection(self):
+        taxonomy = make_taxonomy(num_heads=50, num_others=10)
+        clicked = {("bread", f"style{i} bread") for i in range(5)}
+        ds = generate_dataset(taxonomy, click_pairs=clicked,
+                              config=SelfSupConfig(seed=0))
+        kept_heads = {s.pair for s in ds.all_pairs
+                      if s.pattern == PATTERN_HEAD}
+        # all clicked headword edges make the cut (quota is 10*3/7 ~ 4...)
+        # at minimum, clicked edges are preferred over unclicked ones
+        assert len(kept_heads & clicked) >= min(len(kept_heads),
+                                                len(clicked)) - 1
+
+    def test_replacements_prefer_click_pool(self):
+        taxonomy = make_taxonomy()
+        clicked = {("bread", "soup")}  # soup is unrelated to bread
+        ds = generate_dataset(taxonomy, click_pairs=clicked,
+                              config=SelfSupConfig(seed=0))
+        replace_items = {s.item for s in ds.all_pairs
+                         if s.pattern == PATTERN_REPLACE}
+        assert replace_items <= {"soup"}
+
+    def test_no_duplicate_samples(self):
+        ds = generate_dataset(make_taxonomy(), config=SelfSupConfig(seed=0))
+        keys = [(s.query, s.item, s.label) for s in ds.all_pairs]
+        assert len(keys) == len(set(keys))
+
+    def test_deterministic(self):
+        a = generate_dataset(make_taxonomy(), config=SelfSupConfig(seed=5))
+        b = generate_dataset(make_taxonomy(), config=SelfSupConfig(seed=5))
+        assert [s.pair for s in a.all_pairs] == [s.pair for s in b.all_pairs]
+
+    def test_multiple_negatives_per_positive(self):
+        ds = generate_dataset(make_taxonomy(),
+                              config=SelfSupConfig(seed=0,
+                                                   negatives_per_positive=3))
+        stats = ds.statistics()
+        assert stats["E_Negative"] > stats["E_Positive"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(5, 40), st.integers(2, 10), st.integers(0, 100))
+def test_generation_invariants_property(heads, others, seed):
+    """For any taxonomy shape, labels match ground truth edges."""
+    taxonomy = make_taxonomy(num_heads=heads, num_others=others)
+    ds = generate_dataset(taxonomy, config=SelfSupConfig(seed=seed))
+    for sample in ds.all_pairs:
+        if sample.label == 1:
+            assert taxonomy.has_edge(sample.query, sample.item)
+        else:
+            assert not taxonomy.has_edge(sample.query, sample.item)

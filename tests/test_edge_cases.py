@@ -1,0 +1,140 @@
+"""Edge-case and failure-injection tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExpansionConfig, SelfSupConfig, expand_taxonomy, generate_dataset,
+)
+from repro.eval import (
+    LexicalSearchEngine, ancestor_pairs, compute_term_stats, edge_f1,
+    uncovered_node_analysis,
+)
+from repro.graph import HeteroGraph, build_heterograph, identify_concept
+from repro.nn import Tensor
+from repro.plm import WordTokenizer
+from repro.synthetic.clicklogs import ClickLog
+from repro.taxonomy import ConceptVocabulary, Taxonomy, transitive_reduction
+
+
+class TestEmptyInputs:
+    def test_empty_taxonomy(self):
+        t = Taxonomy()
+        assert t.depth() == 0
+        assert t.level_order() == []
+        assert t.roots() == []
+        assert list(t.edges()) == []
+        assert transitive_reduction(t).num_nodes == 0
+
+    def test_empty_click_log_graph(self):
+        t = Taxonomy(edges=[("food", "bread")])
+        vocab = ConceptVocabulary(["food", "bread"])
+        result = build_heterograph(t, vocab, ClickLog())
+        assert result.graph.num_edges == 1  # the taxonomy edge only
+        assert result.candidate_pairs == []
+
+    def test_term_stats_empty_log(self):
+        t = Taxonomy(edges=[("food", "bread")])
+        vocab = ConceptVocabulary(["food", "bread"])
+        stats = compute_term_stats(t, vocab, ClickLog())
+        assert stats.num_items == 0
+        assert stats.coverage_node == 0.0
+
+    def test_expansion_with_no_candidates(self):
+        t = Taxonomy(edges=[("food", "bread")])
+        result = expand_taxonomy(lambda pairs: np.ones(len(pairs)), t, {})
+        assert result.num_attached == 0
+        assert result.taxonomy.edge_set() == t.edge_set()
+
+    def test_uncovered_analysis_fully_covered(self):
+        t = Taxonomy(edges=[("food", "bread")])
+        log = ClickLog()
+        log.counts[("food", "x")] = 1
+        log.counts[("bread", "y")] = 1
+        analysis = uncovered_node_analysis(t, log)
+        assert analysis["count"] == 0
+
+    def test_search_empty_index(self):
+        engine = LexicalSearchEngine([])
+        assert engine.search("anything") == []
+
+    def test_edge_f1_both_empty(self):
+        prf = edge_f1(set(), set())
+        assert prf.recall == 1.0  # vacuous
+        assert prf.precision == 0.0
+
+
+class TestDegenerateShapes:
+    def test_single_edge_dataset(self):
+        t = Taxonomy(edges=[("bread", "toast")])
+        ds = generate_dataset(t, config=SelfSupConfig(seed=0))
+        assert len(ds.all_pairs) >= 2  # positive + shuffle negative
+        labels = {s.label for s in ds.all_pairs}
+        assert labels == {0, 1}
+
+    def test_star_taxonomy_expansion(self):
+        t = Taxonomy(edges=[("hub", f"leaf{i}") for i in range(30)])
+        scorer = lambda pairs: np.array(
+            [1.0 if q == "hub" else 0.0 for q, _ in pairs])
+        candidates = {"hub": [f"new{i}" for i in range(10)]}
+        result = expand_taxonomy(scorer, t, candidates)
+        assert result.num_attached == 10
+
+    def test_chain_taxonomy_levels(self):
+        t = Taxonomy(edges=[(f"n{i}", f"n{i+1}") for i in range(20)])
+        assert t.depth() == 21
+        levels = t.level_order()
+        assert all(len(level) == 1 for level in levels)
+
+    def test_tokenizer_single_word_vocab(self):
+        tok = WordTokenizer(["only"])
+        ids = tok.encode("only only only")
+        assert tok.decode(ids) == "only only only"
+
+    def test_vocabulary_with_long_names(self):
+        name = " ".join(["deep"] * 40) + " bread"
+        vocab = ConceptVocabulary([name, "bread"])
+        assert identify_concept(f"prefix {name} suffix", vocab) == name
+
+
+class TestAdversarialScorers:
+    def test_nan_free_probabilities_required_downstream(self):
+        """Expansion must cope with extreme scorer outputs."""
+        t = Taxonomy(edges=[("food", "bread")])
+        scorer = lambda pairs: np.array([1e308] * len(pairs))
+        result = expand_taxonomy(scorer, t, {"bread": ["toast"]},
+                                 ExpansionConfig(threshold=0.5))
+        assert result.num_attached == 1  # huge score still attaches once
+
+    def test_always_negative_scorer(self):
+        t = Taxonomy(edges=[("food", "bread")])
+        scorer = lambda pairs: np.zeros(len(pairs))
+        result = expand_taxonomy(scorer, t, {"bread": ["toast"]})
+        assert result.num_attached == 0
+
+    def test_graph_rejects_bad_weight_after_build(self):
+        g = HeteroGraph()
+        g.add_edge("a", "b", HeteroGraph.CLICK, 0.5)
+        # overwriting with a new weight is allowed and replaces cleanly
+        g.add_edge("a", "b", HeteroGraph.CLICK, 0.9)
+        assert g.edge_weight("a", "b") == pytest.approx(0.9)
+        assert g.num_edges == 1
+
+
+class TestNumericalStability:
+    def test_softmax_with_huge_values(self):
+        x = Tensor(np.array([1e4, -1e4, 0.0]))
+        probs = x.softmax().data
+        assert np.all(np.isfinite(probs))
+        assert probs.argmax() == 0
+
+    def test_layernorm_constant_input(self):
+        from repro.nn import LayerNorm
+        norm = LayerNorm(4)
+        out = norm(Tensor(np.full((2, 4), 3.0))).data
+        assert np.all(np.isfinite(out))
+
+    def test_weight_assignment_single_pair(self):
+        from repro.graph import assign_edge_weights
+        weights = assign_edge_weights({("q", "i"): 100})
+        assert weights[("q", "i")] == pytest.approx(1.0)

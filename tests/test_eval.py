@@ -1,0 +1,178 @@
+"""Evaluation tests: metrics, term statistics, annotation, user study."""
+
+import numpy as np
+import pytest
+
+from repro.core import LabeledPair
+from repro.eval import (
+    LexicalSearchEngine, MajorityVotePanel, OracleAnnotator, PRF,
+    QueryRewritingStudy, accuracy, ancestor_f1, ancestor_pairs,
+    compute_term_stats, edge_f1, evaluate_on_dataset, extraction_accuracy,
+    manual_precision, taxonomy_statistics, uncovered_node_analysis,
+)
+from repro.taxonomy import Taxonomy
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) \
+            == pytest.approx(2 / 3)
+        assert accuracy(np.array([]), np.array([])) == 0.0
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 0]))
+
+    def test_prf_f1(self):
+        assert PRF(0.5, 0.5).f1 == pytest.approx(0.5)
+        assert PRF(0.0, 0.0).f1 == 0.0
+
+    def test_edge_f1_hand_computed(self):
+        predicted = {("a", "b"), ("a", "c")}
+        gold = {("a", "b"), ("a", "d")}
+        prf = edge_f1(predicted, gold)
+        assert prf.precision == pytest.approx(0.5)
+        assert prf.recall == pytest.approx(0.5)
+
+    def test_edge_f1_empty_predictions(self):
+        prf = edge_f1(set(), {("a", "b")})
+        assert prf.precision == 0.0 and prf.recall == 0.0
+
+    def test_ancestor_pairs(self):
+        t = Taxonomy(edges=[("a", "b"), ("b", "c")])
+        closure = ancestor_pairs(t)
+        assert closure == {("a", "b"), ("b", "c"), ("a", "c")}
+
+    def test_ancestor_f1_credits_grandparent(self):
+        t = Taxonomy(edges=[("a", "b"), ("b", "c")])
+        closure = ancestor_pairs(t)
+        gold_edges = {("b", "c")}
+        prf = ancestor_f1({("a", "c")}, closure, gold_edges)
+        assert prf.precision == 1.0
+        assert prf.recall == 1.0  # c attached under a true ancestor
+
+    def test_ancestor_f1_without_gold_edges(self):
+        t = Taxonomy(edges=[("a", "b"), ("b", "c")])
+        closure = ancestor_pairs(t)
+        prf = ancestor_f1({("a", "b")}, closure)
+        assert prf.precision == 1.0
+        assert prf.recall == pytest.approx(1 / 3)
+
+    def test_evaluate_on_dataset(self):
+        samples = [LabeledPair("a", "b", 1, "other"),
+                   LabeledPair("b", "a", 0, "shuffle"),
+                   LabeledPair("a", "c", 1, "other")]
+        always_yes = lambda pairs: np.ones(len(pairs), dtype=int)
+        metrics = evaluate_on_dataset(always_yes, samples)
+        assert metrics["accuracy"] == pytest.approx(2 / 3)
+        assert metrics["edge_precision"] == pytest.approx(2 / 3)
+        assert metrics["edge_recall"] == 1.0
+
+    def test_evaluate_with_closure_credit(self):
+        samples = [LabeledPair("a", "c", 0, "replace")]  # labelled negative
+        closure = {("a", "c")}  # but the closure knows it is an ancestor
+        always_yes = lambda pairs: np.ones(len(pairs), dtype=int)
+        metrics = evaluate_on_dataset(always_yes, samples, closure)
+        assert metrics["ancestor_precision"] == 1.0
+        assert metrics["edge_precision"] == 0.0
+
+
+class TestTermStats:
+    def test_table1_columns(self, small_world, small_click_log):
+        stats = compute_term_stats(small_world.existing_taxonomy,
+                                   small_world.vocabulary, small_click_log)
+        assert stats.num_items > 0
+        assert 0 < stats.num_nodes <= small_world.existing_taxonomy.num_nodes
+        assert 0 < stats.coverage_node <= 100
+        assert stats.num_newedge > 0
+        assert stats.num_concepts > 0  # new concepts surface in clicks
+        assert stats.num_iothers > 0
+
+    def test_table2_statistics(self, small_world):
+        stats = taxonomy_statistics(small_world.full_taxonomy)
+        assert stats["num_edges"] == stats["num_head_edges"] \
+            + stats["num_other_edges"]
+        assert stats["depth"] == small_world.full_taxonomy.depth()
+
+    def test_uncovered_analysis_buckets_sum(self, small_world,
+                                            small_click_log):
+        analysis = uncovered_node_analysis(small_world.full_taxonomy,
+                                           small_click_log)
+        total = analysis["leaf"] + analysis["no_query"] + analysis["other"]
+        assert total == pytest.approx(100.0)
+        assert analysis["leaf"] > 50  # paper Fig. 3: leaves dominate
+
+    def test_extraction_accuracy_range(self, small_world, small_click_log):
+        result = extraction_accuracy(small_world, small_click_log,
+                                     num_queries=5, seed=1)
+        assert 0 <= result["accuracy"] <= 100
+        assert result["num_newedge"] > 0
+
+
+class TestAnnotation:
+    def test_perfect_oracle(self, small_world):
+        judge = OracleAnnotator(small_world, error_rate=0.0)
+        parent, child = next(iter(small_world.full_taxonomy.edges()))
+        assert judge.judge(parent, child)
+        assert not judge.judge(child, parent)
+
+    def test_error_rate_flips_sometimes(self, small_world):
+        judge = OracleAnnotator(small_world, error_rate=0.4, seed=3)
+        parent, child = next(iter(small_world.full_taxonomy.edges()))
+        votes = [judge.judge(parent, child) for _ in range(200)]
+        assert 0.4 < np.mean(votes) < 0.8
+
+    def test_error_rate_validation(self, small_world):
+        with pytest.raises(ValueError):
+            OracleAnnotator(small_world, error_rate=0.6)
+
+    def test_majority_panel_more_reliable_than_judge(self, small_world):
+        panel = MajorityVotePanel(small_world, error_rate=0.2, seed=0)
+        parent, child = next(iter(small_world.full_taxonomy.edges()))
+        approvals = sum(panel.approve(parent, child) for _ in range(100))
+        assert approvals > 85  # 3-way majority beats the 80% single judge
+
+    def test_panel_needs_odd_judges(self, small_world):
+        with pytest.raises(ValueError):
+            MajorityVotePanel(small_world, num_judges=2)
+
+    def test_manual_precision_oracle_bounds(self, small_world):
+        edges = list(small_world.full_taxonomy.edges())[:30]
+        precision = manual_precision(small_world, edges, seed=0,
+                                     error_rate=0.0)
+        assert precision == 100.0
+        reversed_edges = [(c, p) for p, c in edges]
+        assert manual_precision(small_world, reversed_edges, seed=0,
+                                error_rate=0.0) == 0.0
+        assert manual_precision(small_world, [], seed=0) == 0.0
+
+
+class TestQueryRewriting:
+    def test_search_engine_ranks_by_overlap(self):
+        engine = LexicalSearchEngine([
+            "fresh rye bread", "rye bread combo", "plain soup"])
+        results = engine.search("rye bread", top_k=2)
+        assert len(results) == 2
+        assert "plain soup" not in results
+        assert engine.num_items == 3
+
+    def test_search_no_match(self):
+        engine = LexicalSearchEngine(["plain soup"])
+        assert engine.search("quantum physics") == []
+
+    def test_study_runs_and_improves_or_ties(self, small_world,
+                                             small_click_log):
+        study = QueryRewritingStudy(small_world, small_click_log,
+                                    small_world.full_taxonomy, seed=0)
+        result = study.run(num_queries=25)
+        assert result.num_queries > 0
+        assert result.rewritten_relevance >= result.original_relevance
+        assert 0 <= result.original_relevance <= 100
+
+    def test_hypernym_lookup(self, small_world, small_click_log):
+        study = QueryRewritingStudy(small_world, small_click_log,
+                                    small_world.full_taxonomy, seed=0)
+        # a known child of a category resolves to a non-root hypernym
+        parent, child = next(
+            (p, c) for p, c in small_world.full_taxonomy.edges()
+            if p != small_world.root)
+        assert study.hypernym_of(child) is not None
+        assert study.hypernym_of("unknown thing") is None

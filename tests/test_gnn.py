@@ -1,0 +1,183 @@
+"""GNN substrate tests: layers, contrastive pretraining, structural encoder."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import (
+    ContrastiveConfig, FeatureProjector, GATLayer, GCNLayer, SAGELayer,
+    StructuralConfig, StructuralEncoder, contrastive_pretrain,
+    normalize_adjacency,
+)
+from repro.graph import HeteroGraph
+from repro.nn import Tensor
+
+
+@pytest.fixture()
+def graph():
+    g = HeteroGraph()
+    g.add_edge("a", "b", HeteroGraph.TAXONOMY, 1.0)
+    g.add_edge("b", "c", HeteroGraph.CLICK, 0.8)
+    g.add_edge("a", "d", HeteroGraph.CLICK, 0.2)
+    g.add_node("isolated")
+    return g
+
+
+class TestNormalization:
+    def test_row_normalisation(self):
+        adj = np.array([[1.0, 1.0], [0.0, 2.0]])
+        normed = normalize_adjacency(adj, "row")
+        assert np.allclose(normed.sum(axis=1), 1.0)
+
+    def test_sym_normalisation(self):
+        adj = np.array([[1.0, 1.0], [1.0, 1.0]])
+        normed = normalize_adjacency(adj, "sym")
+        assert np.allclose(normed, 0.5)
+
+    def test_zero_row_safe(self):
+        adj = np.zeros((2, 2))
+        assert np.allclose(normalize_adjacency(adj), 0.0)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            normalize_adjacency(np.eye(2), "weird")
+
+
+class TestLayers:
+    @pytest.mark.parametrize("factory", [
+        lambda rng: GCNLayer(8, 4, rng=rng),
+        lambda rng: GATLayer(8, 4, rng=rng),
+        lambda rng: SAGELayer(8, 4, rng=rng),
+    ])
+    def test_shapes_and_gradients(self, factory, rng):
+        layer = factory(rng)
+        hidden = Tensor(rng.normal(size=(5, 8)), requires_grad=True)
+        adjacency = np.eye(5) + np.diag(np.ones(4), 1)
+        if isinstance(layer, GCNLayer):
+            out = layer(hidden, normalize_adjacency(adjacency))
+        else:
+            out = layer(hidden, adjacency)
+        assert out.shape == (5, 4)
+        out.sum().backward()
+        assert all(p.grad is not None for p in layer.parameters())
+
+    def test_activation_validation(self):
+        for cls in (GCNLayer, GATLayer, SAGELayer):
+            with pytest.raises(ValueError):
+                cls(4, 4, activation="softplus")
+
+    def test_gcn_propagates_neighbors(self, rng):
+        layer = GCNLayer(2, 2, activation="none", rng=rng)
+        layer.linear.weight.data = np.eye(2)
+        layer.linear.bias.data = np.zeros(2)
+        hidden = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        adjacency = normalize_adjacency(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        out = layer(hidden, adjacency).data
+        assert np.allclose(out, 0.5)
+
+    def test_gat_attention_masks_non_edges(self, rng):
+        layer = GATLayer(4, 4, rng=rng)
+        hidden = Tensor(rng.normal(size=(3, 4)))
+        adjacency = np.zeros((3, 3))  # only self-loops via mask diagonal
+        out1 = layer(hidden, adjacency).data
+        hidden2 = hidden.data.copy()
+        hidden2[2] += 50.0
+        out2 = layer(Tensor(hidden2), adjacency).data
+        # node 0 attends only to itself; unchanged by node 2's shift
+        assert np.allclose(out1[0], out2[0])
+
+
+class TestContrastive:
+    def test_loss_decreases(self, graph, rng):
+        features = rng.normal(size=(graph.num_nodes, 8))
+        refined, history = contrastive_pretrain(
+            graph, features, ContrastiveConfig(steps=40, lr=1e-2, seed=0))
+        assert refined.shape == features.shape
+        assert np.mean(history[-5:]) < np.mean(history[:5])
+
+    def test_pulls_neighbors_together(self, graph, rng):
+        features = rng.normal(size=(graph.num_nodes, 8))
+        refined, _ = contrastive_pretrain(
+            graph, features, ContrastiveConfig(steps=120, lr=1e-2, seed=0))
+
+        def cos(m, i, j):
+            a, b = m[i], m[j]
+            return a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12)
+
+        index = graph.node_index()
+        # strongly-connected a-b should end up closer than a-isolated
+        assert cos(refined, index["a"], index["b"]) > \
+            cos(refined, index["a"], index["isolated"])
+
+    def test_validation(self, graph, rng):
+        features = rng.normal(size=(graph.num_nodes, 4))
+        with pytest.raises(ValueError):
+            ContrastiveConfig(negative_rate=0.0)
+        with pytest.raises(ValueError):
+            contrastive_pretrain(graph, features[:2])
+        empty = HeteroGraph()
+        with pytest.raises(ValueError):
+            contrastive_pretrain(empty, np.zeros((0, 4)))
+
+    def test_projector_shapes(self, rng):
+        projector = FeatureProjector(8, 8, rng=rng)
+        out = projector(Tensor(rng.normal(size=(3, 8))))
+        assert out.shape == (3, 8)
+
+
+class TestStructuralEncoder:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            StructuralConfig(aggregator="mlp")
+        with pytest.raises(ValueError):
+            StructuralConfig(num_hops=0)
+
+    def test_out_dim(self, graph, rng):
+        features = rng.normal(size=(graph.num_nodes, 8))
+        enc = StructuralEncoder(graph, features, StructuralConfig(
+            hidden_dim=8, position_dim=4))
+        assert enc.out_dim == 2 * 8 + 2 * 4
+        enc2 = StructuralEncoder(graph, features, StructuralConfig(
+            hidden_dim=8, use_position=False))
+        assert enc2.out_dim == 16
+
+    def test_node_embeddings_shape(self, graph, rng):
+        features = rng.normal(size=(graph.num_nodes, 8))
+        for agg in ("gcn", "gat", "sage"):
+            enc = StructuralEncoder(graph, features, StructuralConfig(
+                hidden_dim=6, aggregator=agg))
+            assert enc.node_embeddings().shape == (graph.num_nodes, 6)
+
+    def test_two_hop_differs_from_one_hop(self, graph, rng):
+        features = rng.normal(size=(graph.num_nodes, 8))
+        one = StructuralEncoder(graph, features, StructuralConfig(
+            hidden_dim=8, num_hops=1))
+        two = StructuralEncoder(graph, features, StructuralConfig(
+            hidden_dim=8, num_hops=2))
+        assert len(one.layers) == 1
+        assert len(two.layers) == 2
+
+    def test_pair_representation_and_fallback(self, graph, rng):
+        features = rng.normal(size=(graph.num_nodes, 8))
+        enc = StructuralEncoder(graph, features, StructuralConfig(
+            hidden_dim=8, position_dim=4))
+        reps = enc.pair_representation([("a", "b"), ("a", "unknown")])
+        assert reps.shape == (2, enc.out_dim)
+        # unknown node -> zero block for the item half (before position)
+        assert np.allclose(reps.data[1, 12:20], 0.0)
+
+    def test_edge_weight_toggle_changes_adjacency(self, graph, rng):
+        features = rng.normal(size=(graph.num_nodes, 8))
+        weighted = StructuralEncoder(graph, features, StructuralConfig())
+        binary = StructuralEncoder(graph, features, StructuralConfig(
+            use_edge_weights=False))
+        assert not np.allclose(weighted._adjacency, binary._adjacency)
+
+    def test_feature_size_mismatch(self, graph, rng):
+        with pytest.raises(ValueError):
+            StructuralEncoder(graph, rng.normal(size=(2, 8)))
+
+    def test_has_node(self, graph, rng):
+        enc = StructuralEncoder(graph, rng.normal(
+            size=(graph.num_nodes, 4)))
+        assert enc.has_node("a")
+        assert not enc.has_node("zzz")

@@ -1,0 +1,178 @@
+"""Graph construction tests: matching, weighting, heterograph, pipeline."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    ConceptMatcher, HeteroGraph, assign_edge_weights, build_heterograph,
+    collect_concept_clicks, contains_token_run, identify_concept,
+    inverse_query_frequency, item_frequency,
+)
+from repro.taxonomy import ConceptVocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return ConceptVocabulary(["bread", "cheese bun", "bun", "sweet soup"])
+
+
+class TestMatching:
+    def test_contains_token_run(self):
+        assert contains_token_run(["a", "b", "c"], ["b", "c"])
+        assert not contains_token_run(["a", "b", "c"], ["c", "b"])
+        assert not contains_token_run(["a"], ["a", "b"])
+        assert not contains_token_run(["a"], [])
+
+    def test_longest_match_wins(self, vocab):
+        assert identify_concept("well-known cheese bun combo", vocab) \
+            == "cheese bun"
+
+    def test_single_token_match(self, vocab):
+        assert identify_concept("signature bread box", vocab) == "bread"
+
+    def test_no_match(self, vocab):
+        assert identify_concept("random junk title", vocab) is None
+
+    def test_no_partial_token_match(self, vocab):
+        # "breadstick" must not match concept "bread" (token-level rule)
+        assert identify_concept("fresh breadstick", vocab) is None
+
+    def test_matcher_caches(self, vocab):
+        matcher = ConceptMatcher(vocab)
+        assert matcher("signature bread box") == "bread"
+        assert matcher("signature bread box") == "bread"
+        assert matcher.cache_size == 1
+
+
+class TestWeighting:
+    def test_item_frequency_normalises_per_query(self):
+        counts = {("q", "a"): 3, ("q", "b"): 1, ("r", "a"): 2}
+        freq = item_frequency(counts)
+        assert freq[("q", "a")] == pytest.approx(0.75)
+        assert freq[("q", "b")] == pytest.approx(0.25)
+        assert freq[("r", "a")] == pytest.approx(1.0)
+
+    def test_iqf_punishes_ubiquitous_items(self):
+        counts = {("q1", "common"): 1, ("q2", "common"): 1,
+                  ("q1", "rare"): 1}
+        iqf = inverse_query_frequency(counts)
+        assert iqf["common"] == pytest.approx(0.0)  # log(2/2)
+        assert iqf["rare"] == pytest.approx(math.log(2.0))
+
+    def test_weights_sum_to_one_per_query(self):
+        counts = {("q", "a"): 5, ("q", "b"): 2, ("q", "c"): 1,
+                  ("r", "a"): 4, ("r", "b"): 4}
+        weights = assign_edge_weights(counts)
+        for query in ("q", "r"):
+            total = sum(w for (s, _), w in weights.items() if s == query)
+            assert total == pytest.approx(1.0)
+
+    def test_empty_counts(self):
+        assert assign_edge_weights({}) == {}
+
+    def test_drifted_click_gets_lower_weight(self):
+        """Paper §III-A-4: rare drifted items weigh less than popular ones."""
+        counts = {("bread", "toast"): 40, ("bread", "soup"): 2,
+                  ("dessert", "soup"): 3, ("tea", "soup"): 3}
+        weights = assign_edge_weights(counts)
+        assert weights[("bread", "toast")] > weights[("bread", "soup")]
+
+
+class TestHeteroGraph:
+    def test_add_and_query(self):
+        g = HeteroGraph()
+        g.add_edge("a", "b", HeteroGraph.TAXONOMY, 1.0)
+        g.add_edge("a", "c", HeteroGraph.CLICK, 0.3)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.edge_type("a", "c") == "click"
+        assert g.edge_weight("a", "c") == pytest.approx(0.3)
+        assert g.neighbors("a") == {"b": 1.0, "c": 0.3}
+        assert g.degree("a") == 2
+        assert "a" in g
+
+    def test_invalid_edges(self):
+        g = HeteroGraph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a", HeteroGraph.CLICK)
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", "mystery")
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", HeteroGraph.CLICK, -1.0)
+
+    def test_edges_filter(self):
+        g = HeteroGraph()
+        g.add_edge("a", "b", HeteroGraph.TAXONOMY)
+        g.add_edge("a", "c", HeteroGraph.CLICK, 0.5)
+        assert len(list(g.edges(HeteroGraph.CLICK))) == 1
+        assert len(list(g.edges())) == 2
+
+    def test_adjacency_symmetric_with_self_loops(self):
+        g = HeteroGraph()
+        g.add_edge("a", "b", HeteroGraph.CLICK, 0.4)
+        adj = g.adjacency()
+        assert adj.shape == (2, 2)
+        assert adj[0, 1] == adj[1, 0] == pytest.approx(0.4)
+        assert adj[0, 0] == adj[1, 1] == 1.0
+
+    def test_node_index_stable(self):
+        g = HeteroGraph()
+        g.add_edge("z", "a", HeteroGraph.CLICK)
+        assert g.node_index() == {"z": 0, "a": 1}
+
+
+class TestConstruction:
+    def test_build_heterograph_end_to_end(self, small_world,
+                                           small_click_log):
+        result = build_heterograph(small_world.existing_taxonomy,
+                                   small_world.vocabulary, small_click_log)
+        assert result.graph.num_nodes > 0
+        # taxonomy edges present with weight 1
+        parent, child = next(iter(small_world.existing_taxonomy.edges()))
+        assert result.graph.edge_weight(parent, child) == 1.0
+        # click weights sum to 1 per query
+        sums = {}
+        for (q, _i), w in result.weights.items():
+            sums[q] = sums.get(q, 0.0) + w
+        assert all(abs(total - 1.0) < 1e-9 for total in sums.values())
+
+    def test_candidates_not_existing_edges(self, small_world,
+                                           small_click_log):
+        result = build_heterograph(small_world.existing_taxonomy,
+                                   small_world.vocabulary, small_click_log)
+        for pair in result.candidate_pairs:
+            assert not small_world.existing_taxonomy.has_edge(*pair)
+
+    def test_collect_skips_foreign_queries(self, small_world,
+                                           small_click_log):
+        result = collect_concept_clicks(small_world.existing_taxonomy,
+                                        small_world.vocabulary,
+                                        small_click_log)
+        for query, _item in result.concept_clicks:
+            assert query in small_world.existing_taxonomy
+
+    def test_unmatched_items_counted(self, small_world, small_click_log):
+        result = collect_concept_clicks(small_world.existing_taxonomy,
+                                        small_world.vocabulary,
+                                        small_click_log)
+        assert sum(result.unmatched_items.values()) > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.dictionaries(
+    st.tuples(st.sampled_from(["q1", "q2", "q3"]),
+              st.sampled_from(["i1", "i2", "i3", "i4"])),
+    st.integers(1, 50), min_size=1, max_size=10))
+def test_weight_assignment_properties(counts):
+    """Weights are a per-query distribution for arbitrary count tables."""
+    weights = assign_edge_weights(counts)
+    assert set(weights) == set(counts)
+    per_query: dict = {}
+    for (query, _), w in weights.items():
+        assert 0.0 <= w <= 1.0 + 1e-9
+        per_query[query] = per_query.get(query, 0.0) + w
+    for total in per_query.values():
+        assert abs(total - 1.0) < 1e-9

@@ -1,0 +1,103 @@
+"""Tests for taxonomy persistence and incremental expansion."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExpansionConfig, IncrementalExpander
+from repro.synthetic import ClickLogConfig, generate_click_logs
+from repro.synthetic.clicklogs import ClickLog
+from repro.taxonomy import (
+    ConceptVocabulary, Taxonomy, load_taxonomy, save_taxonomy,
+    taxonomy_from_dict, taxonomy_to_dict,
+)
+
+
+class TestPersistence:
+    def test_dict_roundtrip(self):
+        t = Taxonomy(edges=[("food", "bread"), ("bread", "toast")],
+                     nodes=["lonely"])
+        clone = taxonomy_from_dict(taxonomy_to_dict(t))
+        assert clone.edge_set() == t.edge_set()
+        assert clone.nodes == t.nodes
+
+    def test_file_roundtrip(self, tmp_path):
+        t = Taxonomy(edges=[("food", "bread"), ("bread", "rye bread")])
+        path = str(tmp_path / "nested" / "taxonomy.json")
+        save_taxonomy(t, path)
+        clone = load_taxonomy(path)
+        assert clone.edge_set() == t.edge_set()
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            taxonomy_from_dict({"version": 99, "nodes": [], "edges": []})
+
+    def test_world_scale_roundtrip(self, small_world, tmp_path):
+        path = str(tmp_path / "world.json")
+        save_taxonomy(small_world.full_taxonomy, path)
+        clone = load_taxonomy(path)
+        assert clone.num_edges == small_world.full_taxonomy.num_edges
+        assert clone.depth() == small_world.full_taxonomy.depth()
+
+
+class OracleScorer:
+    def __init__(self, truth):
+        self.truth = truth
+        self.calls = 0
+
+    def __call__(self, pairs):
+        self.calls += len(pairs)
+        return np.array([1.0 if self.truth.is_ancestor(q, i) else 0.0
+                         for q, i in pairs])
+
+
+class TestIncrementalExpansion:
+    def _split_log(self, log: ClickLog, parts: int) -> list[ClickLog]:
+        batches = [ClickLog() for _ in range(parts)]
+        for index, (key, count) in enumerate(sorted(log.counts.items())):
+            batch = batches[index % parts]
+            batch.counts[key] = count
+            batch.provenance[key[1]] = log.provenance.get(key[1])
+        return batches
+
+    def test_batches_accumulate_like_one_shot(self, small_world):
+        log = generate_click_logs(small_world, ClickLogConfig(
+            seed=3, clicks_per_query=30))
+        truth = small_world.full_taxonomy
+        vocabulary = small_world.vocabulary
+
+        expander = IncrementalExpander(
+            OracleScorer(truth), small_world.existing_taxonomy, vocabulary,
+            ExpansionConfig(prune_transitive=False))
+        reports = [expander.ingest(batch)
+                   for batch in self._split_log(log, 3)]
+
+        assert expander.num_batches == 3
+        assert all(r.taxonomy_edges_after >=
+                   small_world.existing_taxonomy.num_edges
+                   for r in reports)
+        # every attached edge is truthful (oracle scorer)
+        for report in reports:
+            for parent, child in report.attached_edges:
+                assert truth.is_ancestor(parent, child)
+
+    def test_no_rescoring_of_seen_candidates(self, small_world):
+        log = generate_click_logs(small_world, ClickLogConfig(
+            seed=3, clicks_per_query=30))
+        scorer = OracleScorer(small_world.full_taxonomy)
+        expander = IncrementalExpander(
+            scorer, small_world.existing_taxonomy, small_world.vocabulary)
+        expander.ingest(log)
+        calls_after_first = scorer.calls
+        report = expander.ingest(log)  # identical batch: nothing new
+        assert report.new_candidate_queries == 0
+        assert scorer.calls == calls_after_first
+
+    def test_source_taxonomy_not_mutated(self, small_world):
+        log = generate_click_logs(small_world, ClickLogConfig(
+            seed=3, clicks_per_query=20))
+        before = small_world.existing_taxonomy.edge_set()
+        expander = IncrementalExpander(
+            OracleScorer(small_world.full_taxonomy),
+            small_world.existing_taxonomy, small_world.vocabulary)
+        expander.ingest(log)
+        assert small_world.existing_taxonomy.edge_set() == before

@@ -1,0 +1,168 @@
+"""Layer and Module-infrastructure tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout, Embedding, GELU, LayerNorm, Linear, Module, Parameter, ReLU,
+    Sequential, Sigmoid, Tanh, Tensor,
+)
+
+
+class TestModuleInfrastructure:
+    def test_parameter_collection_recurses(self, rng):
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 3, rng=rng)
+                self.stack = [Linear(3, 3, rng=rng), Linear(3, 1, rng=rng)]
+                self.table = {"x": Linear(1, 1, rng=rng)}
+
+        outer = Outer()
+        # 4 Linears, each weight+bias
+        assert len(outer.parameters()) == 8
+
+    def test_parameters_deduplicated_when_shared(self, rng):
+        shared = Linear(2, 2, rng=rng)
+
+        class Shared(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = shared
+                self.b = shared
+
+        assert len(Shared().parameters()) == 2
+
+    def test_train_eval_propagates(self, rng):
+        seq = Sequential(Linear(2, 2, rng=rng), Dropout(0.5, rng=rng))
+        seq.eval()
+        assert not seq.modules[1].training
+        seq.train()
+        assert seq.modules[1].training
+
+    def test_zero_grad(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self, rng):
+        layer = Linear(3, 4, rng=rng)
+        state = layer.state_dict()
+        clone = Linear(3, 4, rng=np.random.default_rng(99))
+        assert not np.allclose(clone.weight.data, layer.weight.data)
+        clone.load_state_dict(state)
+        assert np.allclose(clone.weight.data, layer.weight.data)
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        layer = Linear(3, 4, rng=rng)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_load_state_dict_key_mismatch(self, rng):
+        layer = Linear(3, 4, rng=rng)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"nope": np.zeros(1)})
+
+    def test_num_parameters(self, rng):
+        layer = Linear(3, 4, rng=rng)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(5, 3))
+        out = layer(Tensor(x))
+        assert out.shape == (5, 2)
+        assert np.allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        ids = np.array([[1, 2], [3, 1]])
+        out = emb(ids)
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.data[0, 0], emb.weight.data[1])
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_accumulates_per_row(self, rng):
+        emb = Embedding(5, 3, rng=rng)
+        emb(np.array([1, 1, 2])).sum().backward()
+        assert np.allclose(emb.weight.grad[1], 2.0)
+        assert np.allclose(emb.weight.grad[2], 1.0)
+        assert np.allclose(emb.weight.grad[0], 0.0)
+
+
+class TestLayerNorm:
+    def test_output_normalised(self, rng):
+        norm = LayerNorm(8)
+        out = norm(Tensor(rng.normal(2.0, 3.0, size=(4, 8)))).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gamma_beta_applied(self, rng):
+        norm = LayerNorm(4)
+        norm.gamma.data = np.full(4, 2.0)
+        norm.beta.data = np.full(4, 1.0)
+        out = norm(Tensor(rng.normal(size=(2, 4)))).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.eval()
+        x = rng.normal(size=(3, 3))
+        assert np.allclose(drop(Tensor(x)).data, x)
+
+    def test_train_masks_and_scales(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 100))
+        out = drop(Tensor(x)).data
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)  # inverted scaling
+        assert 0.4 < (out != 0).mean() < 0.6
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_zero_rate_identity_in_train(self, rng):
+        drop = Dropout(0.0, rng=rng)
+        x = rng.normal(size=(3, 3))
+        assert np.allclose(drop(Tensor(x)).data, x)
+
+
+class TestActivationsAndSequential:
+    def test_activation_modules(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)))
+        assert np.allclose(ReLU()(x).data, np.maximum(x.data, 0))
+        assert np.allclose(Tanh()(x).data, np.tanh(x.data))
+        assert np.allclose(Sigmoid()(x).data, 1 / (1 + np.exp(-x.data)))
+        assert GELU()(x).shape == (2, 3)
+
+    def test_sequential_order(self, rng):
+        seq = Sequential(Linear(2, 2, rng=rng), ReLU())
+        out = seq(Tensor(np.ones((1, 2))))
+        assert np.all(out.data >= 0)
+
+    def test_parameter_is_tensor_with_grad(self):
+        p = Parameter(np.zeros(3))
+        assert isinstance(p, Tensor)
+        assert p.requires_grad

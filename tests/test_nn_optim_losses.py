@@ -1,0 +1,130 @@
+"""Optimizer and loss-function tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam, Parameter, SGD, Tensor, bce_with_logits, binary_cross_entropy,
+    clip_grad_norm, cross_entropy, info_nce,
+)
+
+
+def quadratic_loss(param):
+    return ((param - 3.0) * (param - 3.0)).sum()
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("factory", [
+        lambda p: SGD(p, lr=0.1),
+        lambda p: SGD(p, lr=0.05, momentum=0.9),
+        lambda p: Adam(p, lr=0.3),
+    ])
+    def test_converges_on_quadratic(self, factory):
+        param = Parameter(np.zeros(4))
+        optimizer = factory([param])
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss = quadratic_loss(param)
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(param.data, 3.0, atol=0.1)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.full(3, 10.0))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (param * 0.0).sum().backward()
+        optimizer.step()
+        assert np.all(param.data < 10.0)
+
+    def test_skips_parameters_without_grad(self):
+        a, b = Parameter(np.ones(2)), Parameter(np.ones(2))
+        optimizer = Adam([a, b], lr=0.1)
+        (a * 2).sum().backward()
+        before = b.data.copy()
+        optimizer.step()
+        assert np.allclose(b.data, before)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_clip_grad_norm(self):
+        param = Parameter(np.ones(4))
+        param.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_clip_noop_below_max(self):
+        param = Parameter(np.ones(2))
+        param.grad = np.array([0.1, 0.1])
+        clip_grad_norm([param], max_norm=10.0)
+        assert np.allclose(param.grad, 0.1)
+
+
+class TestLosses:
+    def test_bce_with_logits_matches_reference(self, rng):
+        logits = rng.normal(size=10)
+        targets = (rng.random(10) > 0.5).astype(float)
+        loss = bce_with_logits(Tensor(logits), targets).item()
+        probs = 1 / (1 + np.exp(-logits))
+        expected = -np.mean(targets * np.log(probs)
+                            + (1 - targets) * np.log(1 - probs))
+        assert loss == pytest.approx(expected, rel=1e-6)
+
+    def test_bce_with_logits_extreme_values_stable(self):
+        logits = Tensor(np.array([1000.0, -1000.0]), requires_grad=True)
+        loss = bce_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.all(np.isfinite(logits.grad))
+
+    def test_binary_cross_entropy_on_probs(self):
+        probs = Tensor(np.array([0.9, 0.1]))
+        loss = binary_cross_entropy(probs, np.array([1.0, 0.0])).item()
+        assert loss == pytest.approx(-np.log(0.9), rel=1e-2)
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)))
+        loss = cross_entropy(logits, np.array([0, 3])).item()
+        assert loss == pytest.approx(np.log(4), rel=1e-9)
+
+    def test_cross_entropy_mask_excludes_positions(self, rng):
+        logits = Tensor(rng.normal(size=(1, 3, 5)))
+        targets = np.array([[0, 1, 2]])
+        full = cross_entropy(logits, targets).item()
+        only_first = cross_entropy(logits, targets,
+                                   mask=np.array([[1, 0, 0]])).item()
+        lp = logits.data - logits.data.max(-1, keepdims=True)
+        lp = lp - np.log(np.exp(lp).sum(-1, keepdims=True))
+        assert only_first == pytest.approx(-lp[0, 0, 0], rel=1e-9)
+        assert full != pytest.approx(only_first)
+
+    def test_info_nce_prefers_similar_positives(self):
+        # Positive much more similar than negatives -> small loss.
+        sims_good = Tensor(np.array([[5.0, -5.0, -5.0]]))
+        sims_bad = Tensor(np.array([[-5.0, 5.0, 5.0]]))
+        mask = np.array([[1.0, 0.0, 0.0]])
+        good = info_nce(sims_good, mask).item()
+        bad = info_nce(sims_bad, mask).item()
+        assert good < 0.01
+        assert bad > 5.0
+
+    def test_info_nce_anchor_without_positives_ignored(self):
+        sims = Tensor(np.array([[1.0, 2.0], [0.5, 0.1]]))
+        mask = np.array([[1.0, 0.0], [0.0, 0.0]])
+        loss_two = info_nce(sims, mask).item()
+        loss_one = info_nce(sims[0:1], mask[0:1]).item()
+        assert loss_two == pytest.approx(loss_one, rel=1e-9)
+
+    def test_info_nce_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            info_nce(Tensor(np.zeros((2, 3))), np.zeros((3, 2)))
+
+    def test_info_nce_fractional_positive_weights(self):
+        """Graded positives (edge weights) are legal mask values."""
+        sims = Tensor(np.array([[2.0, 1.0, 0.0]]))
+        strong = info_nce(sims, np.array([[1.0, 0.0, 0.0]])).item()
+        weak = info_nce(sims, np.array([[0.1, 0.0, 0.0]])).item()
+        assert weak > strong

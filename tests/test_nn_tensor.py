@@ -1,0 +1,275 @@
+"""Autograd engine tests: gradient correctness against numeric derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor, no_grad, is_grad_enabled
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        plus = f()
+        x[idx] = original - eps
+        minus = f()
+        x[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_unary(op, data, tol=1e-6):
+    x = Tensor(np.array(data, dtype=np.float64), requires_grad=True)
+    out = op(x).sum()
+    out.backward()
+    num = numeric_gradient(lambda: float(op(Tensor(x.data)).sum().data),
+                           x.data)
+    assert np.abs(num - x.grad).max() < tol
+
+
+class TestElementwiseGradients:
+    def test_exp(self):
+        check_unary(lambda t: t.exp(), [[0.5, -1.0], [2.0, 0.1]])
+
+    def test_log(self):
+        check_unary(lambda t: t.log(), [[0.5, 1.3], [2.0, 0.1]])
+
+    def test_sqrt(self):
+        check_unary(lambda t: t.sqrt(), [[0.5, 1.3], [2.0, 0.1]])
+
+    def test_tanh(self):
+        check_unary(lambda t: t.tanh(), [[0.5, -1.0], [2.0, 0.1]])
+
+    def test_relu(self):
+        check_unary(lambda t: t.relu(), [[0.5, -1.0], [2.0, 0.1]])
+
+    def test_sigmoid(self):
+        check_unary(lambda t: t.sigmoid(), [[0.5, -1.0], [2.0, 0.1]])
+
+    def test_gelu(self):
+        check_unary(lambda t: t.gelu(), [[0.5, -1.0], [2.0, 0.1]], tol=1e-5)
+
+    def test_pow(self):
+        check_unary(lambda t: t ** 3, [[0.5, -1.0], [2.0, 0.1]])
+
+    def test_neg(self):
+        check_unary(lambda t: -t, [[0.5, -1.0]])
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_mul_broadcast(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(1, 4)), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(b.grad, a.data.sum(axis=0, keepdims=True))
+
+    def test_div(self, rng):
+        a = Tensor(rng.normal(size=(5,)) + 3.0, requires_grad=True)
+        b = Tensor(rng.normal(size=(5,)) + 3.0, requires_grad=True)
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, 1.0 / b.data)
+        assert np.allclose(b.grad, -a.data / b.data ** 2)
+
+    def test_rsub_rmul(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = (3.0 - a) * 2.0
+        out.sum().backward()
+        assert np.allclose(a.grad, -2.0)
+
+    def test_matmul_2d(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, b.data.sum(axis=1))
+        assert np.allclose(b.grad, a.data.sum(axis=0)[:, None])
+
+    def test_matmul_batched(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+        out = (a @ b).sum()
+        out.backward()
+
+        def f():
+            return float((a.data @ b.data).sum())
+        assert np.abs(numeric_gradient(f, a.data) - a.grad).max() < 1e-6
+        assert np.abs(numeric_gradient(f, b.data) - b.grad).max() < 1e-6
+
+    def test_matmul_vector(self, rng):
+        a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a @ b).backward()
+        assert np.allclose(a.grad, b.data)
+        assert np.allclose(b.grad, a.data)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        x.sum(axis=1, keepdims=True).sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_mean(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, 1.0 / 12)
+
+    def test_mean_axis(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        x.mean(axis=0).sum().backward()
+        assert np.allclose(x.grad, 1.0 / 3)
+
+    def test_max_gradient_routes_to_argmax(self):
+        x = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor(np.array([[3.0, 3.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.5, 0.5]])
+
+    def test_reshape_transpose(self, rng):
+        x = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        out = x.reshape(3, 4).transpose(1, 0).sum()
+        out.backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_swapaxes(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        y = x.swapaxes(0, 2)
+        assert y.shape == (4, 3, 2)
+        y.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_getitem_fancy(self, rng):
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        idx = np.array([0, 2, 2])
+        x[idx].sum().backward()
+        expected = np.zeros((5, 3))
+        expected[0] = 1.0
+        expected[2] = 2.0
+        assert np.allclose(x.grad, expected)
+
+    def test_concatenate(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * out).sum().backward()
+        assert np.allclose(a.grad, 2 * a.data)
+        assert np.allclose(b.grad, 2 * b.data)
+
+    def test_stack(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        out = Tensor.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)))
+        out = x.softmax(axis=-1)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)))
+        assert np.allclose(x.log_softmax().data, np.log(x.softmax().data))
+
+    def test_softmax_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+        (x.softmax(axis=-1) ** 2).sum().backward()
+
+        def f():
+            e = np.exp(x.data - x.data.max(-1, keepdims=True))
+            s = e / e.sum(-1, keepdims=True)
+            return float((s ** 2).sum())
+        assert np.abs(numeric_gradient(f, x.data) - x.grad).max() < 1e-6
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_through_shared_node(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0
+        z = y + y  # y used twice
+        z.backward(np.array([1.0]))
+        assert np.allclose(x.grad, 6.0)
+
+    def test_backward_twice_accumulates_leaf_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2).backward(np.array([1.0]))
+        (x * 2).backward(np.array([1.0]))
+        assert np.allclose(x.grad, 4.0)
+
+    def test_no_grad_disables_tracking(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_backward_requires_grad(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.backward(np.ones(3))
+
+    def test_backward_nonscalar_needs_grad_arg(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2).backward(np.ones(2))
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_repr_and_item(self):
+        x = Tensor(np.array(3.5))
+        assert x.item() == 3.5
+        assert "Tensor" in repr(x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-3, 3), min_size=2, max_size=8))
+def test_softmax_invariances_property(values):
+    """Softmax is shift-invariant and produces a probability vector."""
+    x = np.array(values)
+    p1 = Tensor(x).softmax().data
+    p2 = Tensor(x + 17.0).softmax().data
+    assert np.allclose(p1, p2, atol=1e-9)
+    assert np.all(p1 >= 0)
+    assert abs(p1.sum() - 1.0) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+def test_matmul_shape_property(a, b, c):
+    x = Tensor(np.ones((a, b)), requires_grad=True)
+    y = Tensor(np.ones((b, c)), requires_grad=True)
+    out = x @ y
+    assert out.shape == (a, c)
+    out.sum().backward()
+    assert x.grad.shape == (a, b)
+    assert y.grad.shape == (b, c)

@@ -1,0 +1,63 @@
+"""Attention / transformer encoder tests."""
+
+import numpy as np
+
+from repro.nn import (
+    MultiHeadSelfAttention, Tensor, TransformerEncoder, cross_entropy, Adam,
+    Linear,
+)
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, rng=rng)
+        out = attn(Tensor(rng.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_padding_mask_blocks_information(self, rng):
+        """Changing a padded position must not change unpadded outputs."""
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = rng.normal(size=(1, 4, 8))
+        mask = np.array([[1.0, 1.0, 1.0, 0.0]])
+        out1 = attn(Tensor(x), mask).data.copy()
+        x2 = x.copy()
+        x2[0, 3] += 100.0  # only the padded slot changes
+        out2 = attn(Tensor(x2), mask).data
+        assert np.allclose(out1[0, :3], out2[0, :3], atol=1e-8)
+
+    def test_invalid_dim_head_combo(self):
+        import pytest
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_bad_mask_shape(self, rng):
+        import pytest
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        with pytest.raises(ValueError):
+            attn(Tensor(rng.normal(size=(1, 4, 8))), np.ones((2, 4)))
+
+
+class TestTransformerEncoder:
+    def test_stack_shape(self, rng):
+        enc = TransformerEncoder(3, 16, 4, 32, rng=rng)
+        out = enc(Tensor(rng.normal(size=(2, 6, 16))))
+        assert out.shape == (2, 6, 16)
+
+    def test_learns_simple_classification(self, rng):
+        """A 2-layer encoder + head separates two fixed patterns."""
+        enc = TransformerEncoder(2, 16, 4, 32, rng=rng)
+        head = Linear(16, 2, rng=rng)
+        x = rng.normal(size=(8, 5, 16))
+        labels = rng.integers(0, 2, size=8)
+        optimizer = Adam(enc.parameters() + head.parameters(), lr=1e-2)
+        first = last = None
+        for _ in range(25):
+            optimizer.zero_grad()
+            logits = head(enc(Tensor(x))[:, 0, :])
+            loss = cross_entropy(logits, labels)
+            loss.backward()
+            optimizer.step()
+            if first is None:
+                first = loss.item()
+            last = loss.item()
+        assert last < first * 0.5

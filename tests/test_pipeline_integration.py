@@ -1,0 +1,136 @@
+"""End-to-end pipeline integration tests (miniature but complete)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DetectorConfig, PipelineConfig, SelfSupConfig, TaxonomyExpansionPipeline,
+    candidate_map,
+)
+from repro.gnn import ContrastiveConfig, StructuralConfig
+from repro.plm import PretrainConfig
+
+
+@pytest.fixture(scope="module")
+def fitted_pipeline(small_world, small_click_log, small_ugc):
+    """One cheap end-to-end fit shared across this module's tests."""
+    config = PipelineConfig(
+        seed=0,
+        bert_dim=16, bert_ffn=32,
+        pretrain=PretrainConfig(steps=80, batch_size=8, strategy="concept"),
+        contrastive=ContrastiveConfig(steps=15),
+        structural=StructuralConfig(hidden_dim=16, position_dim=4),
+        detector=DetectorConfig(epochs=4, batch_size=16, lr=3e-3),
+    )
+    pipeline = TaxonomyExpansionPipeline(config)
+    pipeline.fit(small_world.existing_taxonomy, small_world.vocabulary,
+                 small_click_log, small_ugc)
+    return pipeline
+
+
+class TestFit:
+    def test_components_populated(self, fitted_pipeline):
+        p = fitted_pipeline
+        assert p.tokenizer is not None
+        assert p.bert is not None
+        assert p.relational is not None
+        assert p.structural is not None
+        assert p.detector is not None
+        assert p.dataset is not None
+        assert len(p.pretrain_history) == 80
+        assert len(p.contrastive_history) == 15
+
+    def test_visible_taxonomy_hides_heldout_edges(self, fitted_pipeline,
+                                                  small_world):
+        p = fitted_pipeline
+        held = {s.pair for s in p.dataset.val + p.dataset.test
+                if s.label == 1}
+        for parent, child in held:
+            assert not p.visible_taxonomy.has_edge(parent, child)
+            assert small_world.existing_taxonomy.has_edge(parent, child)
+
+    def test_dataset_statistics_consistent(self, fitted_pipeline):
+        stats = fitted_pipeline.dataset.statistics()
+        assert stats["E_All"] == (stats["E_Train"] + stats["E_Val"]
+                                  + stats["E_Test"])
+        assert stats["E_Positive"] == stats["E_Head"] + stats["E_Others"]
+        assert stats["E_Negative"] == stats["E_Shuffle"] \
+            + stats["E_Replace"]
+
+    def test_score_pairs_shape_and_range(self, fitted_pipeline):
+        probs = fitted_pipeline.score_pairs([("a", "b"), ("c", "d")])
+        assert probs.shape == (2,)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_score_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TaxonomyExpansionPipeline().score_pairs([("a", "b")])
+
+
+class TestExpand:
+    def test_expand_grows_taxonomy(self, fitted_pipeline, small_world,
+                                   small_click_log):
+        result = fitted_pipeline.expand(small_world.existing_taxonomy,
+                                        small_click_log,
+                                        small_world.vocabulary)
+        assert result.taxonomy.num_edges >= \
+            small_world.existing_taxonomy.num_edges
+        # every attached edge was scored at or above the threshold
+        threshold = fitted_pipeline.config.expansion.threshold
+        for edge in result.attached_edges:
+            assert result.scored_pairs[edge] >= threshold
+
+    def test_candidate_map_covers_new_concepts(self, small_world,
+                                               small_click_log):
+        candidates = candidate_map(small_click_log, small_world.vocabulary)
+        assert candidates
+        mentioned = {c for items in candidates.values() for c in items}
+        assert mentioned & set(small_world.new_concepts)
+
+
+class TestAblationsRun:
+    """Each ablation switch must produce a runnable pipeline."""
+
+    @pytest.mark.parametrize("overrides", [
+        {"use_template": False},
+        {"use_click_graph": False},
+        {"use_contrastive": False},
+        {"random_features": True},
+        {"isa_pretraining": False},
+    ])
+    def test_pipeline_variants(self, small_world, small_click_log,
+                               small_ugc, overrides):
+        config = PipelineConfig(
+            seed=0, bert_dim=16, bert_ffn=32,
+            pretrain=PretrainConfig(steps=10, batch_size=8,
+                                    strategy="concept"),
+            contrastive=ContrastiveConfig(steps=3),
+            structural=StructuralConfig(hidden_dim=8, position_dim=2),
+            detector=DetectorConfig(epochs=1, batch_size=16),
+            **overrides)
+        pipeline = TaxonomyExpansionPipeline(config)
+        pipeline.fit(small_world.existing_taxonomy, small_world.vocabulary,
+                     small_click_log, small_ugc)
+        assert pipeline.score_pairs([("a", "b")]).shape == (1,)
+
+    def test_detector_feature_ablations(self, small_world, small_click_log,
+                                        small_ugc):
+        for det in (DetectorConfig(use_relational=False, epochs=1),
+                    DetectorConfig(use_structural=False, epochs=1)):
+            config = PipelineConfig(
+                seed=0, bert_dim=16, bert_ffn=32,
+                pretrain=PretrainConfig(steps=10, batch_size=8,
+                                        strategy="concept"),
+                contrastive=ContrastiveConfig(steps=3),
+                structural=StructuralConfig(hidden_dim=8, position_dim=2),
+                detector=det)
+            pipeline = TaxonomyExpansionPipeline(config)
+            pipeline.fit(small_world.existing_taxonomy,
+                         small_world.vocabulary, small_click_log, small_ugc)
+            assert pipeline.score_pairs([("a", "b")]).shape == (1,)
+
+    def test_with_overrides_helper(self):
+        pipeline = TaxonomyExpansionPipeline(PipelineConfig(seed=3))
+        new_config = pipeline.with_overrides(use_template=False)
+        assert new_config.use_template is False
+        assert new_config.seed == 3

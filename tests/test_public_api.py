@@ -1,0 +1,44 @@
+"""Public-API hygiene: exports exist, are documented, and import cleanly."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro", "repro.nn", "repro.taxonomy", "repro.synthetic", "repro.graph",
+    "repro.plm", "repro.gnn", "repro.core", "repro.baselines", "repro.eval",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports_and_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", [p for p in PACKAGES if p != "repro"])
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} lacks __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", [p for p in PACKAGES if p != "repro"])
+def test_public_callables_are_documented(name):
+    module = importlib.import_module(name)
+    undocumented = []
+    for symbol in module.__all__:
+        obj = getattr(module, symbol)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(symbol)
+    assert not undocumented, f"{name}: undocumented {undocumented}"
+
+
+def test_version_string():
+    import repro
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)

@@ -1,0 +1,42 @@
+"""Parameter save/load tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Sequential, ReLU, load_module, save_module
+from repro.plm import BertConfig, MiniBert
+
+
+class TestSerialization:
+    def test_roundtrip_linear_stack(self, tmp_path, rng):
+        model = Sequential(Linear(4, 8, rng=rng), ReLU(),
+                           Linear(8, 2, rng=rng))
+        path = str(tmp_path / "model.npz")
+        save_module(model, path)
+        clone = Sequential(Linear(4, 8, rng=np.random.default_rng(5)),
+                           ReLU(), Linear(8, 2,
+                                          rng=np.random.default_rng(6)))
+        load_module(clone, path)
+        for a, b in zip(model.parameters(), clone.parameters()):
+            assert np.allclose(a.data, b.data)
+
+    def test_roundtrip_minibert(self, tmp_path):
+        model = MiniBert(BertConfig(vocab_size=20, dim=8, num_layers=1,
+                                    num_heads=2, ffn_dim=16, max_len=8,
+                                    seed=0))
+        path = str(tmp_path / "bert")
+        save_module(model, path)
+        clone = MiniBert(BertConfig(vocab_size=20, dim=8, num_layers=1,
+                                    num_heads=2, ffn_dim=16, max_len=8,
+                                    seed=42))
+        load_module(clone, path)
+        ids = np.array([[2, 5, 3]])
+        assert np.allclose(model.encode(ids).data, clone.encode(ids).data)
+
+    def test_mismatched_architecture_fails(self, tmp_path, rng):
+        model = Linear(4, 8, rng=rng)
+        path = str(tmp_path / "linear.npz")
+        save_module(model, path)
+        wrong = Linear(4, 9, rng=rng)
+        with pytest.raises((KeyError, ValueError)):
+            load_module(wrong, path)

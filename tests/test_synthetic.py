@@ -1,0 +1,217 @@
+"""Synthetic world, click-log, and UGC generator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synthetic import (
+    ClickLogConfig, Lexicon, UgcConfig, WorldConfig, build_world,
+    decorate_item, generate_click_logs, generate_ugc, junk_item,
+    DOMAIN_PRESETS,
+)
+from repro.taxonomy import split_edges_by_headword
+
+
+class TestLexicon:
+    def test_unique_names(self):
+        lex = Lexicon(np.random.default_rng(0))
+        names = {lex.pseudo_word() for _ in range(200)}
+        assert len(names) == 200
+
+    def test_reserve_conflict(self):
+        lex = Lexicon(np.random.default_rng(0))
+        lex.reserve("bread")
+        with pytest.raises(ValueError):
+            lex.reserve("bread")
+        assert lex.is_used("bread")
+
+    def test_headword_child_ends_with_parent(self):
+        lex = Lexicon(np.random.default_rng(0))
+        child = lex.headword_child("bread")
+        assert child.endswith(" bread")
+
+    def test_atomic_hyponym_avoids_parent_token(self):
+        lex = Lexicon(np.random.default_rng(0))
+        for _ in range(20):
+            name = lex.atomic_hyponym("bread")
+            assert "bread" not in name.split()
+
+    def test_category_head_curated_then_pseudo(self):
+        lex = Lexicon(np.random.default_rng(0))
+        first = lex.category_head("snack", 0)
+        assert first == "bread"
+        far = lex.category_head("snack", 500)
+        assert far not in ("bread", "cake")
+
+
+class TestWorldConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorldConfig(headword_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorldConfig(holdout_fraction=1.0)
+        with pytest.raises(ValueError):
+            WorldConfig(max_depth=1)
+
+    def test_build_rejects_config_plus_overrides(self):
+        with pytest.raises(ValueError):
+            build_world(WorldConfig(), seed=3)
+
+
+class TestWorldInvariants:
+    def test_partition_of_nodes(self, small_world):
+        w = small_world
+        assert w.existing_taxonomy.nodes | set(w.new_concepts) \
+            == w.full_taxonomy.nodes
+        assert not (w.existing_taxonomy.nodes & set(w.new_concepts))
+
+    def test_no_orphans_in_existing(self, small_world):
+        w = small_world
+        orphans = [n for n in w.existing_taxonomy.nodes
+                   if not w.existing_taxonomy.parents(n) and n != w.root]
+        assert orphans == []
+
+    def test_new_concept_parents_are_true(self, small_world):
+        w = small_world
+        for concept, parents in w.new_concepts.items():
+            assert parents == w.full_taxonomy.parents(concept)
+
+    def test_existing_edges_subset_of_full(self, small_world):
+        w = small_world
+        assert w.existing_taxonomy.edge_set() <= w.full_taxonomy.edge_set()
+
+    def test_headword_fraction_respected(self):
+        w = build_world(WorldConfig(domain="snack", seed=3,
+                                    num_categories=10,
+                                    children_per_category=(8, 12),
+                                    headword_fraction=0.9, max_depth=4))
+        head, others = split_edges_by_headword(w.full_taxonomy)
+        share = len(head) / (len(head) + len(others))
+        assert 0.75 < share < 0.98
+
+    def test_deterministic(self):
+        a = build_world(WorldConfig(seed=11, num_categories=4))
+        b = build_world(WorldConfig(seed=11, num_categories=4))
+        assert a.full_taxonomy.edge_set() == b.full_taxonomy.edge_set()
+        assert set(a.new_concepts) == set(b.new_concepts)
+
+    def test_common_concepts_under_root(self, small_world):
+        w = small_world
+        for name in w.common_concepts:
+            assert w.full_taxonomy.has_edge(w.root, name)
+
+    def test_oracles(self, small_world):
+        w = small_world
+        parent, child = next(iter(w.full_taxonomy.edges()))
+        assert w.is_true_edge(parent, child)
+        assert w.is_true_hyponym(parent, child)
+        assert not w.is_true_hyponym(child, parent)
+        assert w.true_parents(child) == w.full_taxonomy.parents(child)
+        assert w.true_parents("not a concept") == set()
+
+    def test_presets_exist(self):
+        assert set(DOMAIN_PRESETS) == {"snack", "fruits", "prepared"}
+
+
+class TestItems:
+    def test_decorated_item_contains_concept(self, rng):
+        for _ in range(30):
+            title = decorate_item("cheese bun", rng)
+            assert "cheese bun" in title
+
+    def test_junk_item_mentions_no_concept(self, small_world, rng):
+        from repro.graph import identify_concept
+        for _ in range(20):
+            title = junk_item(rng)
+            assert identify_concept(title, small_world.vocabulary) is None
+
+
+class TestClickLogs:
+    def test_noise_rates_validation(self):
+        with pytest.raises(ValueError):
+            ClickLogConfig(drift_rate=0.5, common_rate=0.4, junk_rate=0.2)
+
+    def test_log_structure(self, small_world, small_click_log):
+        log = small_click_log
+        assert log.num_records >= log.num_pairs > 0
+        assert log.queries() <= small_world.full_taxonomy.nodes
+
+    def test_items_for_query(self, small_click_log):
+        query = next(iter(small_click_log.queries()))
+        items = small_click_log.items_for(query)
+        assert items
+        assert all(count >= 1 for count in items.values())
+
+    def test_pairs_matches_counts(self, small_click_log):
+        triples = small_click_log.pairs()
+        assert len(triples) == small_click_log.num_pairs
+        assert sum(c for _, _, c in triples) == small_click_log.num_records
+
+    def test_provenance_covers_items(self, small_click_log):
+        for (_q, item) in list(small_click_log.counts)[:50]:
+            assert item in small_click_log.provenance
+
+    def test_majority_of_clicks_are_true_hyponyms(self, small_world,
+                                                  small_click_log):
+        """Noise channels are the minority (paper: noise ~ 10-15%)."""
+        hits = noise = 0
+        for (query, item), count in small_click_log.counts.items():
+            concept = small_click_log.provenance[item]
+            if concept is not None and (
+                    concept == query  # specific-product self-click
+                    or small_world.is_true_hyponym(query, concept)):
+                hits += count
+            else:
+                noise += count
+        assert hits / (hits + noise) > 0.75
+
+    def test_unqueried_rate(self, small_world):
+        full = generate_click_logs(small_world, ClickLogConfig(
+            seed=1, unqueried_rate=0.0))
+        partial = generate_click_logs(small_world, ClickLogConfig(
+            seed=1, unqueried_rate=0.5))
+        assert len(partial.queries()) < len(full.queries())
+
+    def test_deterministic(self, small_world):
+        a = generate_click_logs(small_world, ClickLogConfig(seed=9))
+        b = generate_click_logs(small_world, ClickLogConfig(seed=9))
+        assert a.counts == b.counts
+
+
+class TestUgc:
+    def test_corpus_nonempty(self, small_ugc):
+        assert len(small_ugc) > 50
+        assert all(isinstance(s, str) and s for s in small_ugc)
+
+    def test_relational_cooccurrence_present(self, small_world, small_ugc):
+        """Some sentence must mention a true (parent, child) pair together."""
+        found = 0
+        for parent, child in list(small_world.full_taxonomy.edges())[:40]:
+            if parent == small_world.root:
+                continue
+            for sentence in small_ugc:
+                if parent in sentence and child in sentence:
+                    found += 1
+                    break
+        assert found > 0
+
+    def test_noise_fraction(self, small_world):
+        quiet = generate_ugc(small_world, UgcConfig(seed=2,
+                                                    noise_fraction=0.0))
+        noisy = generate_ugc(small_world, UgcConfig(seed=2,
+                                                    noise_fraction=0.5))
+        assert len(noisy) > len(quiet)
+
+    def test_deterministic(self, small_world):
+        a = generate_ugc(small_world, UgcConfig(seed=4))
+        b = generate_ugc(small_world, UgcConfig(seed=4))
+        assert a == b
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_world_seeds_never_crash_property(seed):
+    """World generation is total over seeds."""
+    w = build_world(WorldConfig(seed=seed, num_categories=3,
+                                children_per_category=(2, 4), max_depth=3))
+    assert w.full_taxonomy.num_nodes >= 4
