@@ -1,0 +1,110 @@
+"""Serving throughput — naive per-pair scoring vs. batched + cached.
+
+The online path's workload is repeated candidate scoring: top-down
+expansion revisits the same (parent, child) pairs across traversals and
+concurrent requests.  This bench fits one small pipeline, builds a
+workload of candidate sets repeated over several "traversal rounds", and
+compares
+
+* **naive**: one ``score_pairs`` call per pair (the pre-serving cost
+  model — every request pays full per-call encoder overhead),
+* **batched**: a :class:`BatchingScorer` in synchronous mode (misses
+  scored in ``max_batch`` slices, hits served from the LRU cache).
+
+Acceptance target (ISSUE 1): batched + cached must be >= 2x faster on
+repeated candidate sets.
+"""
+
+import time
+
+from common import fmt, print_table
+
+from repro.core import (
+    DetectorConfig, PipelineConfig, TaxonomyExpansionPipeline,
+)
+from repro.gnn import ContrastiveConfig, StructuralConfig
+from repro.plm import PretrainConfig
+from repro.serving import BatchingScorer
+from repro.synthetic import (
+    ClickLogConfig, UgcConfig, WorldConfig, build_world,
+    generate_click_logs, generate_ugc,
+)
+
+#: how many times the expansion traversal revisits each candidate set
+ROUNDS = 4
+#: distinct candidate pairs in the workload
+UNIQUE_PAIRS = 120
+
+
+def _serving_pipeline() -> tuple[TaxonomyExpansionPipeline, list]:
+    world = build_world(WorldConfig(
+        domain="fruits", seed=7, num_categories=6,
+        children_per_category=(4, 7), max_depth=4, headword_fraction=0.8,
+        children_per_node=(0, 3), holdout_fraction=0.2))
+    click_log = generate_click_logs(world, ClickLogConfig(
+        seed=5, clicks_per_query=40))
+    ugc = generate_ugc(world, UgcConfig(seed=5, sentences_per_edge=2.0))
+    config = PipelineConfig(
+        seed=0, bert_dim=16, bert_ffn=32,
+        pretrain=PretrainConfig(steps=60, batch_size=8, strategy="concept"),
+        contrastive=ContrastiveConfig(steps=10),
+        structural=StructuralConfig(hidden_dim=16, position_dim=4),
+        detector=DetectorConfig(epochs=2, batch_size=16))
+    pipeline = TaxonomyExpansionPipeline(config)
+    pipeline.fit(world.existing_taxonomy, world.vocabulary, click_log, ugc)
+    pairs = [s.pair for s in pipeline.dataset.all_pairs][:UNIQUE_PAIRS]
+    return pipeline, pairs
+
+
+def _workload(pairs: list) -> list[list]:
+    """ROUNDS traversal rounds, each re-scoring every candidate set."""
+    sets = [pairs[start:start + 8] for start in range(0, len(pairs), 8)]
+    return [candidate_set for _ in range(ROUNDS) for candidate_set in sets]
+
+
+def run_throughput() -> dict:
+    pipeline, pairs = _serving_pipeline()
+    workload = _workload(pairs)
+    total_pairs = sum(len(s) for s in workload)
+
+    start = time.perf_counter()
+    for candidate_set in workload:
+        for pair in candidate_set:  # naive: one model call per pair
+            pipeline.score_pairs([pair])
+    naive_seconds = time.perf_counter() - start
+
+    scorer = BatchingScorer(pipeline.score_pairs, max_batch=128,
+                            cache_size=8192)
+    start = time.perf_counter()
+    for candidate_set in workload:
+        scorer.score_pairs(candidate_set)
+    batched_seconds = time.perf_counter() - start
+
+    return {
+        "total_pairs": total_pairs,
+        "naive_seconds": naive_seconds,
+        "batched_seconds": batched_seconds,
+        "naive_pps": total_pairs / naive_seconds,
+        "batched_pps": total_pairs / batched_seconds,
+        "speedup": naive_seconds / batched_seconds,
+        "cache_hit_rate": scorer.stats.as_dict()["cache_hit_rate"],
+    }
+
+
+def test_serving_throughput(benchmark):
+    results = benchmark.pedantic(run_throughput, rounds=1, iterations=1)
+    print_table(
+        "Serving throughput: repeated candidate sets "
+        f"({results['total_pairs']} pair scorings)",
+        ["Mode", "Seconds", "Pairs/sec"],
+        [
+            ["naive per-pair", fmt(results["naive_seconds"], 3),
+             fmt(results["naive_pps"], 1)],
+            ["batched + cached", fmt(results["batched_seconds"], 3),
+             fmt(results["batched_pps"], 1)],
+        ])
+    print(f"speedup        : {results['speedup']:.2f}x")
+    print(f"cache hit rate : {100 * results['cache_hit_rate']:.1f}%")
+    assert results["speedup"] >= 2.0, (
+        "batched+cached serving must be at least 2x naive per-pair "
+        f"scoring, got {results['speedup']:.2f}x")

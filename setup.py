@@ -6,8 +6,30 @@ from setuptools import setup, find_packages
 setup(
     name="repro",
     version="1.0.0",
+    description=("Reproduction of 'Product Taxonomy Expansion with User "
+                 "Behaviors Supervision' (ICDE 2022) with an online "
+                 "serving layer"),
+    long_description=("Taxonomy expansion from user click logs: C-BERT "
+                      "relational encoding, GNN structural encoding, "
+                      "adaptively self-supervised hyponymy detection, "
+                      "top-down expansion, incremental updates, and a "
+                      "micro-batched HTTP serving subsystem."),
+    long_description_content_type="text/plain",
+    license="MIT",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3 :: Only",
+        "Programming Language :: Python :: 3.10",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
 )

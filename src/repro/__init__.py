@@ -25,6 +25,10 @@ Subpackages
 ``repro.eval``
     Metrics, term-extraction statistics, oracle annotators, and the offline
     query-rewriting user study.
+``repro.serving``
+    Online serving layer: artifact bundles decoupling training from
+    serving, micro-batched cached scoring, streaming click-log ingestion,
+    and the stdlib HTTP taxonomy service (``repro serve``).
 """
 
 __version__ = "1.0.0"

@@ -1,16 +1,21 @@
-"""Command-line interface: ``python -m repro.cli <command>``.
+"""Command-line interface: ``repro <command>`` (or ``python -m repro.cli``).
 
 Commands
 --------
 ``world``    Generate a synthetic world and print its statistics.
 ``expand``   Train the framework on a preset domain and expand its
-             taxonomy, optionally saving the result as JSON.
-``evaluate`` Train and report detector test metrics for a preset domain.
+             taxonomy, optionally saving the result as JSON and/or
+             exporting a serving artifact bundle.
+``evaluate`` Train and report detector test metrics for a preset domain,
+             optionally dumping them as JSON for CI.
+``serve``    Load an artifact bundle and run the online taxonomy service
+             (JSON API: /score /expand /ingest /taxonomy /healthz).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .core import PipelineConfig, TaxonomyExpansionPipeline
@@ -72,6 +77,17 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         pipeline.dataset.test, closure)
     for key in ("accuracy", "edge_f1", "ancestor_f1"):
         print(f"{key:<12}: {100 * metrics[key]:.2f}")
+    if args.output:
+        payload = {
+            "domain": args.domain,
+            "seed": args.seed,
+            "fast": args.fast,
+            "metrics": {key: float(value)
+                        for key, value in sorted(metrics.items())},
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"wrote metrics JSON to {args.output}")
     return 0
 
 
@@ -90,6 +106,33 @@ def cmd_expand(args: argparse.Namespace) -> int:
     if args.output:
         save_taxonomy(result.taxonomy, args.output)
         print(f"saved expanded taxonomy to {args.output}")
+    if args.artifacts:
+        from .serving import ArtifactBundle
+        ArtifactBundle.export(pipeline, args.artifacts,
+                              taxonomy=result.taxonomy,
+                              vocabulary=world.vocabulary)
+        print(f"exported serving artifacts to {args.artifacts}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import (
+        ArtifactBundle, ServiceConfig, TaxonomyService, serve,
+    )
+    try:
+        bundle = ArtifactBundle.load(args.artifacts)
+    except FileNotFoundError as error:
+        print(f"error: no artifact bundle at {args.artifacts!r} ({error}); "
+              f"create one with: repro expand --artifacts {args.artifacts}",
+              file=sys.stderr)
+        return 2
+    service = TaxonomyService(bundle, ServiceConfig(
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size, max_ingest_queue=args.max_ingest_queue))
+    print(f"loaded artifacts from {args.artifacts} "
+          f"(taxonomy: {bundle.taxonomy.num_nodes} nodes / "
+          f"{bundle.taxonomy.num_edges} edges)")
+    serve(service, host=args.host, port=args.port, quiet=args.quiet)
     return 0
 
 
@@ -114,13 +157,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     eval_parser = sub.add_parser("evaluate", help="detector test metrics")
     common(eval_parser)
+    eval_parser.add_argument("--output", default=None,
+                             help="write metrics JSON here (for CI)")
     eval_parser.set_defaults(func=cmd_evaluate)
 
     expand_parser = sub.add_parser("expand", help="expand a taxonomy")
     common(expand_parser)
     expand_parser.add_argument("--output", default=None,
                                help="write expanded taxonomy JSON here")
+    expand_parser.add_argument("--artifacts", default=None,
+                               help="export a serving artifact bundle here")
     expand_parser.set_defaults(func=cmd_expand)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the online taxonomy service")
+    serve_parser.add_argument("--artifacts", required=True,
+                              help="artifact bundle directory "
+                                   "(see: repro expand --artifacts)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8631,
+                              help="0 picks an ephemeral port")
+    serve_parser.add_argument("--max-batch", type=int, default=64,
+                              help="pairs per coalesced model call")
+    serve_parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                              help="micro-batching window")
+    serve_parser.add_argument("--cache-size", type=int, default=4096,
+                              help="LRU score-cache entries (0 disables)")
+    serve_parser.add_argument("--max-ingest-queue", type=int, default=16,
+                              help="queued click-log batches before "
+                                   "backpressure rejects")
+    serve_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-request access logs")
+    serve_parser.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -52,6 +52,16 @@ class IncrementalExpander:
     def num_batches(self) -> int:
         return self._batches
 
+    @property
+    def accumulated_log(self) -> ClickLog:
+        """Every ingested click record, merged across batches.
+
+        Repeated (query, item) pairs accumulate evidence here even though
+        they are never re-scored; the serving layer reports these totals in
+        its ``/taxonomy`` statistics.  Treat the returned log as read-only.
+        """
+        return self._accumulated
+
     def ingest(self, batch: ClickLog) -> IngestReport:
         """Merge one log batch and expand over its *new* candidates.
 

@@ -44,6 +44,38 @@ class StructuralConfig:
             raise ValueError("num_hops must be >= 1")
 
 
+class _ArrayGraph:
+    """Minimal graph-protocol shim backing :meth:`StructuralEncoder.from_arrays`.
+
+    Exposes exactly what the encoder constructor reads — node order and a
+    dense adjacency that already carries self-loops — so an encoder can be
+    rebuilt from serialized arrays without replaying graph construction.
+    """
+
+    def __init__(self, nodes: list[str], adjacency: np.ndarray):
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        if adjacency.shape != (len(nodes), len(nodes)):
+            raise ValueError("adjacency must be square over the node list")
+        self._nodes = list(nodes)
+        self._adjacency = adjacency
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def node_index(self) -> dict[str, int]:
+        return {node: i for i, node in enumerate(self._nodes)}
+
+    def adjacency(self, add_self_loops: bool = True) -> np.ndarray:
+        # Serialized adjacencies are stored post-construction, self-loops
+        # included, so the flag is accepted for protocol compatibility only.
+        return self._adjacency.copy()
+
+
 class StructuralEncoder(Module):
     """GNN over a fixed graph producing pair representations."""
 
@@ -84,6 +116,33 @@ class StructuralEncoder(Module):
         else:
             self.position_parent = None
             self.position_child = None
+
+    # ------------------------------------------------------------------
+    # serialization support (repro.serving.artifacts)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(cls, nodes: list[str], features: np.ndarray,
+                    adjacency: np.ndarray,
+                    config: StructuralConfig | None = None
+                    ) -> "StructuralEncoder":
+        """Rebuild an encoder from serialized arrays (no graph needed).
+
+        ``adjacency`` must be the raw weighted matrix exactly as a previous
+        encoder saw it (self-loops included); binarization for
+        ``use_edge_weights=False`` is idempotent, so round-tripping an
+        exported matrix reproduces the original propagation bit-for-bit.
+        Layer parameters are freshly initialised — load trained weights
+        with :meth:`load_state_dict` afterwards.
+        """
+        return cls(_ArrayGraph(list(nodes), adjacency), features, config)
+
+    def export_arrays(self) -> dict[str, np.ndarray | list[str]]:
+        """The arrays :meth:`from_arrays` needs to clone this encoder."""
+        nodes = [None] * len(self._index)
+        for node, row in self._index.items():
+            nodes[row] = node
+        return {"nodes": nodes, "features": self._features.copy(),
+                "adjacency": self._adjacency.copy()}
 
     # ------------------------------------------------------------------
     @property

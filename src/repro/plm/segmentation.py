@@ -39,6 +39,11 @@ class DictSegmenter:
         for bucket in self._by_first.values():
             bucket.sort(key=len, reverse=True)  # longest first
 
+    @property
+    def vocabulary(self) -> ConceptVocabulary:
+        """The concept lexicon this segmenter matches against."""
+        return self._vocabulary
+
     def find_mentions(self, tokens: list[str]) -> list[ConceptSpan]:
         """Non-overlapping concept mentions, greedy longest-match."""
         spans: list[ConceptSpan] = []

@@ -1,0 +1,25 @@
+"""Online serving layer: artifact bundles, batched scoring, streaming
+ingestion, and the HTTP taxonomy service.
+
+Train once, serve forever: :class:`ArtifactBundle` decouples the training
+process from the serving process; :class:`BatchingScorer` and
+:class:`StreamingIngestor` give the online path micro-batching, caching
+and backpressure; :class:`TaxonomyService` plus :func:`make_server` expose
+it all over a stdlib JSON API (``repro serve`` on the command line).
+"""
+
+from .artifacts import (
+    ArtifactBundle, pipeline_config_from_dict, pipeline_config_to_dict,
+)
+from .scorer import BatchingScorer, ScorerStats
+from .ingest import IngestTicket, StreamingIngestor, click_log_from_records
+from .service import ServiceConfig, TaxonomyService
+from .http import TaxonomyHTTPServer, make_server, serve
+
+__all__ = [
+    "ArtifactBundle", "pipeline_config_to_dict", "pipeline_config_from_dict",
+    "BatchingScorer", "ScorerStats",
+    "IngestTicket", "StreamingIngestor", "click_log_from_records",
+    "ServiceConfig", "TaxonomyService",
+    "TaxonomyHTTPServer", "make_server", "serve",
+]

@@ -1,0 +1,150 @@
+"""Stdlib HTTP front-end for :class:`~repro.serving.TaxonomyService`.
+
+No web framework — a :class:`http.server.ThreadingHTTPServer` routes five
+JSON endpoints onto the service facade:
+
+========  ==========  ====================================================
+method    path        body / response
+========  ==========  ====================================================
+GET       /healthz    liveness, worker state, scorer statistics
+GET       /taxonomy   live taxonomy snapshot + ingestion statistics
+POST      /score      ``{"pairs": [[parent, child], ...]}``
+POST      /expand     ``{"candidates": {query: [item, ...]}}``
+POST      /ingest     ``{"records": [[query, item, count?], ...],
+                      "provenance": {...}?, "sync": bool?}``
+========  ==========  ====================================================
+
+Errors return ``{"error": ...}`` with 400 (bad request), 404 (unknown
+route), 503 (backpressure rejection) or 500 (scoring failure).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .service import TaxonomyService
+
+__all__ = ["TaxonomyHTTPServer", "make_server", "serve"]
+
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class TaxonomyHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`TaxonomyService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: TaxonomyService,
+                 quiet: bool = True):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes JSON requests onto ``self.server.service``."""
+
+    server: TaxonomyHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # Error paths may leave the request body unread; under
+            # HTTP/1.1 keep-alive those bytes would be parsed as the next
+            # request, so drop the connection instead.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError("request body too large")
+        if length == 0:
+            return {}
+        payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        try:
+            status, payload = handler()
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as e:
+            status, payload = 400, {"error": str(e)}
+        except Exception as e:  # scoring/ingest failure — keep serving
+            status, payload = 500, {"error": repr(e)}
+        self._reply(status, payload)
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._dispatch(lambda: (200, service.health()))
+        elif path == "/taxonomy":
+            self._dispatch(lambda: (200, service.taxonomy_state()))
+        else:
+            self._reply(404, {"error": f"unknown route {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        path = self.path.split("?", 1)[0]
+        if path == "/score":
+            self._dispatch(lambda: (
+                200, service.score(self._read_json().get("pairs", []))))
+        elif path == "/expand":
+            self._dispatch(lambda: (
+                200,
+                service.expand(self._read_json().get("candidates", {}))))
+        elif path == "/ingest":
+            def run():
+                body = self._read_json()
+                result = service.ingest(body.get("records", []),
+                                        body.get("provenance"),
+                                        sync=bool(body.get("sync", False)))
+                return (202 if result["accepted"] else 503), result
+            self._dispatch(run)
+        else:
+            self._reply(404, {"error": f"unknown route {path!r}"})
+
+
+def make_server(service: TaxonomyService, host: str = "127.0.0.1",
+                port: int = 0, quiet: bool = True) -> TaxonomyHTTPServer:
+    """Bind (but do not run) a server; ``port=0`` picks an ephemeral one.
+
+    The bound address is available as ``server.server_address``.
+    """
+    return TaxonomyHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve(service: TaxonomyService, host: str = "127.0.0.1",
+          port: int = 8631, quiet: bool = False) -> None:
+    """Start the service workers and serve until interrupted."""
+    server = make_server(service, host, port, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    service.start()
+    print(f"repro serving on http://{bound_host}:{bound_port} "
+          f"(endpoints: /healthz /taxonomy /score /expand /ingest)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.stop()

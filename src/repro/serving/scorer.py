@@ -1,0 +1,300 @@
+"""Micro-batched, cached candidate scoring for the online path.
+
+Top-down expansion re-scores the same (parent, child) pairs constantly —
+every traversal of a node revisits its candidate set, and concurrent
+requests overlap heavily.  :class:`BatchingScorer` wraps any
+``Scorer``-protocol callable (typically
+``HyponymyDetector.predict_proba`` via ``pipeline.score_pairs``) with
+
+* an **LRU score cache** keyed on the (parent, child) pair, and
+* **micro-batching**: when the worker is running, requests queued within
+  ``max_wait_ms`` of each other are coalesced into one underlying model
+  call of up to ``max_batch`` pairs, amortising per-call encoder overhead
+  across clients.
+
+Without :meth:`start` the scorer degrades gracefully to synchronous
+cached batching (one underlying call per request), so it can stand in for
+the raw scorer anywhere — including inside
+:class:`~repro.core.IncrementalExpander`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BatchingScorer", "ScorerStats"]
+
+_MISSING = object()
+
+Pair = tuple[str, str]
+
+
+@dataclass
+class ScorerStats:
+    """Counters describing scorer traffic since construction."""
+
+    requests: int = 0
+    pairs_requested: int = 0
+    cache_hits: int = 0
+    pairs_scored: int = 0
+    model_calls: int = 0
+    batches: int = 0
+    coalesced_requests: int = 0
+
+    def as_dict(self) -> dict[str, int | float]:
+        """JSON-friendly snapshot including the derived hit rate."""
+        hit_rate = (self.cache_hits / self.pairs_requested
+                    if self.pairs_requested else 0.0)
+        return {
+            "requests": self.requests,
+            "pairs_requested": self.pairs_requested,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": round(hit_rate, 4),
+            "pairs_scored": self.pairs_scored,
+            "model_calls": self.model_calls,
+            "batches": self.batches,
+            "coalesced_requests": self.coalesced_requests,
+        }
+
+
+class _Request:
+    """One caller's pending cache misses plus its completion signal."""
+
+    __slots__ = ("pairs", "event", "scores", "error")
+
+    def __init__(self, pairs: list[Pair]):
+        self.pairs = pairs
+        self.event = threading.Event()
+        self.scores: dict[Pair, float] = {}
+        self.error: BaseException | None = None
+
+
+class BatchingScorer:
+    """Thread-safe scoring front-end with coalescing and an LRU cache.
+
+    Parameters
+    ----------
+    scorer:
+        Underlying callable mapping ``list[(parent, child)]`` to an array
+        of positive-class probabilities.
+    max_batch:
+        Upper bound on pairs per underlying model call.
+    max_wait_ms:
+        How long the worker waits for more requests to coalesce after the
+        first one arrives (ignored in synchronous mode).
+    cache_size:
+        Maximum number of cached pair scores; 0 disables caching.
+    """
+
+    def __init__(self, scorer, max_batch: int = 64,
+                 max_wait_ms: float = 2.0, cache_size: int = 4096):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self._scorer = scorer
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.cache_size = cache_size
+        self._cache: OrderedDict[Pair, float] = OrderedDict()
+        self._queue: deque[_Request] = deque()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._stats = ScorerStats()
+        self._worker: threading.Thread | None = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "BatchingScorer":
+        """Launch the coalescing worker; idempotent."""
+        with self._lock:
+            if self._worker is not None and self._worker.is_alive():
+                return self
+            self._stopping = False
+            self._worker = threading.Thread(
+                target=self._run, name="batching-scorer", daemon=True)
+            self._worker.start()
+        return self
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Drain the queue and stop the worker; idempotent."""
+        with self._lock:
+            worker = self._worker
+            self._stopping = True
+            self._wakeup.notify_all()
+        if worker is not None:
+            worker.join(timeout)
+        with self._lock:
+            self._worker = None
+
+    @property
+    def running(self) -> bool:
+        """True while the coalescing worker is alive."""
+        worker = self._worker
+        return worker is not None and worker.is_alive()
+
+    def __enter__(self) -> "BatchingScorer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def score_pairs(self, pairs: list[Pair]) -> np.ndarray:
+        """Probabilities for ``pairs``; cache-aware and coalescing."""
+        pairs = [(str(parent), str(child)) for parent, child in pairs]
+        if not pairs:
+            return np.zeros(0)
+        resolved: dict[Pair, float] = {}
+        with self._lock:
+            self._stats.requests += 1
+            self._stats.pairs_requested += len(pairs)
+            missing: list[Pair] = []
+            for pair in dict.fromkeys(pairs):
+                value = self._cache_get(pair)
+                if value is _MISSING:
+                    missing.append(pair)
+                else:
+                    self._stats.cache_hits += 1
+                    resolved[pair] = value
+            if missing and self.running and not self._stopping and \
+                    threading.current_thread() is not self._worker:
+                request = _Request(missing)
+                self._queue.append(request)
+                self._wakeup.notify_all()
+            else:
+                request = None
+        if missing and request is None:
+            # Synchronous path: score all misses in max_batch-sized calls.
+            resolved.update(self._score_chunked(missing, coalesced=1))
+        elif missing:
+            request.event.wait()
+            if request.error is not None:
+                raise request.error
+            resolved.update(request.scores)
+        return np.asarray([resolved[pair] for pair in pairs])
+
+    def __call__(self, pairs: list[Pair]) -> np.ndarray:
+        """Scorer-protocol alias for :meth:`score_pairs`."""
+        return self.score_pairs(pairs)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> ScorerStats:
+        """Live traffic counters (shared object, read-only use)."""
+        return self._stats
+
+    def cache_len(self) -> int:
+        """Number of pair scores currently cached."""
+        with self._lock:
+            return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop every cached score."""
+        with self._lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # internals (callers hold self._lock where noted)
+    # ------------------------------------------------------------------
+    def _cache_get(self, pair: Pair):
+        """LRU lookup; returns ``_MISSING`` on absence.  Lock held."""
+        if self.cache_size and pair in self._cache:
+            self._cache.move_to_end(pair)
+            return self._cache[pair]
+        return _MISSING
+
+    def _score_chunked(self, pairs: list[Pair],
+                       coalesced: int) -> dict[Pair, float]:
+        """Run the underlying scorer in ``max_batch``-sized calls."""
+        known: dict[Pair, float] = {}
+        for start in range(0, len(pairs), self.max_batch):
+            chunk = pairs[start:start + self.max_batch]
+            scores = np.asarray(self._scorer(chunk), dtype=np.float64)
+            with self._lock:
+                self._record_batch(chunk, scores,
+                                   coalesced=coalesced if start == 0 else 0)
+            known.update(zip(chunk, scores.tolist()))
+        return known
+
+    def _record_batch(self, pairs: list[Pair], scores: np.ndarray,
+                      coalesced: int) -> None:
+        """Account for one underlying call and fill the cache.  Lock held."""
+        self._stats.model_calls += 1
+        self._stats.batches += 1
+        self._stats.pairs_scored += len(pairs)
+        self._stats.coalesced_requests += coalesced
+        if not self.cache_size:
+            return
+        for pair, score in zip(pairs, scores.tolist()):
+            self._cache[pair] = float(score)
+            self._cache.move_to_end(pair)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def _collect(self) -> list[_Request]:
+        """Pop a coalescable set of requests; blocks until work or stop.
+
+        Returns an empty list only when stopping with an empty queue.
+        """
+        with self._lock:
+            while not self._queue and not self._stopping:
+                self._wakeup.wait()
+            if not self._queue:
+                return []
+            batch = [self._queue.popleft()]
+            count = len(batch[0].pairs)
+            deadline = time.monotonic() + self.max_wait_ms / 1000.0
+            while count < self.max_batch:
+                if self._queue:
+                    count += len(self._queue[0].pairs)
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._stopping:
+                    break
+                self._wakeup.wait(remaining)
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if not batch:
+                return
+            # Dedup across coalesced requests; re-check the cache in case a
+            # concurrent batch already scored some of these pairs.
+            unique = list(dict.fromkeys(
+                pair for request in batch for pair in request.pairs))
+            known: dict[Pair, float] = {}
+            with self._lock:
+                to_score = []
+                for pair in unique:
+                    value = self._cache_get(pair)
+                    if value is _MISSING:
+                        to_score.append(pair)
+                    else:
+                        known[pair] = value
+            try:
+                if to_score:
+                    known.update(self._score_chunked(
+                        to_score, coalesced=len(batch)))
+            except BaseException as error:  # propagate to every waiter
+                for request in batch:
+                    request.error = error
+                    request.event.set()
+                continue
+            for request in batch:
+                request.scores = {pair: known[pair]
+                                  for pair in request.pairs}
+                request.event.set()

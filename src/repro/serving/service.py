@@ -1,0 +1,192 @@
+"""The online taxonomy service facade.
+
+:class:`TaxonomyService` composes the serving subsystem around one loaded
+:class:`~repro.serving.ArtifactBundle`:
+
+* a :class:`~repro.serving.BatchingScorer` front-ending the detector,
+* an :class:`~repro.core.IncrementalExpander` owning the live taxonomy,
+* a :class:`~repro.serving.StreamingIngestor` applying click-log batches
+  from a background worker.
+
+Every public method takes and returns JSON-friendly values, so the HTTP
+layer (:mod:`repro.serving.http`) is a thin router over this class and the
+same operations are directly scriptable in-process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..core.expansion import expand_taxonomy
+from ..core.incremental import IncrementalExpander, IngestReport
+from ..taxonomy import taxonomy_to_dict
+from .artifacts import ArtifactBundle
+from .ingest import StreamingIngestor, click_log_from_records
+from .scorer import BatchingScorer
+
+__all__ = ["ServiceConfig", "TaxonomyService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operational knobs for one service instance."""
+
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    cache_size: int = 4096
+    max_ingest_queue: int = 16
+
+
+def _report_to_dict(report: IngestReport) -> dict:
+    return {
+        "batch_index": report.batch_index,
+        "new_candidate_queries": report.new_candidate_queries,
+        "attached_edges": [list(edge) for edge in report.attached_edges],
+        "num_attached": report.num_attached,
+        "taxonomy_edges_after": report.taxonomy_edges_after,
+    }
+
+
+class TaxonomyService:
+    """Long-running facade over a fitted pipeline and its taxonomy."""
+
+    def __init__(self, bundle: ArtifactBundle,
+                 config: ServiceConfig | None = None):
+        if bundle.pipeline.detector is None:
+            raise ValueError("bundle holds an unfitted pipeline")
+        self.bundle = bundle
+        self.config = config or ServiceConfig()
+        self.scorer = BatchingScorer(
+            bundle.pipeline.score_pairs,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            cache_size=self.config.cache_size)
+        # One lock serialises every taxonomy writer: the ingest worker and
+        # synchronous /expand requests.
+        self._taxonomy_lock = threading.Lock()
+        self.expander = IncrementalExpander(
+            self.scorer, bundle.taxonomy, bundle.vocabulary,
+            bundle.pipeline.config.expansion)
+        self.ingestor = StreamingIngestor(
+            self.expander, max_queue=self.config.max_ingest_queue,
+            lock=self._taxonomy_lock)
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TaxonomyService":
+        """Start the scoring and ingestion workers; idempotent."""
+        self.scorer.start()
+        self.ingestor.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain and stop both workers; idempotent."""
+        self.ingestor.stop()
+        self.scorer.stop()
+
+    def __enter__(self) -> "TaxonomyService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # operations (JSON-friendly in, JSON-friendly out)
+    # ------------------------------------------------------------------
+    def score(self, pairs: list) -> dict:
+        """Hyponymy probabilities for explicit (parent, child) pairs."""
+        cleaned = []
+        for pair in pairs:
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise ValueError(f"pair must be [parent, child]: {pair!r}")
+            cleaned.append((str(pair[0]), str(pair[1])))
+        probs = self.scorer.score_pairs(cleaned)
+        return {
+            "pairs": [list(pair) for pair in cleaned],
+            "probabilities": [float(p) for p in probs],
+        }
+
+    def expand(self, candidates: dict) -> dict:
+        """Synchronously expand the live taxonomy over given candidates.
+
+        ``candidates`` maps a query concept to its candidate item
+        concepts.  Accepted edges are committed to the service taxonomy.
+        """
+        if not isinstance(candidates, dict):
+            raise ValueError("candidates must map query -> [items]")
+        cleaned = {str(query): [str(item) for item in items]
+                   for query, items in candidates.items()}
+        with self._taxonomy_lock:
+            result = expand_taxonomy(
+                self.scorer, self.expander.taxonomy, cleaned,
+                self.expander.config)
+            self.expander.taxonomy = result.taxonomy
+        return {
+            "attached_edges": [list(edge)
+                               for edge in result.attached_edges],
+            "num_attached": result.num_attached,
+            "scored_candidates": len(result.scored_pairs),
+            "taxonomy_edges": result.taxonomy.num_edges,
+        }
+
+    def ingest(self, records: list, provenance: dict | None = None,
+               sync: bool = False) -> dict:
+        """Queue one click-log batch; ``sync=True`` waits for the report."""
+        batch = click_log_from_records(records, provenance)
+        ticket = self.ingestor.submit(batch, block=False)
+        if ticket is None:
+            return {"accepted": False, "reason": "ingest queue full",
+                    "pending_batches": self.ingestor.pending}
+        if sync:
+            # The ticket resolves to this batch's own report (or re-raises
+            # this batch's own failure) — never another caller's outcome.
+            report = ticket.wait(timeout=60.0)
+            return {"accepted": True, "report": _report_to_dict(report)}
+        return {"accepted": True,
+                "pending_batches": self.ingestor.pending}
+
+    def taxonomy_state(self, include_edges: bool = True) -> dict:
+        """The live taxonomy plus accumulated-traffic statistics."""
+        with self._taxonomy_lock:
+            taxonomy = self.expander.taxonomy
+            payload = taxonomy_to_dict(taxonomy) if include_edges else {}
+            accumulated = self.expander.accumulated_log
+            stats = {
+                "nodes": taxonomy.num_nodes,
+                "edges": taxonomy.num_edges,
+                "depth": taxonomy.depth(),
+                "ingested_batches": self.expander.num_batches,
+                "accumulated_click_records": accumulated.num_records,
+                "accumulated_click_pairs": accumulated.num_pairs,
+                "accumulated_queries": len(accumulated.queries()),
+            }
+        payload["stats"] = stats
+        # Bounded recent-history window, not the full ingestion log —
+        # exact totals live in stats (memory stays flat under load).
+        payload["reports"] = [_report_to_dict(r)
+                              for r in self.ingestor.reports]
+        return payload
+
+    def health(self) -> dict:
+        """Liveness snapshot for ``/healthz``."""
+        errors = self.ingestor.errors
+        return {
+            "status": "degraded" if errors else "ok",
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "workers": {
+                "scorer": self.scorer.running,
+                "ingestor": self.ingestor.running,
+            },
+            "ingest": {
+                "pending_batches": self.ingestor.pending,
+                "processed_batches": self.ingestor.processed,
+                "failed_batches": self.ingestor.failed,
+                "recent_errors": [repr(e) for e in errors],
+            },
+            "scorer": self.scorer.stats.as_dict(),
+            "taxonomy_edges": self.expander.taxonomy.num_edges,
+        }

@@ -36,6 +36,31 @@ def small_ugc(small_world):
                                                sentences_per_edge=2.0))
 
 
+@pytest.fixture(scope="session")
+def tiny_fitted_pipeline(small_world, small_click_log, small_ugc):
+    """A minimally-trained pipeline for serving/export tests.
+
+    Training quality is irrelevant for these tests — only that every
+    component is populated and scoring is deterministic.
+    """
+    from repro.core import (
+        DetectorConfig, PipelineConfig, TaxonomyExpansionPipeline,
+    )
+    from repro.gnn import ContrastiveConfig, StructuralConfig
+    from repro.plm import PretrainConfig
+
+    config = PipelineConfig(
+        seed=0, bert_dim=16, bert_ffn=32,
+        pretrain=PretrainConfig(steps=10, batch_size=8, strategy="concept"),
+        contrastive=ContrastiveConfig(steps=3),
+        structural=StructuralConfig(hidden_dim=8, position_dim=2),
+        detector=DetectorConfig(epochs=1, batch_size=16))
+    pipeline = TaxonomyExpansionPipeline(config)
+    pipeline.fit(small_world.existing_taxonomy, small_world.vocabulary,
+                 small_click_log, small_ugc)
+    return pipeline
+
+
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)

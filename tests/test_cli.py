@@ -25,6 +25,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["world", "--domain", "vehicles"])
 
+    def test_evaluate_output_flag(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--output", "metrics.json"])
+        assert args.output == "metrics.json"
+
+    def test_expand_artifacts_flag(self):
+        args = build_parser().parse_args(
+            ["expand", "--artifacts", "bundle/"])
+        assert args.artifacts == "bundle/"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--artifacts", "bundle/"])
+        assert args.artifacts == "bundle/"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8631
+        assert args.max_batch == 64
+        assert args.cache_size == 4096
+        assert not args.quiet
+
+    def test_serve_requires_artifacts(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
 
 class TestWorldCommand:
     def test_world_prints_statistics(self, capsys):

@@ -92,6 +92,37 @@ class TestIncrementalExpansion:
         assert report.new_candidate_queries == 0
         assert scorer.calls == calls_after_first
 
+    def test_repeated_pairs_accumulate_without_rescoring(self, small_world):
+        """Evidence for an already-seen pair grows in the accumulated log,
+        but the pair itself is never re-scored across batches."""
+        log = generate_click_logs(small_world, ClickLogConfig(
+            seed=3, clicks_per_query=30))
+        scorer = OracleScorer(small_world.full_taxonomy)
+        expander = IncrementalExpander(
+            scorer, small_world.existing_taxonomy, small_world.vocabulary)
+        expander.ingest(log)
+        calls_after_first = scorer.calls
+        expander.ingest(log)
+        expander.ingest(log)
+        assert scorer.calls == calls_after_first
+        accumulated = expander.accumulated_log
+        assert accumulated.num_records == 3 * log.num_records
+        assert accumulated.num_pairs == log.num_pairs
+        for key, count in log.counts.items():
+            assert accumulated.counts[key] == 3 * count
+
+    def test_accumulated_log_merges_batches(self, small_world):
+        log = generate_click_logs(small_world, ClickLogConfig(
+            seed=3, clicks_per_query=30))
+        expander = IncrementalExpander(
+            OracleScorer(small_world.full_taxonomy),
+            small_world.existing_taxonomy, small_world.vocabulary)
+        for batch in self._split_log(log, 3):
+            expander.ingest(batch)
+        accumulated = expander.accumulated_log
+        assert accumulated.counts == log.counts
+        assert accumulated.num_records == log.num_records
+
     def test_source_taxonomy_not_mutated(self, small_world):
         log = generate_click_logs(small_world, ClickLogConfig(
             seed=3, clicks_per_query=20))

@@ -1,0 +1,124 @@
+"""Artifact-bundle tests: a fitted pipeline survives export/load exactly."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import TaxonomyExpansionPipeline
+from repro.serving import (
+    ArtifactBundle, pipeline_config_from_dict, pipeline_config_to_dict,
+)
+from repro.serving.artifacts import (
+    BERT_WEIGHTS, CLASSIFIER_WEIGHTS, MANIFEST, STRUCTURAL_ARRAYS,
+    STRUCTURAL_WEIGHTS, TAXONOMY_FILE, VOCABULARY_FILE,
+)
+
+
+@pytest.fixture(scope="module")
+def exported(tiny_fitted_pipeline, small_world, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("bundle"))
+    bundle = ArtifactBundle.export(
+        tiny_fitted_pipeline, directory,
+        taxonomy=small_world.existing_taxonomy,
+        vocabulary=small_world.vocabulary)
+    return bundle, directory
+
+
+@pytest.fixture(scope="module")
+def scoring_pairs(tiny_fitted_pipeline, small_world):
+    """A mix of known and unknown concepts, enough to exercise batching."""
+    pairs = [s.pair for s in tiny_fitted_pipeline.dataset.all_pairs][:64]
+    pairs += [("definitely unknown", "also unknown"), ("a", "b")]
+    return pairs
+
+
+class TestExport:
+    def test_writes_every_artifact(self, exported):
+        _bundle, directory = exported
+        for name in (MANIFEST, BERT_WEIGHTS, STRUCTURAL_WEIGHTS,
+                     STRUCTURAL_ARRAYS, CLASSIFIER_WEIGHTS, TAXONOMY_FILE,
+                     VOCABULARY_FILE):
+            assert os.path.exists(os.path.join(directory, name)), name
+
+    def test_unfitted_pipeline_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            ArtifactBundle.export(TaxonomyExpansionPipeline(),
+                                  str(tmp_path / "nope"))
+
+    def test_vocabulary_defaults_to_segmenter_lexicon(
+            self, tiny_fitted_pipeline, small_world, tmp_path):
+        bundle = ArtifactBundle.export(tiny_fitted_pipeline,
+                                       str(tmp_path / "auto"))
+        assert set(bundle.vocabulary) == set(small_world.vocabulary)
+
+
+class TestLoad:
+    def test_score_parity(self, exported, tiny_fitted_pipeline,
+                          scoring_pairs):
+        _bundle, directory = exported
+        loaded = ArtifactBundle.load(directory)
+        original = tiny_fitted_pipeline.score_pairs(scoring_pairs)
+        restored = loaded.score_pairs(scoring_pairs)
+        np.testing.assert_allclose(restored, original, atol=1e-8, rtol=0)
+
+    def test_taxonomy_and_vocabulary_roundtrip(self, exported, small_world):
+        _bundle, directory = exported
+        loaded = ArtifactBundle.load(directory)
+        assert loaded.taxonomy.edge_set() == \
+            small_world.existing_taxonomy.edge_set()
+        assert set(loaded.vocabulary) == set(small_world.vocabulary)
+
+    def test_loaded_pipeline_components_populated(self, exported):
+        _bundle, directory = exported
+        pipeline = ArtifactBundle.load(directory).pipeline
+        assert pipeline.tokenizer is not None
+        assert pipeline.segmenter is not None
+        assert pipeline.bert is not None
+        assert pipeline.relational is not None
+        assert pipeline.structural is not None
+        assert pipeline.detector is not None
+
+    def test_loaded_pipeline_can_expand(self, exported, small_world,
+                                        small_click_log):
+        _bundle, directory = exported
+        loaded = ArtifactBundle.load(directory)
+        result = loaded.pipeline.expand(
+            small_world.existing_taxonomy, small_click_log,
+            small_world.vocabulary)
+        assert result.taxonomy.num_edges >= \
+            small_world.existing_taxonomy.num_edges
+
+    def test_format_version_checked(self, exported, tmp_path):
+        import json
+        import shutil
+        _bundle, directory = exported
+        broken = str(tmp_path / "broken")
+        shutil.copytree(directory, broken)
+        manifest = os.path.join(broken, MANIFEST)
+        with open(manifest, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["format_version"] = 99
+        with open(manifest, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ValueError):
+            ArtifactBundle.load(broken)
+
+
+class TestConfigRoundtrip:
+    def test_exact_config_reconstruction(self, tiny_fitted_pipeline):
+        import json
+        config = tiny_fitted_pipeline.config
+        payload = json.loads(json.dumps(pipeline_config_to_dict(config)))
+        assert pipeline_config_from_dict(payload) == config
+
+    def test_tuple_fields_restored(self):
+        from repro.core import PipelineConfig, SelfSupConfig
+        import json
+        config = PipelineConfig(
+            selfsup=SelfSupConfig(head_other_ratio=(2, 5),
+                                  split=(0.5, 0.25, 0.25)))
+        payload = json.loads(json.dumps(pipeline_config_to_dict(config)))
+        rebuilt = pipeline_config_from_dict(payload)
+        assert rebuilt.selfsup.head_other_ratio == (2, 5)
+        assert rebuilt.selfsup.split == (0.5, 0.25, 0.25)

@@ -1,0 +1,163 @@
+"""End-to-end HTTP smoke tests on an ephemeral port.
+
+Exercises the full serving path the way ``repro serve`` wires it: export a
+fitted pipeline to a bundle directory, load it back, wrap it in a
+:class:`TaxonomyService`, and talk JSON over a real socket.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serving import ArtifactBundle, ServiceConfig, TaxonomyService, \
+    make_server
+
+
+@pytest.fixture(scope="module")
+def server(tiny_fitted_pipeline, small_world, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("http_bundle"))
+    ArtifactBundle.export(tiny_fitted_pipeline, directory,
+                          taxonomy=small_world.existing_taxonomy,
+                          vocabulary=small_world.vocabulary)
+    service = TaxonomyService(ArtifactBundle.load(directory),
+                              ServiceConfig(max_wait_ms=1.0))
+    service.start()
+    httpd = make_server(service, port=0)  # ephemeral port
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd
+    httpd.shutdown()
+    httpd.server_close()
+    service.stop()
+    thread.join(timeout=5)
+
+
+def request(server, path, payload=None):
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}{path}"
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(req, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestHealthz:
+    def test_reports_ok(self, server):
+        status, body = request(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["workers"] == {"scorer": True, "ingestor": True}
+        assert body["taxonomy_edges"] > 0
+
+
+class TestScore:
+    def test_scores_pairs(self, server, small_world):
+        edges = sorted(small_world.existing_taxonomy.edges())[:3]
+        status, body = request(server, "/score",
+                               {"pairs": [list(edge) for edge in edges]})
+        assert status == 200
+        assert len(body["probabilities"]) == 3
+        assert all(0.0 <= p <= 1.0 for p in body["probabilities"])
+
+    def test_matches_bundle_scoring(self, server, tiny_fitted_pipeline,
+                                    small_world):
+        import numpy as np
+        edges = sorted(small_world.existing_taxonomy.edges())[:5]
+        _status, body = request(server, "/score",
+                                {"pairs": [list(edge) for edge in edges]})
+        direct = tiny_fitted_pipeline.score_pairs(
+            [tuple(edge) for edge in edges])
+        np.testing.assert_allclose(body["probabilities"], direct,
+                                   atol=1e-8, rtol=0)
+
+    def test_bad_pair_shape_is_400(self, server):
+        status, body = request(server, "/score",
+                               {"pairs": [["lonely"]]})
+        assert status == 400
+        assert "error" in body
+
+
+class TestIngestAndTaxonomy:
+    def test_sync_ingest_reports(self, server, small_world,
+                                 small_click_log):
+        records = [[query, item, count] for (query, item), count
+                   in sorted(small_click_log.counts.items())[:40]]
+        status, body = request(server, "/ingest",
+                               {"records": records, "sync": True})
+        assert status == 202
+        assert body["accepted"] is True
+        assert body["report"]["batch_index"] >= 1
+        assert body["report"]["taxonomy_edges_after"] >= \
+            small_world.existing_taxonomy.num_edges
+
+    def test_async_ingest_accepted(self, server):
+        status, body = request(
+            server, "/ingest",
+            {"records": [["apple", "a fresh apple", 2]]})
+        assert status == 202
+        assert body["accepted"] is True
+
+    def test_taxonomy_reflects_ingestion(self, server):
+        # A sync roundtrip guarantees prior async batches are processed too.
+        request(server, "/ingest", {"records": [["pear", "a ripe pear"]],
+                                    "sync": True})
+        status, body = request(server, "/taxonomy")
+        assert status == 200
+        stats = body["stats"]
+        assert stats["ingested_batches"] >= 2
+        assert stats["accumulated_click_records"] >= 3
+        # reports is a bounded recent-history window
+        assert 1 <= len(body["reports"]) <= stats["ingested_batches"]
+        assert stats["edges"] == len(body["edges"])
+
+    def test_malformed_records_are_400(self, server):
+        status, body = request(server, "/ingest",
+                               {"records": [["missing-item"]]})
+        assert status == 400
+        assert "error" in body
+
+
+class TestExpand:
+    def test_expand_commits_accepted_edges(self, server, small_world):
+        # Oracle-free: candidates drawn from real held-out concepts; the
+        # tiny detector may accept or reject, but the route must answer
+        # and keep state consistent.
+        parents = sorted(small_world.existing_taxonomy.roots())
+        candidates = {parents[0]: sorted(small_world.new_concepts)[:3]}
+        status, body = request(server, "/expand",
+                               {"candidates": candidates})
+        assert status == 200
+        assert body["scored_candidates"] >= 1
+        _status, tax = request(server, "/taxonomy")
+        assert tax["stats"]["edges"] == body["taxonomy_edges"]
+
+
+class TestRouting:
+    def test_unknown_route_404(self, server):
+        status, body = request(server, "/nope")
+        assert status == 404
+        assert "error" in body
+
+    def test_unknown_post_route_404(self, server):
+        status, _body = request(server, "/nope", {"x": 1})
+        assert status == 404
+
+    def test_invalid_json_400(self, server):
+        host, port = server.server_address[:2]
+        req = urllib.request.Request(
+            f"http://{host}:{port}/score", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(req, timeout=30) as response:
+                status = response.status
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 400

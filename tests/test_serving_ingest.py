@@ -1,0 +1,229 @@
+"""StreamingIngestor tests: worker draining, backpressure, wire parsing."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ExpansionConfig, IncrementalExpander
+from repro.serving import StreamingIngestor, click_log_from_records
+from repro.synthetic import ClickLogConfig, generate_click_logs
+from repro.synthetic.clicklogs import ClickLog
+
+
+class OracleScorer:
+    def __init__(self, truth, delay: float = 0.0):
+        self.truth = truth
+        self.delay = delay
+
+    def __call__(self, pairs):
+        if self.delay:
+            time.sleep(self.delay)
+        return np.array([1.0 if self.truth.is_ancestor(q, i) else 0.0
+                         for q, i in pairs])
+
+
+def split_log(log: ClickLog, parts: int) -> list[ClickLog]:
+    batches = [ClickLog() for _ in range(parts)]
+    for index, (key, count) in enumerate(sorted(log.counts.items())):
+        batch = batches[index % parts]
+        batch.counts[key] = count
+        batch.provenance[key[1]] = log.provenance.get(key[1])
+    return batches
+
+
+@pytest.fixture()
+def expander(small_world):
+    return IncrementalExpander(
+        OracleScorer(small_world.full_taxonomy),
+        small_world.existing_taxonomy, small_world.vocabulary,
+        ExpansionConfig(prune_transitive=False))
+
+
+@pytest.fixture()
+def log(small_world):
+    return generate_click_logs(small_world, ClickLogConfig(
+        seed=3, clicks_per_query=30))
+
+
+class TestWireFormat:
+    def test_two_and_three_element_records(self):
+        log = click_log_from_records(
+            [["apple", "fresh gala apple"],
+             ["apple", "fresh gala apple", 4],
+             ("pear", "ripe pear", 2)])
+        assert log.counts[("apple", "fresh gala apple")] == 5
+        assert log.counts[("pear", "ripe pear")] == 2
+        assert log.num_records == 7
+
+    def test_provenance_attached(self):
+        log = click_log_from_records(
+            [["apple", "fresh gala apple"]],
+            provenance={"fresh gala apple": "gala apple"})
+        assert log.provenance["fresh gala apple"] == "gala apple"
+
+    def test_malformed_records_rejected(self):
+        with pytest.raises(ValueError):
+            click_log_from_records([["only-query"]])
+        with pytest.raises(ValueError):
+            click_log_from_records([["q", "i", 0]])
+
+
+class TestWorker:
+    def test_batches_processed_in_order(self, expander, log):
+        batches = split_log(log, 3)
+        with StreamingIngestor(expander) as ingestor:
+            for batch in batches:
+                assert ingestor.submit(batch)
+            assert ingestor.flush(timeout=30.0)
+        assert ingestor.processed == 3
+        assert [r.batch_index for r in ingestor.reports] == [1, 2, 3]
+        assert expander.num_batches == 3
+
+    def test_matches_direct_ingestion(self, small_world, log):
+        batches = split_log(log, 2)
+        direct = IncrementalExpander(
+            OracleScorer(small_world.full_taxonomy),
+            small_world.existing_taxonomy, small_world.vocabulary,
+            ExpansionConfig(prune_transitive=False))
+        for batch in batches:
+            direct.ingest(batch)
+
+        streamed = IncrementalExpander(
+            OracleScorer(small_world.full_taxonomy),
+            small_world.existing_taxonomy, small_world.vocabulary,
+            ExpansionConfig(prune_transitive=False))
+        with StreamingIngestor(streamed) as ingestor:
+            for batch in batches:
+                ingestor.submit(batch)
+            assert ingestor.flush(timeout=30.0)
+        assert streamed.taxonomy.edge_set() == direct.taxonomy.edge_set()
+
+    def test_stop_drains_queue(self, expander, log):
+        ingestor = StreamingIngestor(expander)
+        ingestor.start()
+        for batch in split_log(log, 4):
+            ingestor.submit(batch)
+        ingestor.stop()
+        assert not ingestor.running
+        assert ingestor.processed == 4
+
+    def test_inline_mode_without_worker(self, expander, log):
+        ingestor = StreamingIngestor(expander)
+        assert ingestor.submit(log)
+        assert ingestor.processed == 1
+        assert expander.num_batches == 1
+
+    def test_submit_type_checked(self, expander):
+        ingestor = StreamingIngestor(expander)
+        with pytest.raises(TypeError):
+            ingestor.submit([["q", "i"]])
+
+    def test_errors_recorded_not_raised(self, small_world, log):
+        def explode(pairs):
+            raise RuntimeError("scorer crashed")
+
+        expander = IncrementalExpander(
+            explode, small_world.existing_taxonomy, small_world.vocabulary)
+        with StreamingIngestor(expander) as ingestor:
+            ingestor.submit(log)
+            assert ingestor.flush(timeout=30.0)
+        assert len(ingestor.errors) == 1
+        assert ingestor.failed == 1
+        assert ingestor.processed == 0
+
+
+class TestTickets:
+    def test_ticket_resolves_to_own_report(self, expander, log):
+        batches = split_log(log, 3)
+        with StreamingIngestor(expander) as ingestor:
+            tickets = [ingestor.submit(batch) for batch in batches]
+            reports = [ticket.wait(timeout=30.0) for ticket in tickets]
+        assert [r.batch_index for r in reports] == [1, 2, 3]
+        assert all(ticket.done for ticket in tickets)
+
+    def test_failed_batch_raises_only_on_its_own_ticket(self, small_world):
+        """Regression: one poisoned batch must not break later syncs."""
+        calls = {"n": 0}
+
+        def flaky(pairs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient model failure")
+            return np.ones(len(pairs))
+
+        expander = IncrementalExpander(
+            flaky, small_world.existing_taxonomy, small_world.vocabulary,
+            ExpansionConfig(prune_transitive=False))
+        # Item titles are real held-out concepts, so candidate extraction
+        # succeeds and the scorer is actually invoked for both batches.
+        root = sorted(small_world.existing_taxonomy.roots())[0]
+        new_a, new_b = sorted(small_world.new_concepts)[:2]
+        first = click_log_from_records([[root, new_a]])
+        second = click_log_from_records([[root, new_b]])
+        with StreamingIngestor(expander) as ingestor:
+            bad = ingestor.submit(first)
+            with pytest.raises(RuntimeError, match="transient"):
+                bad.wait(timeout=30.0)
+            good = ingestor.submit(second)
+            # must not re-raise the earlier batch's failure
+            report = good.wait(timeout=30.0)
+        assert report.batch_index == 2
+        assert ingestor.failed == 1
+
+    def test_history_is_bounded(self):
+        stub = SlowStubExpander(delay=0.0)
+        ingestor = StreamingIngestor(stub, max_history=3)
+        for i in range(10):
+            ingestor.submit(click_log_from_records([[f"q{i}", f"i{i}"]]))
+        assert ingestor.processed == 10  # exact totals survive
+        assert len(ingestor.reports) == 3  # history stays bounded
+        assert [r.batch_index for r in ingestor.reports] == [8, 9, 10]
+
+
+class SlowStubExpander:
+    """Duck-typed expander whose ingest just sleeps — isolates queueing."""
+
+    def __init__(self, delay: float):
+        self.delay = delay
+        self.batches = 0
+
+    def ingest(self, batch):
+        from repro.core import IngestReport
+        time.sleep(self.delay)
+        self.batches += 1
+        return IngestReport(batch_index=self.batches,
+                            new_candidate_queries=0)
+
+
+class TestBackpressure:
+    def test_nonblocking_submit_rejected_when_full(self):
+        slow = SlowStubExpander(delay=0.15)
+        batches = [click_log_from_records([[f"q{i}", f"item {i}"]])
+                   for i in range(6)]
+        with StreamingIngestor(slow, max_queue=1) as ingestor:
+            tickets = [ingestor.submit(batch, block=False)
+                       for batch in batches]
+            assert any(t is None for t in tickets)  # at least one rejection
+            assert ingestor.flush(timeout=30.0)
+        # rejected batches are not silently counted
+        assert ingestor.processed == sum(t is not None for t in tickets)
+
+    def test_blocking_submit_waits_for_room(self):
+        slow = SlowStubExpander(delay=0.02)
+        batches = [click_log_from_records([[f"q{i}", f"item {i}"]])
+                   for i in range(4)]
+        with StreamingIngestor(slow, max_queue=1) as ingestor:
+            for batch in batches:
+                assert ingestor.submit(batch, block=True, timeout=30.0)
+            assert ingestor.flush(timeout=30.0)
+        assert ingestor.processed == 4
+
+
+class TestAccumulatedLogIntegration:
+    def test_accumulated_visible_through_worker(self, expander, log):
+        with StreamingIngestor(expander) as ingestor:
+            ingestor.submit(log)
+            assert ingestor.flush(timeout=30.0)
+        assert expander.accumulated_log.num_records == log.num_records

@@ -1,0 +1,186 @@
+"""BatchingScorer tests: equivalence, caching, coalescing, backoff paths."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import BatchingScorer
+
+
+class CountingScorer:
+    """Deterministic fake scorer that records every underlying call."""
+
+    def __init__(self, delay: float = 0.0):
+        self.calls: list[list] = []
+        self.delay = delay
+        self._lock = threading.Lock()
+
+    def __call__(self, pairs):
+        with self._lock:
+            self.calls.append(list(pairs))
+        if self.delay:
+            time.sleep(self.delay)
+        return np.array([self.score(p) for p in pairs])
+
+    @staticmethod
+    def score(pair):
+        return (hash(pair) % 997) / 997.0
+
+    @property
+    def num_pairs_scored(self):
+        with self._lock:
+            return sum(len(c) for c in self.calls)
+
+
+def expected(pairs):
+    return np.array([CountingScorer.score((str(a), str(b)))
+                     for a, b in pairs])
+
+
+PAIRS = [(f"parent {i}", f"child {i}") for i in range(20)]
+
+
+class TestSynchronousMode:
+    def test_matches_direct_scoring(self):
+        raw = CountingScorer()
+        scorer = BatchingScorer(raw)
+        np.testing.assert_allclose(scorer.score_pairs(PAIRS),
+                                   expected(PAIRS))
+
+    def test_empty_request(self):
+        scorer = BatchingScorer(CountingScorer())
+        assert scorer.score_pairs([]).shape == (0,)
+
+    def test_repeat_requests_hit_cache(self):
+        raw = CountingScorer()
+        scorer = BatchingScorer(raw)
+        scorer.score_pairs(PAIRS)
+        scorer.score_pairs(PAIRS)
+        assert raw.num_pairs_scored == len(PAIRS)
+        assert scorer.stats.cache_hits == len(PAIRS)
+
+    def test_duplicates_within_request_scored_once(self):
+        raw = CountingScorer()
+        scorer = BatchingScorer(raw)
+        result = scorer.score_pairs([PAIRS[0]] * 5 + [PAIRS[1]])
+        assert raw.num_pairs_scored == 2
+        np.testing.assert_allclose(
+            result, expected([PAIRS[0]] * 5 + [PAIRS[1]]))
+
+    def test_lru_eviction(self):
+        raw = CountingScorer()
+        scorer = BatchingScorer(raw, cache_size=2)
+        scorer.score_pairs([PAIRS[0], PAIRS[1], PAIRS[2]])
+        assert scorer.cache_len() == 2
+        scorer.score_pairs([PAIRS[0]])  # evicted -> re-scored
+        assert raw.num_pairs_scored == 4
+
+    def test_cache_disabled(self):
+        raw = CountingScorer()
+        scorer = BatchingScorer(raw, cache_size=0)
+        scorer.score_pairs(PAIRS[:3])
+        scorer.score_pairs(PAIRS[:3])
+        assert raw.num_pairs_scored == 6
+        assert scorer.cache_len() == 0
+
+    def test_clear_cache(self):
+        scorer = BatchingScorer(CountingScorer())
+        scorer.score_pairs(PAIRS[:3])
+        assert scorer.cache_len() == 3
+        scorer.clear_cache()
+        assert scorer.cache_len() == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BatchingScorer(CountingScorer(), max_batch=0)
+        with pytest.raises(ValueError):
+            BatchingScorer(CountingScorer(), cache_size=-1)
+
+
+class TestWorkerMode:
+    def test_threaded_results_match_direct(self):
+        raw = CountingScorer(delay=0.005)
+        with BatchingScorer(raw, max_wait_ms=20.0) as scorer:
+            results = {}
+
+            def request(i):
+                mine = [(f"q{i}", f"c{j}") for j in range(4)]
+                results[i] = (mine, scorer.score_pairs(mine))
+
+            threads = [threading.Thread(target=request, args=(i,))
+                       for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(results) == 8
+        for mine, got in results.values():
+            np.testing.assert_allclose(got, expected(mine))
+
+    def test_concurrent_requests_coalesce(self):
+        raw = CountingScorer(delay=0.01)
+        with BatchingScorer(raw, max_batch=256,
+                            max_wait_ms=30.0) as scorer:
+            threads = [
+                threading.Thread(
+                    target=scorer.score_pairs,
+                    args=([(f"q{i}", f"c{j}") for j in range(3)],))
+                for i in range(10)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(raw.calls) < 10  # fewer model calls than requests
+        assert scorer.stats.coalesced_requests >= scorer.stats.batches
+
+    def test_max_batch_respected(self):
+        raw = CountingScorer()
+        with BatchingScorer(raw, max_batch=4, max_wait_ms=5.0) as scorer:
+            scorer.score_pairs(PAIRS)
+        assert all(len(call) <= 4 for call in raw.calls)
+
+    def test_errors_propagate_to_caller(self):
+        def explode(pairs):
+            raise RuntimeError("model died")
+
+        with BatchingScorer(explode) as scorer:
+            with pytest.raises(RuntimeError, match="model died"):
+                scorer.score_pairs(PAIRS[:2])
+        # the worker survives an error and keeps serving
+        assert scorer.stats.requests == 1
+
+    def test_start_stop_idempotent(self):
+        scorer = BatchingScorer(CountingScorer())
+        scorer.start()
+        scorer.start()
+        assert scorer.running
+        scorer.stop()
+        scorer.stop()
+        assert not scorer.running
+
+    def test_synchronous_fallback_after_stop(self):
+        raw = CountingScorer()
+        scorer = BatchingScorer(raw)
+        scorer.start()
+        scorer.stop()
+        np.testing.assert_allclose(scorer.score_pairs(PAIRS[:2]),
+                                   expected(PAIRS[:2]))
+
+
+class TestAsScorerProtocol:
+    def test_usable_by_expand_taxonomy(self):
+        from repro.core import expand_taxonomy
+        from repro.taxonomy import Taxonomy
+
+        def oracle(pairs):
+            return np.array([1.0 if parent == "food" else 0.0
+                             for parent, child in pairs])
+
+        scorer = BatchingScorer(oracle)
+        taxonomy = Taxonomy(edges=[("food", "bread")])
+        result = expand_taxonomy(scorer, taxonomy,
+                                 {"food": ["cake"], "bread": ["toast"]})
+        assert ("food", "cake") in result.taxonomy.edge_set()
+        assert ("bread", "toast") not in result.taxonomy.edge_set()
