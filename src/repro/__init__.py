@@ -25,6 +25,10 @@ Subpackages
 ``repro.eval``
     Metrics, term-extraction statistics, oracle annotators, and the offline
     query-rewriting user study.
+``repro.infer``
+    Graph-free vectorized inference engine: the scoring hot path compiled
+    to contiguous float32 arrays and fused pure-numpy kernels, bypassing
+    the autograd substrate entirely.
 ``repro.serving``
     Online serving layer: artifact bundles decoupling training from
     serving, micro-batched cached scoring, streaming click-log ingestion,

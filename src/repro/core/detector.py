@@ -9,6 +9,7 @@ controls whether gradients flow into C-BERT during edge training (the
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -71,6 +72,11 @@ class HyponymyDetector:
         # Node embeddings are fixed once training ends; cache them across
         # predict_proba calls (the top-down traversal makes thousands).
         self._node_cache = None
+        #: execution-path override for predict_proba: "fast" | "autograd" |
+        #: None (= process default from the REPRO_INFERENCE env var)
+        self.inference_mode: str | None = None
+        self._engine = None
+        self._engine_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # feature assembly
@@ -125,7 +131,10 @@ class HyponymyDetector:
         self._node_cache = None  # parameters just changed this epoch
         pairs = [s.pair for s in val]
         labels = np.array([s.label for s in val])
-        predictions = (self.predict_proba(pairs) >= 0.5).astype(np.int64)
+        # Model selection always uses the float64 autograd oracle: weights
+        # change every epoch (compiling an engine per epoch is waste) and
+        # the chosen epoch must not depend on the serving dtype.
+        predictions = (self._predict_autograd(pairs) >= 0.5).astype(np.int64)
         return float((predictions == labels).mean())
 
     def fit(self, train: list[LabeledPair],
@@ -138,6 +147,7 @@ class HyponymyDetector:
         if not train:
             raise ValueError("empty training set")
         self._node_cache = None
+        self._engine = None  # weights are about to change
         rng = np.random.default_rng(self.config.seed)
         optimizers = self._optimizers()
         best_val, best_state = -1.0, None
@@ -169,13 +179,52 @@ class HyponymyDetector:
         if best_state is not None:
             self._restore(best_state)
         self._node_cache = None
+        self._engine = None  # stale snapshot of pre-training weights
         if self.relational is not None:
             self.relational.model.eval()
         return self.history
 
+    # ------------------------------------------------------------------
+    # inference-engine integration
+    # ------------------------------------------------------------------
+    def compile_inference(self, force: bool = False):
+        """The fitted detector as a graph-free float32 engine (cached).
+
+        ``fit`` invalidates the cached engine automatically; pass
+        ``force=True`` after any other in-place weight mutation.
+        """
+        with self._engine_lock:
+            if self._engine is None or force:
+                from ..infer import InferenceEngine
+                self._engine = InferenceEngine(self)
+            return self._engine
+
+    @property
+    def inference_engine(self):
+        """The compiled engine, or ``None`` if not compiled yet."""
+        return self._engine
+
     def predict_proba(self, pairs: list[tuple[str, str]],
                       batch_size: int = 128) -> np.ndarray:
-        """Positive-class probabilities for candidate pairs."""
+        """Positive-class probabilities for candidate pairs.
+
+        Dispatches on :attr:`inference_mode` (falling back to the
+        ``REPRO_INFERENCE`` env default): the ``fast`` path runs the
+        vectorized float32 engine, ``autograd`` the float64 ``Tensor``
+        path.  Scores agree within the engine's documented tolerance
+        with identical rankings.  ``batch_size`` applies to the autograd
+        path only; the engine bounds peak memory by its own ``max_batch``
+        (pass one to :class:`~repro.infer.InferenceEngine` to change it).
+        """
+        from ..infer import MODE_FAST, resolve_inference_mode
+        if resolve_inference_mode(self.inference_mode) == MODE_FAST:
+            return self.compile_inference().score_pairs(
+                [(str(q), str(i)) for q, i in pairs])
+        return self._predict_autograd(pairs, batch_size)
+
+    def _predict_autograd(self, pairs: list[tuple[str, str]],
+                          batch_size: int = 128) -> np.ndarray:
+        """The original float64 autograd scoring path (parity oracle)."""
         if not pairs:
             return np.zeros(0)
         probs: list[np.ndarray] = []

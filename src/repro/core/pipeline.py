@@ -202,10 +202,32 @@ class TaxonomyExpansionPipeline:
     # inference
     # ------------------------------------------------------------------
     def score_pairs(self, pairs: list[tuple[str, str]]) -> np.ndarray:
-        """Positive-class probabilities from the trained detector."""
+        """Positive-class probabilities from the trained detector.
+
+        Routed through the graph-free float32 inference engine by
+        default (see :mod:`repro.infer`); set ``REPRO_INFERENCE=autograd``
+        or :meth:`set_inference_mode` to keep the float64 Tensor path.
+        """
         if self.detector is None:
             raise RuntimeError("pipeline not fitted")
         return self.detector.predict_proba(pairs)
+
+    def compile_inference(self, force: bool = False):
+        """Eagerly compile the detector's inference engine (see
+        :meth:`~repro.core.HyponymyDetector.compile_inference`)."""
+        if self.detector is None:
+            raise RuntimeError("pipeline not fitted")
+        return self.detector.compile_inference(force=force)
+
+    def set_inference_mode(self, mode: str | None) -> None:
+        """Pin ``score_pairs`` to ``"fast"`` or ``"autograd"``
+        (``None`` restores the ``REPRO_INFERENCE`` env default)."""
+        if self.detector is None:
+            raise RuntimeError("pipeline not fitted")
+        from ..infer import resolve_inference_mode
+        if mode is not None:
+            resolve_inference_mode(mode)  # validate eagerly
+        self.detector.inference_mode = mode
 
     def expand(self, existing: Taxonomy, click_log: ClickLog,
                vocabulary: ConceptVocabulary) -> ExpansionResult:

@@ -166,6 +166,33 @@ class StructuralEncoder(Module):
                 hidden = layer(hidden, self._adjacency)
         return hidden
 
+    def node_embedding_matrix(self) -> np.ndarray:
+        """Detached propagated embeddings as a plain float64 array.
+
+        The inference engine precomputes this once and serves
+        :meth:`pair_representation` as a vectorized gather over it.
+        """
+        from ..nn import no_grad
+        with no_grad():
+            return self.node_embeddings().data
+
+    def pair_rows(self, pairs: list[tuple[str, str]],
+                  fallback: int | None = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+        """Row indices of each pair's (query, item) nodes.
+
+        Unknown concepts map to ``fallback`` (default: one past the last
+        node — the zero-embedding row both execution paths append).
+        """
+        if fallback is None:
+            fallback = len(self._index)
+        index = self._index
+        q_rows = np.fromiter((index.get(q, fallback) for q, _ in pairs),
+                             dtype=np.int64, count=len(pairs))
+        i_rows = np.fromiter((index.get(i, fallback) for _, i in pairs),
+                             dtype=np.int64, count=len(pairs))
+        return q_rows, i_rows
+
     def pair_representation(self, pairs: list[tuple[str, str]],
                             node_embeddings: Tensor | None = None) -> Tensor:
         """Eq. 13 pair representations, shape ``(len(pairs), out_dim)``.
@@ -178,9 +205,8 @@ class StructuralEncoder(Module):
             node_embeddings = self.node_embeddings()
         zero = Tensor(np.zeros((1, self.config.hidden_dim)))
         padded = Tensor.concatenate([node_embeddings, zero], axis=0)
-        fallback = node_embeddings.shape[0]
-        q_rows = np.asarray([self._index.get(q, fallback) for q, _ in pairs])
-        i_rows = np.asarray([self._index.get(i, fallback) for _, i in pairs])
+        q_rows, i_rows = self.pair_rows(
+            pairs, fallback=node_embeddings.shape[0])
         q_rep = padded[q_rows]
         i_rep = padded[i_rows]
         if not self.config.use_position:

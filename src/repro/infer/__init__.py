@@ -1,0 +1,23 @@
+"""Inference-engine glue: the graph-free serving path over a fitted model.
+
+:class:`InferenceEngine` compiles a fitted
+:class:`~repro.core.HyponymyDetector` into pure-numpy float32 kernels
+(:mod:`repro.nn.inference`) and serves ``score_pairs`` without touching
+the autograd substrate.  Path selection:
+
+* ``REPRO_INFERENCE=fast`` (default) routes ``predict_proba`` /
+  ``score_pairs`` through the engine,
+* ``REPRO_INFERENCE=autograd`` keeps the float64 ``Tensor`` path (the
+  training substrate and parity oracle),
+* per-detector override via ``HyponymyDetector.inference_mode``.
+"""
+
+from .engine import (
+    INFERENCE_ENV, MODE_AUTOGRAD, MODE_FAST, EngineStats, InferenceEngine,
+    default_inference_mode, resolve_inference_mode,
+)
+
+__all__ = [
+    "INFERENCE_ENV", "MODE_AUTOGRAD", "MODE_FAST", "EngineStats",
+    "InferenceEngine", "default_inference_mode", "resolve_inference_mode",
+]

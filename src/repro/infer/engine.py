@@ -1,0 +1,419 @@
+"""The vectorized inference engine for the scoring hot path.
+
+:class:`InferenceEngine` snapshots every weight a fitted
+:class:`~repro.core.HyponymyDetector` needs into contiguous float32
+arrays and executes scoring entirely through the fused kernels of
+:mod:`repro.nn.inference` — zero ``Tensor`` allocation, no autograd
+graph, no per-row Python input loops:
+
+* template token ids are assembled from a per-concept token cache and
+  padded with **length bucketing** (short pairs never pay long-pair
+  attention cost; bucket widths are rounded up so workspace buffers
+  recycle across calls),
+* segment ids come from vectorized boundary arithmetic instead of a
+  per-row fill loop,
+* the structural representation is a precomputed node-embedding matrix
+  served as a vectorized gather (unknown concepts hit a zero fallback
+  row, exactly like the autograd path),
+* single-concept embeddings are memoised in an LRU cache.
+
+The engine is a pure function of the detector's weights: rebuild it
+(``HyponymyDetector.compile_inference(force=True)``) after any
+parameter update.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..nn.inference import (
+    CompiledBert, CompiledClassifier, SCORE_TOLERANCE,
+)
+
+__all__ = [
+    "INFERENCE_ENV", "MODE_AUTOGRAD", "MODE_FAST", "EngineStats",
+    "InferenceEngine", "default_inference_mode", "resolve_inference_mode",
+]
+
+#: environment variable selecting the scoring execution path
+INFERENCE_ENV = "REPRO_INFERENCE"
+
+#: pair token-id memo bound; the whole dict is dropped when exceeded
+#: (entries are tiny lists — wholesale reset is cheaper than LRU churn)
+_PAIR_CACHE_LIMIT = 65536
+MODE_FAST = "fast"
+MODE_AUTOGRAD = "autograd"
+
+_MODE_ALIASES = {
+    "fast": MODE_FAST, "engine": MODE_FAST, "float32": MODE_FAST,
+    "autograd": MODE_AUTOGRAD, "reference": MODE_AUTOGRAD,
+    "float64": MODE_AUTOGRAD,
+}
+
+
+def default_inference_mode() -> str:
+    """The process-wide execution path from ``REPRO_INFERENCE``.
+
+    Unknown values fall back to the fast path (serving should never die
+    on a typo'd environment); ``resolve_inference_mode`` validates
+    explicit programmatic choices strictly.
+    """
+    raw = os.environ.get(INFERENCE_ENV, MODE_FAST).strip().lower()
+    return _MODE_ALIASES.get(raw, MODE_FAST)
+
+
+def resolve_inference_mode(mode: str | None) -> str:
+    """Normalise an explicit mode override; ``None`` means env default."""
+    if mode is None:
+        return default_inference_mode()
+    normalized = _MODE_ALIASES.get(mode.strip().lower())
+    if normalized is None:
+        raise ValueError(
+            f"unknown inference mode {mode!r}; expected one of "
+            f"{sorted(set(_MODE_ALIASES))}")
+    return normalized
+
+
+@dataclass
+class EngineStats:
+    """Counters describing engine traffic since compilation."""
+
+    batches: int = 0
+    pairs_scored: int = 0
+    sequences_encoded: int = 0
+    concepts_encoded: int = 0
+    concept_cache_hits: int = 0
+    dtype: str = "float32"
+
+    def as_dict(self) -> dict:
+        """JSON/metrics-friendly snapshot."""
+        return {
+            "dtype": self.dtype,
+            "batches": self.batches,
+            "pairs_scored": self.pairs_scored,
+            "sequences_encoded": self.sequences_encoded,
+            "concepts_encoded": self.concepts_encoded,
+            "concept_cache_hits": self.concept_cache_hits,
+        }
+
+
+class InferenceEngine:
+    """Graph-free scoring over a fitted hyponymy detector.
+
+    Parameters
+    ----------
+    detector:
+        A fitted :class:`~repro.core.HyponymyDetector`; its relational
+        and/or structural encoders and classifier head are exported.
+    dtype:
+        Kernel dtype (float32 by default; float64 reproduces the
+        autograd path bit-for-bit and is useful for debugging parity).
+    max_batch:
+        Sequences per encoder call; longer inputs are chunked.  The
+        default is tuned for cache locality — larger chunks spill the
+        attention score tensor out of L2/L3 and run measurably slower.
+    bucket_multiple:
+        Padded widths are rounded up to this multiple so length buckets
+        collapse onto few distinct shapes and scratch buffers recycle.
+    concept_cache_size:
+        LRU capacity of the single-concept embedding cache.
+    """
+
+    def __init__(self, detector, dtype=np.float32, max_batch: int = 128,
+                 bucket_multiple: int = 4, concept_cache_size: int = 4096):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if bucket_multiple < 1:
+            raise ValueError("bucket_multiple must be >= 1")
+        self.dtype = np.dtype(dtype)
+        self.max_batch = max_batch
+        self.bucket_multiple = bucket_multiple
+        self.concept_cache_size = concept_cache_size
+        self.stats = EngineStats(dtype=str(self.dtype))
+        self.score_tolerance = SCORE_TOLERANCE
+        # The compiled encoder reuses scratch buffers across calls, so
+        # scoring is serialised: concurrent callers (e.g. synchronous
+        # BatchingScorer fallback on several HTTP threads) must not
+        # interleave writes into the shared workspace.
+        self._lock = threading.RLock()
+
+        relational = detector.relational
+        self._relational_dim = 0
+        if relational is not None:
+            self.bert = CompiledBert(relational.model, dtype=self.dtype)
+            tok = relational.tokenizer
+            self._tokenizer = tok
+            self._use_template = bool(relational.use_template)
+            from ..plm.relational import TEMPLATE_WORDS
+            self._infix = [tok.token_to_id(w) for w in TEMPLATE_WORDS]
+            self._cls_id = tok.cls_id
+            self._sep_id = tok.sep_id
+            self._pad_id = tok.pad_id
+            self._max_len = relational.model.config.max_len
+            self._relational_dim = relational.dim
+            self._token_cache: dict[str, list[int]] = {}
+            self._pair_cache: dict[tuple[str, str],
+                                   tuple[list[int], int]] = {}
+            self._concept_cache: OrderedDict[tuple[str, str], np.ndarray] = \
+                OrderedDict()
+        else:
+            self.bert = None
+
+        structural = detector.structural
+        self._structural_dim = 0
+        if structural is not None:
+            nodes = structural.node_embedding_matrix()
+            hidden_dim = nodes.shape[1]
+            # Row N is the zero fallback for concepts outside the graph.
+            matrix = np.zeros((nodes.shape[0] + 1, hidden_dim),
+                              dtype=self.dtype)
+            matrix[:-1] = nodes
+            self._node_matrix = matrix
+            self._pair_rows = structural.pair_rows
+            self._hidden_dim = hidden_dim
+            if structural.config.use_position:
+                self._position_parent = np.asarray(
+                    structural.position_parent.data, dtype=self.dtype)
+                self._position_child = np.asarray(
+                    structural.position_child.data, dtype=self.dtype)
+            else:
+                self._position_parent = None
+                self._position_child = None
+            self._structural_dim = structural.out_dim
+        else:
+            self._node_matrix = None
+
+        self.classifier = CompiledClassifier(detector.classifier,
+                                             dtype=self.dtype)
+        self.feature_dim = self._relational_dim + self._structural_dim
+
+    # ------------------------------------------------------------------
+    # scoring (the hot path)
+    # ------------------------------------------------------------------
+    def score_pairs(self, pairs: list[tuple[str, str]]) -> np.ndarray:
+        """Positive-class probabilities, float64, autograd-compatible."""
+        if not pairs:
+            return np.zeros(0)
+        with self._lock:
+            features = self.pair_features(pairs)
+            probs = self.classifier.positive_probability(features)
+            self.stats.batches += 1
+            self.stats.pairs_scored += len(pairs)
+        return np.asarray(probs, dtype=np.float64)
+
+    def stats_snapshot(self) -> EngineStats:
+        """An atomic copy of the counters taken under the engine lock."""
+        with self._lock:
+            return replace(self.stats)
+
+    def pair_features(self, pairs: list[tuple[str, str]]) -> np.ndarray:
+        """Eq. 14 edge features ``(len(pairs), feature_dim)`` in dtype."""
+        with self._lock:
+            n = len(pairs)
+            features = np.empty((n, self.feature_dim), dtype=self.dtype)
+            if self.bert is not None:
+                self._encode_pair_cls(
+                    pairs, out=features[:, :self._relational_dim])
+            if self._node_matrix is not None:
+                self._structural_features(
+                    pairs, out=features[:, self._relational_dim:])
+            return features
+
+    # ------------------------------------------------------------------
+    # relational fast path
+    # ------------------------------------------------------------------
+    def _concept_token_ids(self, concept: str) -> list[int]:
+        ids = self._token_cache.get(concept)
+        if ids is None:
+            tok = self._tokenizer
+            ids = [tok.token_to_id(t) for t in concept.split()]
+            if len(self._token_cache) >= _PAIR_CACHE_LIMIT:
+                # Arbitrary client strings reach this cache via /score;
+                # wholesale reset keeps a long-running service bounded.
+                self._token_cache.clear()
+            self._token_cache[concept] = ids
+        return ids
+
+    def pair_token_ids(self, query: str, item: str) -> tuple[list[int], int]:
+        """Template ids + segment boundary, mirroring
+        :meth:`~repro.plm.RelationalEncoder.pair_ids` (truncation
+        included); the boundary is the first segment-1 position.
+
+        Assembled sequences are memoised per pair (the expansion
+        traversal and repeated candidate sets revisit pairs constantly);
+        the cache is wiped wholesale past ``_PAIR_CACHE_LIMIT`` entries.
+        """
+        key = (query, item)
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+        query_ids = self._concept_token_ids(query)
+        item_ids = self._concept_token_ids(item)
+        if self._use_template:
+            ids = ([self._cls_id] + query_ids + self._infix
+                   + item_ids + [self._sep_id])
+            boundary = 1 + len(query_ids) + len(self._infix)
+        else:
+            ids = ([self._cls_id] + query_ids + [self._sep_id]
+                   + item_ids + [self._sep_id])
+            boundary = 2 + len(query_ids)
+        if len(ids) > self._max_len:
+            ids = ids[:self._max_len]
+            ids[-1] = self._sep_id
+            boundary = min(boundary, self._max_len)
+        if len(self._pair_cache) >= _PAIR_CACHE_LIMIT:
+            self._pair_cache.clear()
+        self._pair_cache[key] = (ids, boundary)
+        return ids, boundary
+
+    def _bucket_width(self, length: int) -> int:
+        multiple = self.bucket_multiple
+        return min(self._max_len, -(-length // multiple) * multiple)
+
+    def _pack_batch(self, sequences: list[list[int]],
+                    boundaries: np.ndarray, width: int
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized pad + mask + segment assembly for one bucket."""
+        lengths = np.fromiter((len(s) for s in sequences), dtype=np.int64,
+                              count=len(sequences))
+        positions = np.arange(width)
+        valid = positions < lengths[:, None]
+        ids = np.full((len(sequences), width), self._pad_id, dtype=np.int64)
+        ids[valid] = np.concatenate(sequences) if sequences else []
+        segments = ((positions >= boundaries[:, None]) & valid) \
+            .astype(np.int64)
+        return ids, valid.astype(self.dtype), segments
+
+    def _encode_pair_cls(self, pairs: list[tuple[str, str]],
+                         out: np.ndarray) -> None:
+        """Write each pair's ``[CLS]`` representation into ``out`` rows."""
+        n = len(pairs)
+        sequences: list[list[int]] = [None] * n
+        boundaries = np.empty(n, dtype=np.int64)
+        lengths = np.empty(n, dtype=np.int64)
+        for row, (query, item) in enumerate(pairs):
+            ids, boundary = self.pair_token_ids(query, item)
+            sequences[row] = ids
+            boundaries[row] = boundary
+            lengths[row] = len(ids)
+        # Length-sorted processing: each chunk pads only to its own
+        # (rounded) max, so short pairs skip long-pair attention cost.
+        # A uniform-length chunk carries no padding at all, so the
+        # attention mask (and its per-layer bias pass) is dropped.
+        order = np.argsort(lengths, kind="stable")
+        for start in range(0, n, self.max_batch):
+            chunk = order[start:start + self.max_batch]
+            shortest, longest = int(lengths[chunk[0]]), int(lengths[chunk[-1]])
+            uniform = shortest == longest
+            width = longest if uniform else self._bucket_width(longest)
+            ids, mask, segments = self._pack_batch(
+                [sequences[i] for i in chunk], boundaries[chunk], width)
+            hidden = self.bert.encode(ids, None if uniform else mask,
+                                      segments)
+            out[chunk] = hidden[:, 0, :]
+            self.stats.sequences_encoded += len(chunk)
+
+    # ------------------------------------------------------------------
+    # single-concept embeddings (cached)
+    # ------------------------------------------------------------------
+    def encode_concepts(self, concepts: list[str],
+                        pool: str = "cls") -> np.ndarray:
+        """``[CLS] u [SEP]`` concept embeddings with an LRU cache.
+
+        Matches :meth:`~repro.plm.RelationalEncoder.encode_concepts`
+        within float32 tolerance; repeated concepts are free.
+        """
+        if self.bert is None:
+            raise RuntimeError("engine has no relational encoder")
+        if pool not in ("cls", "mean"):
+            raise ValueError("pool must be 'cls' or 'mean'")
+        with self._lock:
+            return self._encode_concepts_locked(concepts, pool)
+
+    def _encode_concepts_locked(self, concepts: list[str],
+                                pool: str) -> np.ndarray:
+        resolved: dict[str, np.ndarray] = {}
+        missing: dict[str, None] = {}
+        for concept in concepts:
+            cached = self._concept_cache.get((concept, pool))
+            if cached is not None:
+                self._concept_cache.move_to_end((concept, pool))
+                self.stats.concept_cache_hits += 1
+                resolved[concept] = cached
+            else:
+                missing[concept] = None
+        todo = list(missing)
+        for start in range(0, len(todo), self.max_batch):
+            chunk = todo[start:start + self.max_batch]
+            embedded = self._encode_concept_chunk(chunk, pool)
+            for concept, vector in zip(chunk, embedded):
+                resolved[concept] = vector
+                self._cache_concept((concept, pool), vector)
+        out = np.empty((len(concepts), self._relational_dim),
+                       dtype=self.dtype)
+        for row, concept in enumerate(concepts):
+            out[row] = resolved[concept]
+        return out
+
+    def _encode_concept_chunk(self, concepts: list[str],
+                              pool: str) -> np.ndarray:
+        sequences = []
+        for concept in concepts:
+            ids = ([self._cls_id] + self._concept_token_ids(concept)
+                   + [self._sep_id])
+            if len(ids) > self._max_len:
+                ids = ids[:self._max_len]
+                ids[-1] = self._sep_id
+            sequences.append(ids)
+        boundaries = np.fromiter((len(s) for s in sequences),
+                                 dtype=np.int64, count=len(sequences))
+        width = self._bucket_width(int(boundaries.max(initial=1)))
+        ids, mask, _ = self._pack_batch(sequences, boundaries, width)
+        hidden = self.bert.encode(ids, mask)  # no segments for concepts
+        self.stats.concepts_encoded += len(concepts)
+        if pool == "cls":
+            return hidden[:, 0, :].copy()
+        content = mask.copy()
+        content[ids == self._cls_id] = 0.0
+        content[ids == self._sep_id] = 0.0
+        denom = np.maximum(content.sum(axis=1, keepdims=True), 1.0)
+        return np.einsum("bsd,bs->bd", hidden,
+                         (content / denom).astype(self.dtype))
+
+    def _cache_concept(self, key: tuple[str, str],
+                       vector: np.ndarray) -> None:
+        if not self.concept_cache_size:
+            return
+        self._concept_cache[key] = vector
+        self._concept_cache.move_to_end(key)
+        while len(self._concept_cache) > self.concept_cache_size:
+            self._concept_cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # structural fast path
+    # ------------------------------------------------------------------
+    def _structural_features(self, pairs: list[tuple[str, str]],
+                             out: np.ndarray) -> None:
+        """Vectorized gather over the precomputed node-embedding matrix.
+
+        Row lookup delegates to ``StructuralEncoder.pair_rows`` (the
+        default fallback row is the zero row appended to the matrix), so
+        unknown-concept handling cannot drift between the two paths.
+        """
+        q_rows, i_rows = self._pair_rows(pairs)
+        hidden = self._hidden_dim
+        if self._position_parent is None:
+            out[:, :hidden] = self._node_matrix[q_rows]
+            out[:, hidden:] = self._node_matrix[i_rows]
+            return
+        position = self._position_parent.shape[0]
+        out[:, :hidden] = self._node_matrix[q_rows]
+        out[:, hidden:hidden + position] = self._position_parent
+        out[:, hidden + position:2 * hidden + position] = \
+            self._node_matrix[i_rows]
+        out[:, 2 * hidden + position:] = self._position_child

@@ -15,6 +15,9 @@ from .losses import bce_with_logits, binary_cross_entropy, cross_entropy, info_n
 from .attention import MultiHeadSelfAttention
 from .transformer import TransformerEncoder, TransformerEncoderLayer
 from .serialization import save_module, load_module
+from .inference import (
+    CompiledBert, CompiledClassifier, Workspace, SCORE_TOLERANCE,
+)
 
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled",
@@ -24,4 +27,5 @@ __all__ = [
     "bce_with_logits", "binary_cross_entropy", "cross_entropy", "info_nce",
     "MultiHeadSelfAttention", "TransformerEncoder", "TransformerEncoderLayer",
     "save_module", "load_module",
+    "CompiledBert", "CompiledClassifier", "Workspace", "SCORE_TOLERANCE",
 ]

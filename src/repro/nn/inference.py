@@ -1,0 +1,408 @@
+"""Graph-free inference kernels: the scoring hot path without autograd.
+
+Under ``no_grad`` the :class:`~repro.nn.Tensor` engine still pays for graph
+bookkeeping, float64 arithmetic, and one Python object per intermediate.
+For online serving none of that is needed — weights are frozen and only the
+forward values matter.  This module executes the same mathematics as the
+module tree in :mod:`repro.nn.layers` / :mod:`repro.nn.attention` as fused
+pure-numpy kernels over contiguous float32 arrays:
+
+* :func:`linear` — GEMM + bias into a reusable output buffer,
+* :func:`gelu_` / :func:`layer_norm_` — in-place elementwise stages,
+* :func:`multi_head_attention` — single-pass attention with one packed
+  QKV projection and softmax computed in place on the score buffer,
+* :class:`CompiledBert` — a :class:`~repro.plm.MiniBert` exported once
+  into flat weight arrays and executed with zero ``Tensor`` allocation,
+* :class:`CompiledClassifier` — the detector MLP head as two GEMMs.
+
+The float64 autograd path remains the training substrate and the parity
+oracle; ``tests/test_inference_engine.py`` asserts per-layer and
+end-to-end agreement within :data:`SCORE_TOLERANCE`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SCORE_TOLERANCE", "Workspace", "linear", "gelu_", "layer_norm_",
+    "softmax_", "stable_sigmoid", "multi_head_attention",
+    "CompiledBert", "CompiledClassifier",
+]
+
+#: documented max abs deviation of fast-path probabilities from the
+#: float64 autograd oracle (float32 rounding through a 2-layer encoder
+#: plus the MLP head stays well under this)
+SCORE_TOLERANCE = 1e-4
+
+_MASK_BIAS = np.float32(-1e9)
+
+
+class Workspace:
+    """Named scratch buffers reused across forward calls.
+
+    Buckets in the serving path repeat the same ``(batch, seq)`` shapes
+    constantly; keeping one buffer per kernel site avoids re-allocating
+    the large intermediates (QKV, attention scores, FFN hidden) on every
+    call.  A buffer is re-allocated only when its shape or dtype changes.
+    """
+
+    def __init__(self):
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, shape: tuple, dtype=np.float32) -> np.ndarray:
+        buffer = self._buffers.get(name)
+        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            buffer = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buffer
+        return buffer
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None,
+           out: np.ndarray | None = None) -> np.ndarray:
+    """``x @ weight + bias`` written into ``out`` when provided.
+
+    Leading axes are flattened so the whole batch runs as ONE GEMM —
+    ``np.matmul`` on a stacked 3D input would otherwise dispatch one
+    small GEMM per batch row, which dominates at serving batch shapes.
+    """
+    if x.ndim > 2:
+        lead = x.shape[:-1]
+        flat_out = None if out is None else out.reshape(-1, weight.shape[1])
+        flat = np.matmul(x.reshape(-1, x.shape[-1]), weight, out=flat_out)
+        out = flat.reshape(*lead, weight.shape[1])
+    else:
+        out = np.matmul(x, weight, out=out)
+    if bias is not None:
+        out += bias
+    return out
+
+
+#: cached all-ones vectors backing the GEMV-style row reductions below
+_ONES_CACHE: dict[tuple[int, np.dtype], np.ndarray] = {}
+
+
+def _ones(n: int, dtype) -> np.ndarray:
+    key = (n, np.dtype(dtype))
+    vec = _ONES_CACHE.get(key)
+    if vec is None:
+        vec = np.ones(n, dtype=dtype)
+        _ONES_CACHE[key] = vec
+    return vec
+
+
+def _row_sum(flat: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Sum over axis 1 as a BLAS GEMV.
+
+    numpy's generic reduction machinery is an order of magnitude slower
+    than a matrix-vector product when rows are short (attention rows are
+    ``seq`` long, layernorm rows ``dim`` long).
+    """
+    return np.matmul(flat, _ones(flat.shape[1], flat.dtype), out=out)
+
+
+def _row_max(flat: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Max over axis 1 via a column sweep (no BLAS max exists).
+
+    ``width - 1`` full-height ``np.maximum`` passes beat one tiny-axis
+    ``ndarray.max`` by >10x at attention shapes; bit-identical result.
+    """
+    np.copyto(out, flat[:, 0])
+    for column in range(1, flat.shape[1]):
+        np.maximum(out, flat[:, column], out=out)
+    return out
+
+
+def gelu_(x: np.ndarray, workspace: "Workspace | None" = None,
+          site: str = "gelu") -> np.ndarray:
+    """In-place tanh-approximation GELU (matches ``Tensor.gelu``)."""
+    dtype = x.dtype.type
+    if workspace is None:
+        inner = np.empty_like(x)
+    else:
+        inner = workspace.get(f"{site}.inner", x.shape, x.dtype)
+    np.square(x, out=inner)
+    inner *= x
+    inner *= dtype(0.044715)
+    inner += x
+    inner *= dtype(np.sqrt(2.0 / np.pi))
+    np.tanh(inner, out=inner)
+    inner += dtype(1.0)
+    x *= inner
+    x *= dtype(0.5)
+    return x
+
+
+def layer_norm_(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                eps: float, workspace: "Workspace | None" = None,
+                site: str = "ln") -> np.ndarray:
+    """In-place layer normalisation over the last axis."""
+    if not x.flags.c_contiguous:
+        # Generic fallback: reductions through the numpy axis machinery.
+        x -= x.mean(axis=-1, keepdims=True)
+        var = np.mean(np.square(x), axis=-1, keepdims=True)
+        var += eps
+        np.sqrt(var, out=var)
+        x /= var
+        x *= gamma
+        x += beta
+        return x
+    dim = x.shape[-1]
+    flat = x.reshape(-1, dim)
+    dtype = x.dtype.type
+    if workspace is None:
+        stat = np.empty(flat.shape[0], dtype=x.dtype)
+        squares = np.empty_like(flat)
+    else:
+        stat = workspace.get(f"{site}.stat", (flat.shape[0],), x.dtype)
+        squares = workspace.get(f"{site}.squares", flat.shape, x.dtype)
+    inv_dim = dtype(1.0 / dim)
+    _row_sum(flat, stat)
+    stat *= inv_dim
+    flat -= stat[:, None]
+    np.square(flat, out=squares)
+    _row_sum(squares, stat)
+    stat *= inv_dim
+    stat += dtype(eps)
+    np.sqrt(stat, out=stat)
+    flat /= stat[:, None]
+    flat *= gamma
+    flat += beta
+    return x
+
+
+def softmax_(scores: np.ndarray, workspace: "Workspace | None" = None,
+             site: str = "softmax") -> np.ndarray:
+    """In-place softmax over the last axis."""
+    if not scores.flags.c_contiguous:
+        scores -= scores.max(axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        scores /= scores.sum(axis=-1, keepdims=True)
+        return scores
+    width = scores.shape[-1]
+    flat = scores.reshape(-1, width)
+    if workspace is None:
+        stat = np.empty(flat.shape[0], dtype=scores.dtype)
+    else:
+        stat = workspace.get(f"{site}.stat", (flat.shape[0],), scores.dtype)
+    _row_max(flat, stat)
+    flat -= stat[:, None]
+    np.exp(flat, out=flat)
+    _row_sum(flat, stat)
+    flat /= stat[:, None]
+    return scores
+
+
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Clipped sigmoid matching ``Tensor.sigmoid`` numerics."""
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+def multi_head_attention(x: np.ndarray, w_qkv: np.ndarray,
+                         b_qkv: np.ndarray, w_out: np.ndarray,
+                         b_out: np.ndarray, num_heads: int,
+                         mask_bias: np.ndarray | None,
+                         workspace: Workspace, site: str,
+                         scale: float | None = None) -> np.ndarray:
+    """Single-pass multi-head self-attention.
+
+    The three projections are packed into one ``(dim, 3*dim)`` GEMM;
+    scores are masked and softmaxed in place on a workspace buffer.
+    ``mask_bias`` is ``(batch, seq)`` additive bias (0 for real tokens,
+    ``-1e9`` for padding keys).  ``scale=None`` means the ``1/sqrt(d_h)``
+    factor is already folded into the query projection weights (what
+    :class:`CompiledBert` exports); pass it explicitly for raw weights.
+    """
+    batch, seq, dim = x.shape
+    head_dim = dim // num_heads
+    qkv = linear(x, w_qkv, b_qkv,
+                 out=workspace.get(f"{site}.qkv", (batch, seq, 3 * dim)))
+    heads = qkv.reshape(batch, seq, 3, num_heads, head_dim)
+    q = heads[:, :, 0].transpose(0, 2, 1, 3)
+    k = heads[:, :, 1].transpose(0, 2, 1, 3)
+    v = heads[:, :, 2].transpose(0, 2, 1, 3)
+
+    scores = np.matmul(
+        q, k.transpose(0, 1, 3, 2),
+        out=workspace.get(f"{site}.scores", (batch, num_heads, seq, seq)))
+    if scale is not None:
+        scores *= np.asarray(scale, dtype=scores.dtype)
+    if mask_bias is not None:
+        scores += mask_bias[:, None, None, :]
+    softmax_(scores, workspace, f"{site}.softmax")
+
+    context = np.matmul(
+        scores, v,
+        out=workspace.get(f"{site}.context",
+                          (batch, num_heads, seq, head_dim)))
+    merged = np.ascontiguousarray(context.transpose(0, 2, 1, 3)) \
+        .reshape(batch, seq, dim)
+    return linear(merged, w_out, b_out,
+                  out=workspace.get(f"{site}.out", (batch, seq, dim)))
+
+
+def _flat(array: np.ndarray, dtype) -> np.ndarray:
+    """A contiguous copy of an autograd parameter in the engine dtype."""
+    return np.ascontiguousarray(np.asarray(array), dtype=dtype)
+
+
+class _CompiledEncoderLayer:
+    """Weights of one transformer block, exported for kernel execution."""
+
+    __slots__ = ("w_qkv", "b_qkv", "w_attn_out", "b_attn_out",
+                 "norm1_gamma", "norm1_beta", "norm1_eps",
+                 "w_ffn1", "b_ffn1", "w_ffn2", "b_ffn2",
+                 "norm2_gamma", "norm2_beta", "norm2_eps")
+
+    def __init__(self, layer, dtype):
+        attention = layer.attention
+        # The 1/sqrt(head_dim) score scale is folded into the query
+        # projection at export time, removing one full pass over the
+        # (batch, heads, seq, seq) score tensor per layer per call.
+        scale = 1.0 / np.sqrt(attention.head_dim)
+        self.w_qkv = np.ascontiguousarray(np.concatenate(
+            [attention.query.weight.data * scale, attention.key.weight.data,
+             attention.value.weight.data], axis=1), dtype=dtype)
+        self.b_qkv = np.ascontiguousarray(np.concatenate(
+            [attention.query.bias.data * scale, attention.key.bias.data,
+             attention.value.bias.data]), dtype=dtype)
+        self.w_attn_out = _flat(attention.out.weight.data, dtype)
+        self.b_attn_out = _flat(attention.out.bias.data, dtype)
+        self.norm1_gamma = _flat(layer.norm1.gamma.data, dtype)
+        self.norm1_beta = _flat(layer.norm1.beta.data, dtype)
+        self.norm1_eps = float(layer.norm1.eps)
+        ffn_in, _, ffn_out = layer.ffn.modules
+        self.w_ffn1 = _flat(ffn_in.weight.data, dtype)
+        self.b_ffn1 = _flat(ffn_in.bias.data, dtype)
+        self.w_ffn2 = _flat(ffn_out.weight.data, dtype)
+        self.b_ffn2 = _flat(ffn_out.bias.data, dtype)
+        self.norm2_gamma = _flat(layer.norm2.gamma.data, dtype)
+        self.norm2_beta = _flat(layer.norm2.beta.data, dtype)
+        self.norm2_eps = float(layer.norm2.eps)
+
+
+class CompiledBert:
+    """A frozen :class:`~repro.plm.MiniBert` as flat arrays + kernels.
+
+    Built once via :meth:`~repro.plm.MiniBert.compile_inference`; every
+    ``encode`` call afterwards runs pure numpy with reusable scratch
+    buffers and allocates no autograd objects.  Dropout is inference-mode
+    (identity) by construction.
+    """
+
+    def __init__(self, model, dtype=np.float32):
+        self.dtype = np.dtype(dtype)
+        self.dim = int(model.config.dim)
+        self.num_heads = int(model.config.num_heads)
+        self.max_len = int(model.config.max_len)
+        self.token_embedding = _flat(model.token_embedding.weight.data, dtype)
+        self.position_embedding = _flat(
+            model.position_embedding.weight.data, dtype)
+        self.segment_embedding = _flat(
+            model.segment_embedding.weight.data, dtype)
+        self.emb_gamma = _flat(model.embedding_norm.gamma.data, dtype)
+        self.emb_beta = _flat(model.embedding_norm.beta.data, dtype)
+        self.emb_eps = float(model.embedding_norm.eps)
+        self.layers = [_CompiledEncoderLayer(layer, dtype)
+                       for layer in model.encoder.layers]
+        self.workspace = Workspace()
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    def encode(self, ids: np.ndarray,
+               attention_mask: np.ndarray | None = None,
+               segment_ids: np.ndarray | None = None) -> np.ndarray:
+        """ids ``(batch, seq)`` -> hidden states ``(batch, seq, dim)``."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ValueError("ids must be (batch, seq)")
+        batch, seq = ids.shape
+        if seq > self.max_len:
+            raise ValueError(f"sequence length {seq} exceeds max_len "
+                             f"{self.max_len}")
+        workspace = self.workspace
+        hidden = workspace.get("hidden", (batch, seq, self.dim), self.dtype)
+        np.take(self.token_embedding, ids, axis=0, out=hidden)
+        hidden += self.position_embedding[:seq]
+        if segment_ids is not None:
+            segment_ids = np.asarray(segment_ids, dtype=np.int64)
+            if segment_ids.shape != ids.shape:
+                raise ValueError("segment_ids must match ids shape")
+            hidden += self.segment_embedding[segment_ids]
+        layer_norm_(hidden, self.emb_gamma, self.emb_beta, self.emb_eps,
+                    workspace, "emb.ln")
+
+        if attention_mask is None:
+            mask_bias = None
+        else:
+            mask = np.asarray(attention_mask, dtype=self.dtype)
+            if mask.shape != (batch, seq):
+                raise ValueError("attention_mask must be (batch, seq)")
+            mask_bias = workspace.get("mask_bias", (batch, seq), self.dtype)
+            np.subtract(np.float32(1.0), mask, out=mask_bias)
+            mask_bias *= _MASK_BIAS
+
+        for i, layer in enumerate(self.layers):
+            attended = multi_head_attention(
+                hidden, layer.w_qkv, layer.b_qkv, layer.w_attn_out,
+                layer.b_attn_out, self.num_heads, mask_bias, workspace,
+                site=f"layer{i}.attn")
+            hidden += attended
+            layer_norm_(hidden, layer.norm1_gamma, layer.norm1_beta,
+                        layer.norm1_eps, workspace, f"layer{i}.ln1")
+            ffn = linear(hidden, layer.w_ffn1, layer.b_ffn1,
+                         out=workspace.get(f"layer{i}.ffn",
+                                           (batch, seq,
+                                            layer.w_ffn1.shape[1]),
+                                           self.dtype))
+            gelu_(ffn, workspace, f"layer{i}.gelu")
+            projected = linear(ffn, layer.w_ffn2, layer.b_ffn2,
+                               out=workspace.get(f"layer{i}.proj",
+                                                 (batch, seq, self.dim),
+                                                 self.dtype))
+            hidden += projected
+            layer_norm_(hidden, layer.norm2_gamma, layer.norm2_beta,
+                        layer.norm2_eps, workspace, f"layer{i}.ln2")
+        return hidden
+
+    def cls_representation(self, ids: np.ndarray,
+                           attention_mask: np.ndarray | None = None,
+                           segment_ids: np.ndarray | None = None
+                           ) -> np.ndarray:
+        """Final-layer ``[CLS]`` vectors, shape ``(batch, dim)`` (copy).
+
+        The copy detaches the result from the shared hidden-state
+        workspace buffer, which the next ``encode`` call overwrites.
+        """
+        hidden = self.encode(ids, attention_mask, segment_ids)
+        return hidden[:, 0, :].copy()
+
+
+class CompiledClassifier:
+    """The :class:`~repro.core.classifier.EdgeClassifier` head as GEMMs.
+
+    ``positive_probability`` exploits that a two-way softmax reduces to
+    ``sigmoid(logit_1 - logit_0)``, so no exponential normalisation pass
+    is needed.
+    """
+
+    def __init__(self, classifier, dtype=np.float32):
+        self.dtype = np.dtype(dtype)
+        self.w_hidden = _flat(classifier.hidden.weight.data, dtype)
+        self.b_hidden = _flat(classifier.hidden.bias.data, dtype)
+        self.w_out = _flat(classifier.output.weight.data, dtype)
+        self.b_out = _flat(classifier.output.bias.data, dtype)
+
+    def logits(self, features: np.ndarray) -> np.ndarray:
+        hidden = linear(features, self.w_hidden, self.b_hidden)
+        hidden = stable_sigmoid(hidden)
+        return linear(hidden, self.w_out, self.b_out)
+
+    def positive_probability(self, features: np.ndarray) -> np.ndarray:
+        """Hyponymy-class probabilities, shape ``(batch,)``."""
+        logits = self.logits(features)
+        return stable_sigmoid(logits[:, 1] - logits[:, 0])

@@ -100,3 +100,17 @@ class MiniBert(Module):
 
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # inference export
+    # ------------------------------------------------------------------
+    def compile_inference(self, dtype=np.float32) -> "CompiledBert":
+        """Export frozen weights into a :class:`~repro.nn.CompiledBert`.
+
+        The compiled encoder runs the same forward mathematics as
+        :meth:`encode` through fused pure-numpy kernels (no autograd
+        graph, no ``Tensor`` allocation).  It snapshots the current
+        parameters — recompile after any further training.
+        """
+        from ..nn.inference import CompiledBert
+        return CompiledBert(self, dtype=dtype)

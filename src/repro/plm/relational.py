@@ -15,9 +15,23 @@ from ..nn import Tensor
 from .bert import MiniBert
 from .tokenizer import WordTokenizer
 
-__all__ = ["RelationalEncoder"]
+__all__ = ["RelationalEncoder", "segments_from_boundaries"]
 
 TEMPLATE_WORDS = ["is", "a"]
+
+
+def segments_from_boundaries(boundaries: np.ndarray, lengths: np.ndarray,
+                             width: int) -> np.ndarray:
+    """Segment-id rectangle from per-row (boundary, length) arithmetic.
+
+    Segment ids are always a run of 0s followed by a run of 1s (query
+    half, then item half), so the whole batch assembles as two broadcast
+    comparisons instead of a per-row fill loop.  Positions at or beyond
+    ``lengths`` (padding) stay segment 0, matching the loop it replaces.
+    """
+    positions = np.arange(width)
+    return ((positions >= boundaries[:, None])
+            & (positions < lengths[:, None])).astype(np.int64)
 
 
 class RelationalEncoder:
@@ -96,9 +110,12 @@ class RelationalEncoder:
         encoded = [self.pair_ids(q, i) for q, i in pairs]
         sequences = [ids for ids, _ in encoded]
         ids, mask = self.tokenizer.pad_batch(sequences)
-        segments = np.zeros_like(ids)
-        for row, (_, seg) in enumerate(encoded):
-            segments[row, :len(seg)] = seg
+        segments = segments_from_boundaries(
+            np.fromiter((len(seg) - sum(seg) for _, seg in encoded),
+                        dtype=np.int64, count=len(encoded)),
+            np.fromiter((len(seg) for _, seg in encoded),
+                        dtype=np.int64, count=len(encoded)),
+            ids.shape[1])
         return self.model.cls_representation(ids, mask, segments)
 
     def encode_concepts(self, concepts: list[str],

@@ -108,19 +108,26 @@ class WordTokenizer:
 
     def pad_batch(self, sequences: list[list[int]],
                   max_len: int | None = None) -> tuple[np.ndarray, np.ndarray]:
-        """Pad to a rectangle; returns ``(ids, attention_mask)`` arrays."""
+        """Pad to a rectangle; returns ``(ids, attention_mask)`` arrays.
+
+        Vectorized: one preallocated rectangle filled through a single
+        boolean scatter instead of a per-sequence Python loop.
+        """
         if not sequences:
             raise ValueError("empty batch")
-        width = max(len(s) for s in sequences)
-        if max_len is not None:
-            width = min(width, max_len)
+        lengths = np.fromiter((len(s) for s in sequences), dtype=np.int64,
+                              count=len(sequences))
+        width = int(lengths.max())
+        if max_len is not None and width > max_len:
+            width = max_len
+            sequences = [s[:width] for s in sequences]
+            lengths = np.minimum(lengths, width)
+        valid = np.arange(width) < lengths[:, None]
         ids = np.full((len(sequences), width), self.pad_id, dtype=np.int64)
-        mask = np.zeros((len(sequences), width), dtype=np.float64)
-        for row, seq in enumerate(sequences):
-            seq = seq[:width]
-            ids[row, :len(seq)] = seq
-            mask[row, :len(seq)] = 1.0
-        return ids, mask
+        if width:
+            ids[valid] = np.concatenate(
+                [np.asarray(s, dtype=np.int64) for s in sequences])
+        return ids, valid.astype(np.float64)
 
     def __len__(self) -> int:
         return self.vocab_size

@@ -213,6 +213,13 @@ class ArtifactBundle:
         pipeline.structural = structural
         pipeline.detector = detector
         pipeline.visible_taxonomy = taxonomy
+
+        # Compile the graph-free inference engine at load time so the
+        # first request never pays compilation cost; BatchingScorer,
+        # StreamingIngestor, and the HTTP API all inherit the fast path.
+        from ..infer import MODE_FAST, default_inference_mode
+        if default_inference_mode() == MODE_FAST:
+            detector.compile_inference()
         return cls(pipeline=pipeline, taxonomy=taxonomy,
                    vocabulary=vocabulary, directory=directory)
 

@@ -7,6 +7,7 @@ JSON endpoints onto the service facade:
 method    path        body / response
 ========  ==========  ====================================================
 GET       /healthz    liveness, worker state, scorer statistics
+GET       /metrics    Prometheus text-format counters and gauges
 GET       /taxonomy   live taxonomy snapshot + ingestion statistics
 POST      /score      ``{"pairs": [[parent, child], ...]}``
 POST      /expand     ``{"candidates": {query: [item, ...]}}``
@@ -55,6 +56,15 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(format, *args)
 
+    def _reply_text(self, status: int, text: str,
+                    content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _reply(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
@@ -97,6 +107,14 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         if path == "/healthz":
             self._dispatch(lambda: (200, service.health()))
+        elif path == "/metrics":
+            try:
+                text = service.metrics_text()
+            except Exception as e:  # keep the scrape endpoint alive
+                self._reply(500, {"error": repr(e)})
+            else:
+                self._reply_text(
+                    200, text, "text/plain; version=0.0.4; charset=utf-8")
         elif path == "/taxonomy":
             self._dispatch(lambda: (200, service.taxonomy_state()))
         else:
@@ -140,7 +158,8 @@ def serve(service: TaxonomyService, host: str = "127.0.0.1",
     bound_host, bound_port = server.server_address[:2]
     service.start()
     print(f"repro serving on http://{bound_host}:{bound_port} "
-          f"(endpoints: /healthz /taxonomy /score /expand /ingest)")
+          f"(endpoints: /healthz /metrics /taxonomy /score /expand "
+          f"/ingest)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

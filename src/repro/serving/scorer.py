@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -192,8 +192,19 @@ class BatchingScorer:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> ScorerStats:
-        """Live traffic counters (shared object, read-only use)."""
+        """Live traffic counters (shared object, read-only use).
+
+        The worker mutates this object mid-batch; use
+        :meth:`stats_snapshot` when a consistent view is needed (e.g.
+        ``/metrics`` must never see pairs_scored from one batch with
+        cache_hits from the next).
+        """
         return self._stats
+
+    def stats_snapshot(self) -> ScorerStats:
+        """An atomic copy of the counters taken under the scorer lock."""
+        with self._lock:
+            return replace(self._stats)
 
     def cache_len(self) -> int:
         """Number of pair scores currently cached."""

@@ -187,6 +187,82 @@ class TaxonomyService:
                 "failed_batches": self.ingestor.failed,
                 "recent_errors": [repr(e) for e in errors],
             },
-            "scorer": self.scorer.stats.as_dict(),
+            "scorer": self.scorer.stats_snapshot().as_dict(),
             "taxonomy_edges": self.expander.taxonomy.num_edges,
         }
+
+    def metrics_text(self) -> str:
+        """Prometheus text-format exposition for ``/metrics``.
+
+        Covers scorer traffic (an atomic :class:`ScorerStats` snapshot),
+        ingest queue depth and totals, live-taxonomy gauges, and the
+        inference engine's dtype/batch counters when the fast path is
+        compiled.
+        """
+        scorer = self.scorer.stats_snapshot()
+        lines: list[str] = []
+
+        def metric(name: str, kind: str, help_text: str, value,
+                   labels: str = "") -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name}{labels} {value}")
+
+        metric("repro_uptime_seconds", "gauge",
+               "Seconds since the service was constructed.",
+               round(time.monotonic() - self._started_at, 3))
+        metric("repro_scorer_requests_total", "counter",
+               "score_pairs requests received.", scorer.requests)
+        metric("repro_scorer_pairs_requested_total", "counter",
+               "Pairs requested across all requests.",
+               scorer.pairs_requested)
+        metric("repro_scorer_cache_hits_total", "counter",
+               "Pairs served from the LRU score cache.", scorer.cache_hits)
+        metric("repro_scorer_pairs_scored_total", "counter",
+               "Pairs sent to the underlying model.", scorer.pairs_scored)
+        metric("repro_scorer_model_calls_total", "counter",
+               "Underlying model invocations.", scorer.model_calls)
+        metric("repro_scorer_batches_total", "counter",
+               "Micro-batches executed.", scorer.batches)
+        metric("repro_scorer_coalesced_requests_total", "counter",
+               "Requests coalesced into shared batches.",
+               scorer.coalesced_requests)
+        metric("repro_scorer_cache_entries", "gauge",
+               "Pair scores currently cached.", self.scorer.cache_len())
+        metric("repro_ingest_queue_depth", "gauge",
+               "Submitted click-log batches not yet processed.",
+               self.ingestor.pending)
+        metric("repro_ingest_processed_batches_total", "counter",
+               "Click-log batches successfully ingested.",
+               self.ingestor.processed)
+        metric("repro_ingest_failed_batches_total", "counter",
+               "Click-log batches whose ingestion raised.",
+               self.ingestor.failed)
+        with self._taxonomy_lock:
+            taxonomy = self.expander.taxonomy
+            nodes, edges = taxonomy.num_nodes, taxonomy.num_edges
+        metric("repro_taxonomy_nodes", "gauge",
+               "Nodes in the live taxonomy.", nodes)
+        metric("repro_taxonomy_edges", "gauge",
+               "Edges in the live taxonomy.", edges)
+
+        detector = self.bundle.pipeline.detector
+        engine = detector.inference_engine if detector is not None else None
+        if engine is not None:
+            stats = engine.stats_snapshot()
+            label = f'{{dtype="{stats.dtype}"}}'
+            metric("repro_engine_info", "gauge",
+                   "Compiled inference engine presence (dtype label).",
+                   1, label)
+            metric("repro_engine_batches_total", "counter",
+                   "Engine scoring batches executed.", stats.batches, label)
+            metric("repro_engine_pairs_scored_total", "counter",
+                   "Pairs scored by the inference engine.",
+                   stats.pairs_scored, label)
+            metric("repro_engine_sequences_encoded_total", "counter",
+                   "Template sequences encoded by the compiled BERT.",
+                   stats.sequences_encoded, label)
+            metric("repro_engine_concept_cache_hits_total", "counter",
+                   "Single-concept embeddings served from the engine "
+                   "cache.", stats.concept_cache_hits, label)
+        return "\n".join(lines) + "\n"

@@ -263,6 +263,54 @@ def test_softmax_invariances_property(values):
     assert abs(p1.sum() - 1.0) < 1e-9
 
 
+def _reference_unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Brute-force oracle: accumulate every broadcast copy back to shape."""
+    result = np.zeros(shape)
+    lead = grad.ndim - len(shape)
+    for index in np.ndindex(*grad.shape):
+        target = tuple(0 if shape[axis] == 1 else index[lead + axis]
+                       for axis in range(len(shape)))
+        result[target] += grad[index]
+    return result
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_unbroadcast_matches_numpy_broadcasting_property(data):
+    """_unbroadcast must sum gradients exactly as broadcasting fans out.
+
+    Draw a base shape, expand it the way numpy broadcasting would
+    (prepend axes, inflate size-1 axes), and check the gradient
+    reduction against a brute-force accumulation oracle.
+    """
+    from repro.nn.tensor import _unbroadcast
+
+    base = tuple(data.draw(
+        st.lists(st.integers(1, 4), min_size=0, max_size=3),
+        label="base_shape"))
+    prepended = tuple(data.draw(
+        st.lists(st.integers(1, 3), min_size=0, max_size=2),
+        label="leading_axes"))
+    expanded = tuple(
+        data.draw(st.integers(2, 4), label=f"expand_{axis}")
+        if size == 1 and data.draw(st.booleans(), label=f"grow_{axis}")
+        else size
+        for axis, size in enumerate(base))
+    broadcast_shape = prepended + expanded
+    rng = np.random.default_rng(
+        data.draw(st.integers(0, 2 ** 16), label="seed"))
+    grad = rng.standard_normal(broadcast_shape)
+
+    got = _unbroadcast(grad, base)
+    assert got.shape == base
+    np.testing.assert_allclose(got, _reference_unbroadcast(grad, base),
+                               atol=1e-12)
+    # Consistency with autograd itself: d/dx sum(broadcast(x) * g).
+    x = Tensor(np.zeros(base), requires_grad=True)
+    (x * Tensor(grad)).sum().backward()
+    np.testing.assert_allclose(x.grad, got, atol=1e-12)
+
+
 @settings(max_examples=30, deadline=None)
 @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
 def test_matmul_shape_property(a, b, c):

@@ -8,7 +8,7 @@ import pytest
 PACKAGES = [
     "repro", "repro.nn", "repro.taxonomy", "repro.synthetic", "repro.graph",
     "repro.plm", "repro.gnn", "repro.core", "repro.baselines", "repro.eval",
-    "repro.serving",
+    "repro.infer", "repro.serving",
 ]
 
 

@@ -49,6 +49,51 @@ def request(server, path, payload=None):
         return error.code, json.loads(error.read())
 
 
+def request_text(server, path):
+    host, port = server.server_address[:2]
+    with urllib.request.urlopen(f"http://{host}:{port}{path}",
+                                timeout=30) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+class TestMetrics:
+    def test_prometheus_exposition(self, server):
+        # Generate some traffic first so counters are non-trivial.
+        request(server, "/score", {"pairs": [["fruit", "apple"]]})
+        status, content_type, text = request_text(server, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        for name in ("repro_scorer_requests_total",
+                     "repro_scorer_cache_hits_total",
+                     "repro_scorer_pairs_scored_total",
+                     "repro_ingest_queue_depth",
+                     "repro_ingest_processed_batches_total",
+                     "repro_taxonomy_edges",
+                     "repro_uptime_seconds"):
+            assert f"# TYPE {name}" in text, name
+            assert f"\n{name}" in text or text.startswith(name), name
+
+    def test_engine_counters_exported(self, server):
+        request(server, "/score", {"pairs": [["fruit", "banana"]]})
+        _status, _ct, text = request_text(server, "/metrics")
+        # The bundle compiles the fast engine at load time, so its
+        # dtype-labelled counters must be present.
+        assert 'repro_engine_info{dtype="float32"} 1' in text
+        assert 'repro_engine_pairs_scored_total{dtype="float32"}' in text
+
+    def test_counters_move_with_traffic(self, server):
+        def scored_total():
+            _s, _c, text = request_text(server, "/metrics")
+            line = [l for l in text.splitlines()
+                    if l.startswith("repro_scorer_pairs_requested_total ")]
+            return float(line[0].split()[-1])
+
+        before = scored_total()
+        request(server, "/score", {"pairs": [["fruit", "cherry"]]})
+        assert scored_total() == before + 1
+
+
 class TestHealthz:
     def test_reports_ok(self, server):
         status, body = request(server, "/healthz")
@@ -70,13 +115,18 @@ class TestScore:
     def test_matches_bundle_scoring(self, server, tiny_fitted_pipeline,
                                     small_world):
         import numpy as np
+        from repro.nn import SCORE_TOLERANCE
         edges = sorted(small_world.existing_taxonomy.edges())[:5]
         _status, body = request(server, "/score",
                                 {"pairs": [list(edge) for edge in edges]})
         direct = tiny_fitted_pipeline.score_pairs(
             [tuple(edge) for edge in edges])
+        # The served path may score a pair inside a different float32
+        # batch composition than the direct call (BLAS blocking varies
+        # with shape), so parity holds to the engine tolerance, not
+        # bit-for-bit.
         np.testing.assert_allclose(body["probabilities"], direct,
-                                   atol=1e-8, rtol=0)
+                                   atol=SCORE_TOLERANCE, rtol=0)
 
     def test_bad_pair_shape_is_400(self, server):
         status, body = request(server, "/score",

@@ -42,6 +42,45 @@ def expected(pairs):
 PAIRS = [(f"parent {i}", f"child {i}") for i in range(20)]
 
 
+class TestStatsSnapshot:
+    def test_snapshot_is_an_independent_copy(self):
+        scorer = BatchingScorer(CountingScorer())
+        scorer.score_pairs(PAIRS[:4])
+        snapshot = scorer.stats_snapshot()
+        assert snapshot is not scorer.stats
+        assert snapshot.pairs_requested == 4
+        scorer.score_pairs(PAIRS[4:8])
+        # The snapshot must not move with subsequent traffic.
+        assert snapshot.pairs_requested == 4
+        assert scorer.stats_snapshot().pairs_requested == 8
+
+    def test_snapshot_is_internally_consistent_under_load(self):
+        """Concurrent readers must never see a torn snapshot where
+        cache_hits + pairs_scored exceeds pairs_requested."""
+        import threading
+
+        scorer = BatchingScorer(CountingScorer(), cache_size=0)
+        stop = threading.Event()
+        torn: list[tuple] = []
+
+        def reader():
+            while not stop.is_set():
+                s = scorer.stats_snapshot()
+                if s.cache_hits + s.pairs_scored > s.pairs_requested:
+                    torn.append((s.cache_hits, s.pairs_scored,
+                                 s.pairs_requested))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for _ in range(50):
+                scorer.score_pairs(PAIRS)
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert not torn
+
+
 class TestSynchronousMode:
     def test_matches_direct_scoring(self):
         raw = CountingScorer()
