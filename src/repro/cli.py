@@ -9,7 +9,11 @@ Commands
 ``evaluate`` Train and report detector test metrics for a preset domain,
              optionally dumping them as JSON for CI.
 ``serve``    Load an artifact bundle and run the online taxonomy service
-             (JSON API: /score /expand /ingest /taxonomy /healthz).
+             (JSON API: /score /expand /ingest /taxonomy /healthz
+             /metrics /admin/reload).  ``--workers N`` shards scoring
+             across N processes; ``--journal-dir`` makes ingestion
+             durable and replays it on startup; SIGHUP hot-reloads the
+             bundle.
 """
 
 from __future__ import annotations
@@ -117,7 +121,8 @@ def cmd_expand(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from .serving import (
-        ArtifactBundle, ServiceConfig, TaxonomyService, serve,
+        ArtifactBundle, IngestJournal, ServiceConfig, ShardedScorerPool,
+        TaxonomyService, serve,
     )
     try:
         bundle = ArtifactBundle.load(args.artifacts)
@@ -126,13 +131,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"create one with: repro expand --artifacts {args.artifacts}",
               file=sys.stderr)
         return 2
-    service = TaxonomyService(bundle, ServiceConfig(
-        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
-        cache_size=args.cache_size, max_ingest_queue=args.max_ingest_queue))
+    # Fork scoring workers before any service thread exists (fork
+    # safety); each worker loads the bundle and compiles its own engine.
+    pool = None
+    if args.workers > 1:
+        pool = ShardedScorerPool(args.artifacts, num_workers=args.workers)
+        pool.start()
+        print(f"scorer pool: {args.workers} workers ready")
+    journal = None
+    if args.journal_dir:
+        journal = IngestJournal(
+            args.journal_dir,
+            max_segment_bytes=args.journal_segment_mb * 1024 * 1024,
+            fsync_every=args.journal_fsync)
+    service = TaxonomyService(
+        bundle,
+        ServiceConfig(
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+            cache_size=args.cache_size,
+            max_ingest_queue=args.max_ingest_queue),
+        pool=pool, journal=journal)
     print(f"loaded artifacts from {args.artifacts} "
           f"(taxonomy: {bundle.taxonomy.num_nodes} nodes / "
           f"{bundle.taxonomy.num_edges} edges)")
-    serve(service, host=args.host, port=args.port, quiet=args.quiet)
+    if journal is not None:
+        summary = service.replay_journal()
+        print(f"journal replay from {args.journal_dir}: "
+              f"{summary['ingest']} ingest / {summary['expand']} expand / "
+              f"{summary['reload']} reload record(s), "
+              f"{summary['skipped']} skipped -> "
+              f"{summary['taxonomy_edges']} taxonomy edges")
+    try:
+        serve(service, host=args.host, port=args.port, quiet=args.quiet)
+    finally:
+        if journal is not None:
+            journal.close()
+        if pool is not None:
+            pool.stop()
     return 0
 
 
@@ -186,6 +221,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--max-ingest-queue", type=int, default=16,
                               help="queued click-log batches before "
                                    "backpressure rejects")
+    serve_parser.add_argument("--workers", type=int, default=0,
+                              help="scoring worker processes; >1 shards "
+                                   "pairs across a ShardedScorerPool "
+                                   "(0/1 = in-process engine)")
+    serve_parser.add_argument("--journal-dir", default=None,
+                              help="durable ingest-journal directory; "
+                                   "replayed on startup to rebuild "
+                                   "incremental-expansion state")
+    serve_parser.add_argument("--journal-fsync", type=int, default=8,
+                              help="fsync once per N journal appends "
+                                   "(1 = every record, 0 = OS write-back)")
+    serve_parser.add_argument("--journal-segment-mb", type=int, default=4,
+                              help="journal segment rotation size in MiB")
     serve_parser.add_argument("--quiet", action="store_true",
                               help="suppress per-request access logs")
     serve_parser.set_defaults(func=cmd_serve)

@@ -211,6 +211,24 @@ class InferenceEngine:
         with self._lock:
             return replace(self.stats)
 
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until no scoring batch is executing in this engine.
+
+        The hot-reload path calls this on the *outgoing* engine after
+        swapping a new one in: in-flight batches keep their reference
+        and finish on the old weights; once :meth:`drain` returns True
+        the old engine is idle and safe to discard.  Returns False if
+        the engine is still busy after ``timeout`` seconds (``None``
+        waits forever).  Re-entrant: a thread that is itself scoring
+        returns True immediately (the workspace ``RLock`` is held by
+        it).
+        """
+        acquired = self._lock.acquire(
+            timeout=-1 if timeout is None else timeout)
+        if acquired:
+            self._lock.release()
+        return acquired
+
     def pair_features(self, pairs: list[tuple[str, str]]) -> np.ndarray:
         """Eq. 14 edge features ``(len(pairs), feature_dim)`` in dtype."""
         with self._lock:

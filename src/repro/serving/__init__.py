@@ -1,25 +1,45 @@
-"""Online serving layer: artifact bundles, batched scoring, streaming
-ingestion, and the HTTP taxonomy service.
+"""Online serving layer: artifact bundles, batched scoring, sharded
+multi-process workers, durable ingestion, and the HTTP taxonomy service.
 
 Train once, serve forever: :class:`ArtifactBundle` decouples the training
 process from the serving process; :class:`BatchingScorer` and
 :class:`StreamingIngestor` give the online path micro-batching, caching
-and backpressure; :class:`TaxonomyService` plus :func:`make_server` expose
-it all over a stdlib JSON API (``repro serve`` on the command line).
+and backpressure; :class:`ShardedScorerPool` spreads scoring across
+worker processes (one compiled engine each); :class:`IngestJournal`
+makes ingestion durable and replayable across restarts;
+:class:`TaxonomyService` plus :func:`make_server` expose it all over a
+stdlib JSON API (``repro serve`` on the command line), including
+zero-downtime artifact hot-reload via ``POST /admin/reload`` or SIGHUP.
+
+See ``docs/architecture.md`` for the subsystem map, ``docs/http_api.md``
+for the endpoint reference, and ``docs/operations.md`` for the runbook.
 """
 
 from .artifacts import (
     ArtifactBundle, pipeline_config_from_dict, pipeline_config_to_dict,
 )
 from .scorer import BatchingScorer, ScorerStats
-from .ingest import IngestTicket, StreamingIngestor, click_log_from_records
+from .ingest import (
+    IngestTicket, StreamingIngestor, click_log_from_records,
+    click_log_to_records,
+)
+from .journal import (
+    IngestJournal, JournalCorruptionWarning, JournalRecord, JournalStats,
+)
+from .cluster import PoolStats, ShardedScorerPool
 from .service import ServiceConfig, TaxonomyService
-from .http import TaxonomyHTTPServer, make_server, serve
+from .http import (
+    TaxonomyHTTPServer, install_sighup_reload, make_server, serve,
+)
 
 __all__ = [
     "ArtifactBundle", "pipeline_config_to_dict", "pipeline_config_from_dict",
     "BatchingScorer", "ScorerStats",
     "IngestTicket", "StreamingIngestor", "click_log_from_records",
+    "click_log_to_records",
+    "IngestJournal", "JournalCorruptionWarning", "JournalRecord",
+    "JournalStats",
+    "PoolStats", "ShardedScorerPool",
     "ServiceConfig", "TaxonomyService",
-    "TaxonomyHTTPServer", "make_server", "serve",
+    "TaxonomyHTTPServer", "install_sighup_reload", "make_server", "serve",
 ]

@@ -1,0 +1,514 @@
+"""Sharded multi-process scoring: one compiled engine per worker.
+
+A single-process service serialises every score behind the shared
+:class:`~repro.infer.InferenceEngine` workspace lock, so one busy client
+starves the rest and extra cores sit idle.  :class:`ShardedScorerPool`
+removes that bottleneck: it forks ``num_workers`` OS processes, each of
+which **loads the artifact bundle itself** and compiles its *own*
+engine (weights and scratch buffers are per-process — no shared state,
+no lock contention, no GIL), then hash-partitions each request's
+(parent, child) pairs across workers over :mod:`multiprocessing` pipes
+and merges the shard results back into request order.
+
+Design notes:
+
+* **stable sharding** — a pair's worker is ``crc32(parent\\0child) %
+  num_workers`` (:meth:`ShardedScorerPool.shard`), so a given pair
+  always lands on the same worker and that worker's token/concept
+  caches stay hot for it.
+* **per-worker protocol** — each worker owns one duplex pipe and
+  processes messages strictly in order; a dedicated parent-side reader
+  thread resolves in-flight futures, so many service threads can score
+  concurrently while each pipe still sees a single writer at a time.
+* **failure containment** — a worker that dies (OOM-killed, segfault)
+  fails only its in-flight shards; the pool respawns it on the next
+  request for its shard and counts the event in ``worker_deaths`` /
+  ``worker_restarts`` (exported at ``/metrics``).
+* **hot reload** — :meth:`reload` sends every worker a reload message
+  that queues behind in-flight scoring, so the old engine drains
+  naturally and no request is ever dropped mid-swap.
+
+Scores agree with the in-process engine within the documented float32
+tolerance (``repro.nn.SCORE_TOLERANCE``): sharding changes batch
+composition, which perturbs float32 GEMM reduction order below 1e-4 but
+never rankings.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = ["PoolStats", "ShardedScorerPool"]
+
+Pair = tuple[str, str]
+
+#: seconds a freshly spawned worker gets to load + compile its bundle
+READY_TIMEOUT = 120.0
+
+
+@dataclass
+class PoolStats:
+    """Parent-side counters describing pool traffic since construction."""
+
+    requests: int = 0
+    pairs_scored: int = 0
+    shard_messages: int = 0
+    worker_deaths: int = 0
+    worker_restarts: int = 0
+    reloads: int = 0
+    worker_pairs: dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON/metrics-friendly snapshot."""
+        return {
+            "requests": self.requests,
+            "pairs_scored": self.pairs_scored,
+            "shard_messages": self.shard_messages,
+            "worker_deaths": self.worker_deaths,
+            "worker_restarts": self.worker_restarts,
+            "reloads": self.reloads,
+            "worker_pairs": dict(self.worker_pairs),
+        }
+
+
+def _worker_main(conn, bundle_dir: str) -> None:
+    """Worker-process entry point: load the bundle, serve the pipe.
+
+    Messages are processed strictly in order, which is what makes
+    reload-behind-inflight draining work.  Per-message failures are
+    reported back as ``("err", req_id, repr)``; only a broken pipe (the
+    parent died) exits the loop.
+    """
+    import signal
+    # The parent coordinates shutdown over the pipe; a terminal Ctrl-C
+    # must not kill workers mid-batch before the parent can drain them.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if hasattr(signal, "SIGHUP"):
+        signal.signal(signal.SIGHUP, signal.SIG_IGN)
+
+    from .artifacts import ArtifactBundle
+    try:
+        bundle = ArtifactBundle.load(bundle_dir)
+    except BaseException as error:
+        conn.send(("fatal", repr(error)))
+        conn.close()
+        return
+    conn.send(("ready", os.getpid()))
+    parent_pid = os.getppid()
+
+    while True:
+        try:
+            # Poll rather than block: under the fork start method each
+            # sibling inherits copies of this pipe's parent end, so a
+            # SIGKILL'd parent never produces EOF here.  Watching the
+            # ppid guarantees orphaned workers exit within a second.
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    return  # parent died without cleanup
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away
+        kind, req_id = message[0], message[1]
+        try:
+            if kind == "score":
+                pairs = [(str(q), str(i)) for q, i in message[2]]
+                scores = bundle.score_pairs(pairs)
+                conn.send(("ok", req_id, np.asarray(scores,
+                                                    dtype=np.float64)))
+            elif kind == "reload":
+                new_bundle = ArtifactBundle.load(message[2])
+                old = bundle
+                bundle = new_bundle
+                engine = old.pipeline.detector.inference_engine
+                if engine is not None:
+                    engine.drain(timeout=5.0)
+                conn.send(("ok", req_id, message[2]))
+            elif kind == "stats":
+                detector = bundle.pipeline.detector
+                engine = detector.inference_engine
+                payload = (engine.stats_snapshot().as_dict()
+                           if engine is not None else {})
+                conn.send(("ok", req_id, payload))
+            elif kind == "ping":
+                conn.send(("ok", req_id, os.getpid()))
+            elif kind == "stop":
+                conn.send(("ok", req_id, None))
+                conn.close()
+                return
+            else:
+                conn.send(("err", req_id,
+                           f"unknown message kind {kind!r}"))
+        except BaseException as error:
+            try:
+                conn.send(("err", req_id, repr(error)))
+            except (BrokenPipeError, OSError):
+                return
+
+
+class _ShardFuture:
+    """Completion signal for one in-flight shard message."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+    def resolve(self, result) -> None:
+        self.result = result
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+    def wait(self, timeout: float | None):
+        if not self.event.wait(timeout):
+            raise TimeoutError("scorer worker did not respond in time")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class _Worker:
+    """Parent-side handle: process, pipe, reader thread, in-flight map."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process: mp.process.BaseProcess | None = None
+        self.conn = None
+        self.reader: threading.Thread | None = None
+        self.send_lock = threading.Lock()
+        self.pending: dict[int, _ShardFuture] = {}
+        self.pending_lock = threading.Lock()
+        self.alive = False
+
+
+class ShardedScorerPool:
+    """Hash-partitioned scoring across bundle-loading worker processes.
+
+    Implements the ``Scorer`` protocol (``score_pairs`` /  ``__call__``),
+    so it drops in anywhere a detector-backed scorer does — most usefully
+    as the backend of a :class:`~repro.serving.BatchingScorer` inside
+    :class:`~repro.serving.TaxonomyService`.
+
+    Parameters
+    ----------
+    bundle_dir:
+        Artifact-bundle directory each worker loads independently.
+    num_workers:
+        Worker-process count (>= 1).  Throughput scales with cores until
+        workers outnumber them; see ``benchmarks/bench_sharded_scoring``.
+    mp_context:
+        ``multiprocessing`` start method; default ``fork`` where
+        available (fast startup) falling back to ``spawn``.  The pool
+        must be started before the parent creates service threads when
+        using ``fork``.
+    request_timeout:
+        Seconds to wait for one shard response before failing the
+        request.
+    """
+
+    def __init__(self, bundle_dir: str, num_workers: int = 2,
+                 mp_context: str | None = None,
+                 request_timeout: float = 60.0):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.bundle_dir = bundle_dir
+        self.num_workers = num_workers
+        self.request_timeout = request_timeout
+        if mp_context is None:
+            mp_context = ("fork" if "fork" in mp.get_all_start_methods()
+                          else "spawn")
+        self._ctx = mp.get_context(mp_context)
+        self._workers = [_Worker(i) for i in range(num_workers)]
+        self._lock = threading.Lock()  # guards spawn/stop transitions
+        self._req_counter = 0
+        self._counter_lock = threading.Lock()
+        self._stats = PoolStats(
+            worker_pairs={i: 0 for i in range(num_workers)})
+        self._stats_lock = threading.Lock()
+        self._started = False
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardedScorerPool":
+        """Spawn every worker and wait until each has compiled; idempotent."""
+        with self._lock:
+            self._stopping = False
+            for worker in self._workers:
+                if not worker.alive:
+                    self._spawn(worker, restart=self._started)
+            self._started = True
+        return self
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Stop workers and reap processes; idempotent."""
+        with self._lock:
+            self._stopping = True
+            for worker in self._workers:
+                if not worker.alive:
+                    continue
+                try:
+                    with worker.send_lock:
+                        worker.conn.send(("stop", -1))
+                except (BrokenPipeError, OSError):
+                    pass
+            for worker in self._workers:
+                process = worker.process
+                if process is not None:
+                    process.join(timeout)
+                    if process.is_alive():
+                        process.terminate()
+                        process.join(5.0)
+                worker.alive = False
+                if worker.conn is not None:
+                    worker.conn.close()
+                    worker.conn = None
+
+    @property
+    def running(self) -> bool:
+        """True while at least one worker process is alive."""
+        return any(worker.alive and worker.process is not None
+                   and worker.process.is_alive()
+                   for worker in self._workers)
+
+    def __enter__(self) -> "ShardedScorerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    @staticmethod
+    def shard_of(pair: Pair, num_workers: int) -> int:
+        """Stable shard index for one (parent, child) pair.
+
+        CRC-based rather than ``hash()`` so the mapping survives
+        interpreter restarts (``PYTHONHASHSEED`` randomisation) and is
+        identical across parent and workers.
+        """
+        key = f"{pair[0]}\x00{pair[1]}".encode("utf-8")
+        return zlib.crc32(key) % num_workers
+
+    def shard(self, pair: Pair) -> int:
+        """This pool's worker index for ``pair``."""
+        return self.shard_of(pair, self.num_workers)
+
+    def score_pairs(self, pairs: list[Pair]) -> np.ndarray:
+        """Positive-class probabilities, merged back into input order.
+
+        Pairs are partitioned with :meth:`shard`, each shard scored by
+        its worker concurrently, and any worker failure is raised here
+        after all shards settle (so one request never half-completes
+        silently).
+        """
+        pairs = [(str(parent), str(child)) for parent, child in pairs]
+        if not pairs:
+            return np.zeros(0)
+        if not self._started:
+            raise RuntimeError("pool is not started; call start() first")
+        shards: dict[int, list[int]] = {}
+        for row, pair in enumerate(pairs):
+            shards.setdefault(self.shard(pair), []).append(row)
+        futures: list[tuple[int, list[int], _ShardFuture]] = []
+        for index, rows in shards.items():
+            shard_pairs = [pairs[row] for row in rows]
+            future = self._dispatch(index, "score", shard_pairs)
+            futures.append((index, rows, future))
+        out = np.empty(len(pairs), dtype=np.float64)
+        first_error: BaseException | None = None
+        for index, rows, future in futures:
+            try:
+                scores = np.asarray(future.wait(self.request_timeout),
+                                    dtype=np.float64)
+                out[rows] = scores
+                with self._stats_lock:
+                    self._stats.worker_pairs[index] = \
+                        self._stats.worker_pairs.get(index, 0) + len(rows)
+            except BaseException as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        with self._stats_lock:
+            self._stats.requests += 1
+            self._stats.pairs_scored += len(pairs)
+        return out
+
+    def __call__(self, pairs: list[Pair]) -> np.ndarray:
+        """Scorer-protocol alias for :meth:`score_pairs`."""
+        return self.score_pairs(pairs)
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def reload(self, bundle_dir: str,
+               timeout: float | None = None) -> list[dict]:
+        """Swap every worker onto a new bundle; returns per-worker results.
+
+        The reload message queues behind in-flight scoring on each pipe,
+        so requests already dispatched finish on the old engine and the
+        swap drops nothing.  Workers that fail to load the new bundle
+        report an error but keep serving their old engine.
+        """
+        timeout = self.request_timeout if timeout is None else timeout
+        futures = [(worker.index,
+                    self._dispatch(worker.index, "reload", bundle_dir))
+                   for worker in self._workers]
+        results = []
+        for index, future in futures:
+            try:
+                future.wait(timeout)
+                results.append({"worker": index, "ok": True})
+            except BaseException as error:
+                results.append({"worker": index, "ok": False,
+                                "error": repr(error)})
+        if all(result["ok"] for result in results):
+            self.bundle_dir = bundle_dir
+        with self._stats_lock:
+            self._stats.reloads += 1
+        return results
+
+    def worker_stats(self, timeout: float = 10.0) -> list[dict]:
+        """Each live worker's engine counters (for ``/metrics``)."""
+        futures = []
+        for worker in self._workers:
+            try:
+                futures.append((worker.index,
+                                self._dispatch(worker.index, "stats")))
+            except BaseException:
+                futures.append((worker.index, None))
+        results = []
+        for index, future in futures:
+            payload: dict = {"worker": index, "alive": False}
+            if future is not None:
+                try:
+                    payload.update(future.wait(timeout) or {})
+                    payload["alive"] = True
+                except BaseException:
+                    pass
+            results.append(payload)
+        return results
+
+    def stats_snapshot(self) -> PoolStats:
+        """An atomic copy of the parent-side counters."""
+        with self._stats_lock:
+            snapshot = replace(self._stats)
+            snapshot.worker_pairs = dict(self._stats.worker_pairs)
+            return snapshot
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _next_req_id(self) -> int:
+        with self._counter_lock:
+            self._req_counter += 1
+            return self._req_counter
+
+    def _dispatch(self, index: int, kind: str, *payload) -> _ShardFuture:
+        """Send one message to worker ``index``; returns its future.
+
+        Respawns the worker first if it has died (counted as a restart).
+        """
+        worker = self._workers[index]
+        if not worker.alive:
+            with self._lock:
+                if self._stopping:
+                    raise RuntimeError("pool is stopping")
+                if not worker.alive:  # re-check under the lock
+                    self._spawn(worker, restart=True)
+        future = _ShardFuture()
+        req_id = self._next_req_id()
+        with worker.pending_lock:
+            worker.pending[req_id] = future
+        try:
+            with worker.send_lock:
+                worker.conn.send((kind, req_id) + payload)
+        except (BrokenPipeError, OSError) as error:
+            with worker.pending_lock:
+                worker.pending.pop(req_id, None)
+            self._mark_dead(worker)
+            raise RuntimeError(
+                f"scorer worker {index} pipe is broken") from error
+        with self._stats_lock:
+            self._stats.shard_messages += 1
+        return future
+
+    def _spawn(self, worker: _Worker, restart: bool) -> None:
+        """Fork one worker and wait for its ready message.  Lock held."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn, self.bundle_dir),
+            name=f"repro-scorer-{worker.index}", daemon=True)
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(READY_TIMEOUT):
+            process.terminate()
+            raise RuntimeError(
+                f"scorer worker {worker.index} did not become ready "
+                f"within {READY_TIMEOUT}s")
+        message = parent_conn.recv()
+        if message[0] != "ready":
+            process.join(5.0)
+            raise RuntimeError(
+                f"scorer worker {worker.index} failed to load bundle: "
+                f"{message[1]}")
+        worker.process = process
+        worker.conn = parent_conn
+        worker.pending = {}
+        worker.alive = True
+        worker.reader = threading.Thread(
+            target=self._read_loop, args=(worker,),
+            name=f"repro-pool-reader-{worker.index}", daemon=True)
+        worker.reader.start()
+        if restart:
+            with self._stats_lock:
+                self._stats.worker_restarts += 1
+
+    def _read_loop(self, worker: _Worker) -> None:
+        """Resolve futures from one worker's pipe until it dies."""
+        conn = worker.conn
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                self._mark_dead(worker)
+                return
+            status, req_id, payload = message
+            with worker.pending_lock:
+                future = worker.pending.pop(req_id, None)
+            if future is None:
+                continue  # stop acks and timed-out requests land here
+            if status == "ok":
+                future.resolve(payload)
+            else:
+                future.fail(RuntimeError(
+                    f"scorer worker {worker.index} error: {payload}"))
+
+    def _mark_dead(self, worker: _Worker) -> None:
+        """Fail everything in flight on a dead worker exactly once."""
+        with worker.pending_lock:
+            pending, worker.pending = worker.pending, {}
+            was_alive, worker.alive = worker.alive, False
+        if not was_alive:
+            return
+        if not self._stopping:
+            with self._stats_lock:
+                self._stats.worker_deaths += 1
+        error = RuntimeError(
+            f"scorer worker {worker.index} died with "
+            f"{len(pending)} shard(s) in flight")
+        for future in pending.values():
+            future.fail(error)

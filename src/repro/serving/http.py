@@ -1,32 +1,39 @@
 """Stdlib HTTP front-end for :class:`~repro.serving.TaxonomyService`.
 
-No web framework — a :class:`http.server.ThreadingHTTPServer` routes five
+No web framework — a :class:`http.server.ThreadingHTTPServer` routes the
 JSON endpoints onto the service facade:
 
-========  ==========  ====================================================
-method    path        body / response
-========  ==========  ====================================================
-GET       /healthz    liveness, worker state, scorer statistics
-GET       /metrics    Prometheus text-format counters and gauges
-GET       /taxonomy   live taxonomy snapshot + ingestion statistics
-POST      /score      ``{"pairs": [[parent, child], ...]}``
-POST      /expand     ``{"candidates": {query: [item, ...]}}``
-POST      /ingest     ``{"records": [[query, item, count?], ...],
-                      "provenance": {...}?, "sync": bool?}``
-========  ==========  ====================================================
+========  =============  =================================================
+method    path           body / response
+========  =============  =================================================
+GET       /healthz       liveness, worker state, scorer statistics
+GET       /metrics       Prometheus text-format counters and gauges
+GET       /taxonomy      live taxonomy snapshot + ingestion statistics
+POST      /score         ``{"pairs": [[parent, child], ...]}``
+POST      /expand        ``{"candidates": {query: [item, ...]}}``
+POST      /ingest        ``{"records": [[query, item, count?], ...],
+                         "provenance": {...}?, "sync": bool?}``
+POST      /admin/reload  ``{"artifacts": path?}`` — hot-swap the bundle
+                         (defaults to re-reading the current directory)
+========  =============  =================================================
 
 Errors return ``{"error": ...}`` with 400 (bad request), 404 (unknown
-route), 503 (backpressure rejection) or 500 (scoring failure).
+route), 503 (backpressure rejection) or 500 (scoring/reload failure).
+``repro serve`` additionally installs a SIGHUP handler that triggers the
+same reload as ``POST /admin/reload`` with no body (see :func:`serve`).
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .service import TaxonomyService
 
-__all__ = ["TaxonomyHTTPServer", "make_server", "serve"]
+__all__ = ["TaxonomyHTTPServer", "install_sighup_reload", "make_server",
+           "serve"]
 
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
@@ -138,6 +145,9 @@ class _Handler(BaseHTTPRequestHandler):
                                         sync=bool(body.get("sync", False)))
                 return (202 if result["accepted"] else 503), result
             self._dispatch(run)
+        elif path == "/admin/reload":
+            self._dispatch(lambda: (
+                200, service.reload(self._read_json().get("artifacts"))))
         else:
             self._reply(404, {"error": f"unknown route {path!r}"})
 
@@ -151,15 +161,51 @@ def make_server(service: TaxonomyService, host: str = "127.0.0.1",
     return TaxonomyHTTPServer((host, port), service, quiet=quiet)
 
 
+def install_sighup_reload(service: TaxonomyService) -> bool:
+    """Make SIGHUP hot-reload the service's bundle (classic daemon UX).
+
+    The reload runs on a short-lived thread so the signal handler —
+    which executes on the main thread, between ``serve_forever`` polls —
+    never blocks the accept loop behind a bundle load.  Returns False on
+    platforms without SIGHUP (Windows) or off the main thread, where
+    ``signal.signal`` is unavailable; ``POST /admin/reload`` covers
+    those.
+    """
+    if not hasattr(signal, "SIGHUP"):
+        return False
+    if threading.current_thread() is not threading.main_thread():
+        return False
+
+    def handler(_signum, _frame):
+        def run():
+            try:
+                outcome = service.reload()
+                print(f"SIGHUP reload ok: {outcome}")
+            except Exception as error:
+                print(f"SIGHUP reload failed: {error!r}")
+        threading.Thread(target=run, name="sighup-reload",
+                         daemon=True).start()
+
+    signal.signal(signal.SIGHUP, handler)
+    return True
+
+
 def serve(service: TaxonomyService, host: str = "127.0.0.1",
-          port: int = 8631, quiet: bool = False) -> None:
-    """Start the service workers and serve until interrupted."""
+          port: int = 8631, quiet: bool = False,
+          sighup_reload: bool = True) -> None:
+    """Start the service workers and serve until interrupted.
+
+    With ``sighup_reload`` (default), ``kill -HUP <pid>`` hot-swaps the
+    artifact bundle exactly like ``POST /admin/reload``.
+    """
     server = make_server(service, host, port, quiet=quiet)
     bound_host, bound_port = server.server_address[:2]
     service.start()
+    if sighup_reload:
+        install_sighup_reload(service)
     print(f"repro serving on http://{bound_host}:{bound_port} "
           f"(endpoints: /healthz /metrics /taxonomy /score /expand "
-          f"/ingest)")
+          f"/ingest /admin/reload)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -10,6 +10,12 @@ drains it through :meth:`IncrementalExpander.ingest
 :class:`IngestTicket` whose :meth:`~IngestTicket.wait` yields that batch's
 own :class:`~repro.core.IngestReport` (or re-raises its own failure), so
 synchronous callers never observe another batch's outcome.
+
+With a :class:`~repro.serving.IngestJournal` attached, every batch is
+additionally written to the durable journal immediately before being
+applied (write-ahead, same lock), which is what lets ``repro serve
+--journal-dir`` rebuild the incremental-expansion state after a crash or
+restart — see :mod:`repro.serving.journal`.
 """
 
 from __future__ import annotations
@@ -21,7 +27,8 @@ from collections import deque
 from ..core.incremental import IncrementalExpander, IngestReport
 from ..synthetic.clicklogs import ClickLog
 
-__all__ = ["IngestTicket", "StreamingIngestor", "click_log_from_records"]
+__all__ = ["IngestTicket", "StreamingIngestor", "click_log_from_records",
+           "click_log_to_records"]
 
 
 def click_log_from_records(records: list,
@@ -49,6 +56,18 @@ def click_log_from_records(records: list,
         for item, concept in provenance.items():
             log.provenance.setdefault(str(item), concept)
     return log
+
+
+def click_log_to_records(log: ClickLog) -> tuple[list, dict]:
+    """Wire-format ``(records, provenance)`` for a :class:`ClickLog`.
+
+    Inverse of :func:`click_log_from_records` (records are sorted so the
+    encoding — and therefore the journal — is deterministic for a given
+    batch).
+    """
+    records = [[query, item, int(count)]
+               for (query, item), count in sorted(log.counts.items())]
+    return records, dict(sorted(log.provenance.items()))
 
 
 class IngestTicket:
@@ -98,16 +117,22 @@ class StreamingIngestor:
         How many recent reports and errors to retain for introspection;
         counters keep exact totals regardless, so a long-running service
         stays bounded in memory.
+    journal:
+        Optional :class:`~repro.serving.IngestJournal`.  Each batch is
+        journaled (write-ahead) under the expander lock immediately
+        before it is applied, so journal order equals apply order and a
+        replay from an empty expander reconstructs the same state.
     """
 
     def __init__(self, expander: IncrementalExpander, max_queue: int = 16,
                  lock: threading.Lock | None = None,
-                 max_history: int = 256):
+                 max_history: int = 256, journal=None):
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if max_history < 1:
             raise ValueError("max_history must be >= 1")
         self.expander = expander
+        self.journal = journal
         self._queue: queue.Queue[IngestTicket | None] = \
             queue.Queue(maxsize=max_queue)
         self._expander_lock = lock or threading.Lock()
@@ -236,6 +261,10 @@ class StreamingIngestor:
     def _ingest(self, ticket: IngestTicket) -> None:
         try:
             with self._expander_lock:
+                if self.journal is not None:
+                    records, provenance = click_log_to_records(ticket.batch)
+                    self.journal.append("ingest", {
+                        "records": records, "provenance": provenance})
                 report = self.expander.ingest(ticket.batch)
         except BaseException as error:
             ticket.error = error

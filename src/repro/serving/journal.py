@@ -1,0 +1,369 @@
+"""Durable write-ahead journal for the streaming-ingest path.
+
+A server restart used to lose every incrementally-attached edge: the
+accumulated click log, the seen-candidate set, and the live taxonomy all
+existed only in memory.  :class:`IngestJournal` fixes that with the
+smallest durable log that does the job — an **append-only JSONL file
+set** that :class:`~repro.serving.StreamingIngestor` (and synchronous
+``/expand``) writes *before* applying a mutation, and that
+``repro serve --journal-dir`` replays on startup to rebuild exactly the
+pre-crash state (scores are recomputed, and the engine is deterministic,
+so replay converges on the same attachments).
+
+Record format — one JSON object per line::
+
+    {"seq": 7, "type": "ingest", "data": {...}, "crc": "89abcdef"}
+
+``crc`` is the CRC-32 of the canonical JSON encoding of
+``[seq, type, data]`` (sorted keys, compact separators), so any
+truncated or bit-flipped line is detected on replay.  Three record types
+exist today: ``ingest`` (one click-log batch in wire format), ``expand``
+(one synchronous candidate map), and ``reload`` (an artifact-bundle swap;
+replay re-applies it best-effort).
+
+Durability and corruption policy:
+
+* **fsync batching** — every append is flushed to the OS immediately;
+  ``fsync`` runs once per ``fsync_every`` records (and on
+  :meth:`flush` / :meth:`close`), trading a bounded tail-loss window for
+  far fewer disk round-trips under bursty ingest.
+* **segment rotation** — the journal rolls to a new
+  ``journal-NNNNNNNN.jsonl`` segment once the active one exceeds
+  ``max_segment_bytes``, keeping individual files small enough to ship
+  or prune.
+* **recovery** — a torn final record (the classic crash-mid-write) is
+  truncated away on open with a :class:`JournalCorruptionWarning`; a CRC
+  mismatch or undecodable line mid-stream stops reading *that segment*
+  at its last good record (the rest of the segment cannot be trusted to
+  be ordered) and replay continues with the next segment; empty segment
+  files are skipped with a warning.  Corruption never raises out of
+  :meth:`replay`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import warnings
+import zlib
+from dataclasses import dataclass, replace
+from threading import Lock
+
+__all__ = [
+    "IngestJournal", "JournalCorruptionWarning", "JournalRecord",
+    "JournalStats",
+]
+
+SEGMENT_PREFIX = "journal-"
+SEGMENT_SUFFIX = ".jsonl"
+
+
+class JournalCorruptionWarning(UserWarning):
+    """Raised as a *warning* whenever replay/recovery meets bad bytes.
+
+    The journal never crashes the server over corruption: a torn tail is
+    truncated, a mid-stream mismatch stops replay at the last good
+    record, and the operator learns about it from this warning (and the
+    ``corrupt_records`` counter in :class:`JournalStats`).
+    """
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One durable journal entry: a sequence number, a type tag, and an
+    arbitrary JSON-serialisable payload."""
+
+    seq: int
+    type: str
+    data: dict
+
+    def encode(self) -> bytes:
+        """The CRC-stamped single-line wire encoding (newline included)."""
+        line = json.dumps(
+            {"seq": self.seq, "type": self.type, "data": self.data,
+             "crc": _crc(self.seq, self.type, self.data)},
+            ensure_ascii=False, separators=(",", ":"))
+        return line.encode("utf-8") + b"\n"
+
+    @classmethod
+    def decode(cls, line: bytes) -> "JournalRecord":
+        """Parse and CRC-verify one wire line; raises ``ValueError`` on
+        any corruption (bad JSON, missing fields, CRC mismatch)."""
+        try:
+            payload = json.loads(line.decode("utf-8"))
+            seq = payload["seq"]
+            kind = payload["type"]
+            data = payload["data"]
+            crc = payload["crc"]
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+                TypeError) as error:
+            raise ValueError(f"undecodable journal line: {error}") from None
+        if crc != _crc(seq, kind, data):
+            raise ValueError(f"CRC mismatch on record seq={seq}")
+        return cls(seq=int(seq), type=str(kind), data=data)
+
+
+def _crc(seq: int, kind: str, data: dict) -> str:
+    canonical = json.dumps([seq, kind, data], ensure_ascii=False,
+                           sort_keys=True, separators=(",", ":"))
+    return format(zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+@dataclass
+class JournalStats:
+    """Counters describing journal activity since construction."""
+
+    appended: int = 0
+    fsyncs: int = 0
+    rotations: int = 0
+    replayed: int = 0
+    corrupt_records: int = 0
+    truncated_bytes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON/metrics-friendly snapshot."""
+        return {
+            "appended": self.appended,
+            "fsyncs": self.fsyncs,
+            "rotations": self.rotations,
+            "replayed": self.replayed,
+            "corrupt_records": self.corrupt_records,
+            "truncated_bytes": self.truncated_bytes,
+        }
+
+
+class IngestJournal:
+    """Append-only, CRC'd, segment-rotated JSONL journal.
+
+    Parameters
+    ----------
+    directory:
+        Journal directory (created if missing).  Segments are named
+        ``journal-NNNNNNNN.jsonl`` and replayed in lexicographic order.
+    max_segment_bytes:
+        Rotation threshold for the active segment.
+    fsync_every:
+        ``fsync`` once per this many appends (1 = every append is
+        durable before :meth:`append` returns; 0 disables fsync and
+        relies on OS write-back).  :meth:`flush` always forces a sync of
+        anything pending.
+
+    Thread-safety: all public methods are serialised by an internal
+    lock, so the ingest worker and synchronous ``/expand`` handlers can
+    share one journal.
+    """
+
+    def __init__(self, directory: str,
+                 max_segment_bytes: int = 4 * 1024 * 1024,
+                 fsync_every: int = 8):
+        if max_segment_bytes < 1:
+            raise ValueError("max_segment_bytes must be >= 1")
+        if fsync_every < 0:
+            raise ValueError("fsync_every must be >= 0")
+        self.directory = directory
+        self.max_segment_bytes = max_segment_bytes
+        self.fsync_every = fsync_every
+        self.stats = JournalStats()
+        self._lock = Lock()
+        self._handle: io.BufferedWriter | None = None
+        self._pending_sync = 0
+        self._closed = False
+        # Recovery and replay both scan segments; a given corruption must
+        # be warned about and counted once per instance, not per scan.
+        self._seen_corruptions: set[tuple[str, int]] = set()
+        os.makedirs(directory, exist_ok=True)
+        self._next_seq, self._segment_index = self._recover()
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, kind: str, data: dict) -> JournalRecord:
+        """Durably append one record; returns it with its sequence number.
+
+        The line is written and flushed to the OS before returning;
+        ``fsync`` happens per the ``fsync_every`` batching policy.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("journal is closed")
+            record = JournalRecord(seq=self._next_seq, type=str(kind),
+                                   data=data)
+            handle = self._active_handle()
+            handle.write(record.encode())
+            handle.flush()
+            self._next_seq += 1
+            self.stats.appended += 1
+            self._pending_sync += 1
+            if self.fsync_every and self._pending_sync >= self.fsync_every:
+                self._fsync()
+            if handle.tell() >= self.max_segment_bytes:
+                self._rotate()
+            return record
+
+    def flush(self) -> None:
+        """Force anything pending to disk (flush + fsync); idempotent."""
+        with self._lock:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.flush()
+                if self._pending_sync:
+                    self._fsync()
+
+    def close(self) -> None:
+        """Flush, fsync, and release the active segment; idempotent."""
+        with self._lock:
+            self._closed = True
+            if self._handle is not None and not self._handle.closed:
+                self._handle.flush()
+                if self._pending_sync:
+                    self._fsync()
+                self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "IngestJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def segments(self) -> list[str]:
+        """Absolute segment paths in replay order."""
+        names = sorted(
+            name for name in os.listdir(self.directory)
+            if name.startswith(SEGMENT_PREFIX)
+            and name.endswith(SEGMENT_SUFFIX))
+        return [os.path.join(self.directory, name) for name in names]
+
+    def replay(self):
+        """Yield every valid :class:`JournalRecord`, oldest first.
+
+        Reads straight from disk, so it reflects records appended by a
+        previous process.  Corruption warns (see
+        :class:`JournalCorruptionWarning`) and stops the affected
+        segment at its last good record instead of raising; empty
+        segments are skipped with a warning.
+        """
+        for path in self.segments():
+            if os.path.getsize(path) == 0:
+                warnings.warn(
+                    f"empty journal segment {os.path.basename(path)}; "
+                    f"skipping", JournalCorruptionWarning, stacklevel=2)
+                continue
+            for record, _offset in self._scan_segment(path):
+                with self._lock:
+                    self.stats.replayed += 1
+                yield record
+
+    def stats_snapshot(self) -> JournalStats:
+        """An atomic copy of the activity counters."""
+        with self._lock:
+            return replace(self.stats)
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next appended record will receive."""
+        with self._lock:
+            return self._next_seq
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _scan_segment(self, path: str):
+        """Yield ``(record, end_offset)`` for each valid line; warn and
+        stop at the first corrupt one."""
+        with open(path, "rb") as handle:
+            offset = 0
+            for line in handle:
+                end = offset + len(line)
+                if not line.endswith(b"\n"):
+                    self._warn_corrupt(
+                        path, offset,
+                        "truncated final record (no trailing newline)")
+                    return
+                stripped = line.strip()
+                if stripped:
+                    try:
+                        record = JournalRecord.decode(stripped)
+                    except ValueError as error:
+                        self._warn_corrupt(path, offset, str(error))
+                        return
+                    yield record, end
+                offset = end
+
+    def _warn_corrupt(self, path: str, offset: int, reason: str) -> None:
+        key = (os.path.basename(path), offset)
+        with self._lock:
+            if key in self._seen_corruptions:
+                return  # already counted and warned by this instance
+            self._seen_corruptions.add(key)
+            self.stats.corrupt_records += 1
+        warnings.warn(
+            f"journal corruption in {os.path.basename(path)} at byte "
+            f"{offset}: {reason}; this segment stops at its last good "
+            f"record",
+            JournalCorruptionWarning, stacklevel=3)
+
+    def _recover(self) -> tuple[int, int]:
+        """Scan existing segments; truncate a torn tail on the last one.
+
+        Returns ``(next_seq, next_segment_index)``.  Only the *final*
+        segment is repaired — a corrupt record there is the expected
+        shape of a crash mid-write.  Earlier-segment corruption is left
+        untouched (replay warns and stops there).
+        """
+        paths = self.segments()
+        last_seq = -1
+        for path in paths:
+            valid_end = 0
+            for record, end in self._scan_segment(path):
+                last_seq = max(last_seq, record.seq)
+                valid_end = end
+            if path == paths[-1]:
+                size = os.path.getsize(path)
+                if size > valid_end:
+                    with self._lock:
+                        self.stats.truncated_bytes += size - valid_end
+                    warnings.warn(
+                        f"truncating {size - valid_end} torn byte(s) from "
+                        f"{os.path.basename(path)}",
+                        JournalCorruptionWarning, stacklevel=2)
+                    with open(path, "rb+") as handle:
+                        handle.truncate(valid_end)
+        index = 0
+        if paths:
+            index = self._segment_number(paths[-1])
+        return last_seq + 1, index
+
+    @staticmethod
+    def _segment_number(path: str) -> int:
+        name = os.path.basename(path)
+        return int(name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)])
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.directory,
+                            f"{SEGMENT_PREFIX}{index:08d}{SEGMENT_SUFFIX}")
+
+    def _active_handle(self) -> io.BufferedWriter:
+        """The open append handle for the active segment.  Lock held."""
+        if self._handle is None or self._handle.closed:
+            self._handle = open(self._segment_path(self._segment_index),
+                                "ab")
+        return self._handle
+
+    def _rotate(self) -> None:
+        """Seal the active segment and start the next one.  Lock held."""
+        if self._pending_sync:
+            self._fsync()
+        self._handle.close()
+        self._handle = None
+        self._segment_index += 1
+        self.stats.rotations += 1
+
+    def _fsync(self) -> None:
+        """fsync the active handle.  Lock held, handle open."""
+        os.fsync(self._handle.fileno())
+        self.stats.fsyncs += 1
+        self._pending_sync = 0

@@ -45,6 +45,7 @@ class ScorerStats:
     model_calls: int = 0
     batches: int = 0
     coalesced_requests: int = 0
+    worker_failures: int = 0
 
     def as_dict(self) -> dict[str, int | float]:
         """JSON-friendly snapshot including the derived hit rate."""
@@ -59,6 +60,7 @@ class ScorerStats:
             "model_calls": self.model_calls,
             "batches": self.batches,
             "coalesced_requests": self.coalesced_requests,
+            "worker_failures": self.worker_failures,
         }
 
 
@@ -102,6 +104,9 @@ class BatchingScorer:
         self.max_wait_ms = max_wait_ms
         self.cache_size = cache_size
         self._cache: OrderedDict[Pair, float] = OrderedDict()
+        # Bumped by swap_scorer: batches started under an older epoch
+        # must not write their (old-model) scores into the new cache.
+        self._epoch = 0
         self._queue: deque[_Request] = deque()
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
@@ -216,6 +221,22 @@ class BatchingScorer:
         with self._lock:
             self._cache.clear()
 
+    def swap_scorer(self, scorer, clear_cache: bool = True) -> None:
+        """Atomically replace the underlying scorer (hot reload).
+
+        Future batches call the new ``scorer``; a batch already executing
+        keeps its reference to the old one and completes on it (the old
+        engine drains naturally) — but its results are fenced out of the
+        cache by an epoch bump, so a post-swap cache never serves
+        old-model probabilities.  The LRU cache is cleared by default —
+        cached probabilities belong to the outgoing model.
+        """
+        with self._lock:
+            self._scorer = scorer
+            self._epoch += 1
+            if clear_cache:
+                self._cache.clear()
+
     # ------------------------------------------------------------------
     # internals (callers hold self._lock where noted)
     # ------------------------------------------------------------------
@@ -230,23 +251,29 @@ class BatchingScorer:
                        coalesced: int) -> dict[Pair, float]:
         """Run the underlying scorer in ``max_batch``-sized calls."""
         known: dict[Pair, float] = {}
+        with self._lock:
+            scorer = self._scorer  # one consistent model across the batch
+            epoch = self._epoch
         for start in range(0, len(pairs), self.max_batch):
             chunk = pairs[start:start + self.max_batch]
-            scores = np.asarray(self._scorer(chunk), dtype=np.float64)
+            scores = np.asarray(scorer(chunk), dtype=np.float64)
             with self._lock:
                 self._record_batch(chunk, scores,
-                                   coalesced=coalesced if start == 0 else 0)
+                                   coalesced=coalesced if start == 0 else 0,
+                                   epoch=epoch)
             known.update(zip(chunk, scores.tolist()))
         return known
 
     def _record_batch(self, pairs: list[Pair], scores: np.ndarray,
-                      coalesced: int) -> None:
+                      coalesced: int, epoch: int) -> None:
         """Account for one underlying call and fill the cache.  Lock held."""
         self._stats.model_calls += 1
         self._stats.batches += 1
         self._stats.pairs_scored += len(pairs)
         self._stats.coalesced_requests += coalesced
-        if not self.cache_size:
+        if not self.cache_size or epoch != self._epoch:
+            # A swap_scorer happened mid-batch: these scores came from
+            # the outgoing model and must not repopulate the new cache.
             return
         for pair, score in zip(pairs, scores.tolist()):
             self._cache[pair] = float(score)
@@ -279,33 +306,69 @@ class BatchingScorer:
             return batch
 
     def _run(self) -> None:
-        while True:
-            batch = self._collect()
-            if not batch:
-                return
-            # Dedup across coalesced requests; re-check the cache in case a
-            # concurrent batch already scored some of these pairs.
-            unique = list(dict.fromkeys(
-                pair for request in batch for pair in request.pairs))
-            known: dict[Pair, float] = {}
-            with self._lock:
-                to_score = []
-                for pair in unique:
-                    value = self._cache_get(pair)
-                    if value is _MISSING:
-                        to_score.append(pair)
-                    else:
-                        known[pair] = value
-            try:
-                if to_score:
-                    known.update(self._score_chunked(
-                        to_score, coalesced=len(batch)))
-            except BaseException as error:  # propagate to every waiter
-                for request in batch:
-                    request.error = error
-                    request.event.set()
-                continue
+        """Worker loop.  A per-batch scoring failure propagates to that
+        batch's waiters and the loop continues; anything that escapes the
+        per-batch handling (a genuine worker-thread death) must never
+        strand queued requests — :meth:`_fail_worker` resolves every
+        waiter with the fatal error and flips the scorer back to the
+        synchronous path."""
+        batch: list[_Request] = []
+        try:
+            while True:
+                batch = self._collect()
+                if not batch:
+                    return
+                self._process_batch(batch)
+                batch = []
+        except BaseException as error:
+            self._fail_worker(batch, error)
+
+    def _process_batch(self, batch: list[_Request]) -> None:
+        """Score one coalesced batch and resolve its requests."""
+        # Dedup across coalesced requests; re-check the cache in case a
+        # concurrent batch already scored some of these pairs.
+        unique = list(dict.fromkeys(
+            pair for request in batch for pair in request.pairs))
+        known: dict[Pair, float] = {}
+        with self._lock:
+            to_score = []
+            for pair in unique:
+                value = self._cache_get(pair)
+                if value is _MISSING:
+                    to_score.append(pair)
+                else:
+                    known[pair] = value
+        try:
+            if to_score:
+                known.update(self._score_chunked(
+                    to_score, coalesced=len(batch)))
+        except Exception as error:  # propagate to every waiter
             for request in batch:
-                request.scores = {pair: known[pair]
-                                  for pair in request.pairs}
+                request.error = error
+                request.event.set()
+            return
+        for request in batch:
+            request.scores = {pair: known[pair]
+                              for pair in request.pairs}
+            request.event.set()
+
+    def _fail_worker(self, batch: list[_Request],
+                     error: BaseException) -> None:
+        """The worker thread is dying: propagate ``error`` everywhere.
+
+        Every queued request (and the batch being collected, if any) is
+        resolved with the fatal error so no caller blocks forever, the
+        ``worker_failures`` counter records the event for ``/metrics``,
+        and the worker handle is cleared so subsequent calls degrade to
+        the synchronous path until :meth:`start` is called again.
+        """
+        with self._lock:
+            stranded = list(batch)
+            while self._queue:
+                stranded.append(self._queue.popleft())
+            self._stats.worker_failures += 1
+            self._worker = None
+        for request in stranded:
+            if not request.event.is_set():
+                request.error = error
                 request.event.set()

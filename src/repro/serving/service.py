@@ -3,10 +3,18 @@
 :class:`TaxonomyService` composes the serving subsystem around one loaded
 :class:`~repro.serving.ArtifactBundle`:
 
-* a :class:`~repro.serving.BatchingScorer` front-ending the detector,
+* a :class:`~repro.serving.BatchingScorer` front-ending the detector —
+  either the in-process compiled engine or a
+  :class:`~repro.serving.ShardedScorerPool` of worker processes,
 * an :class:`~repro.core.IncrementalExpander` owning the live taxonomy,
 * a :class:`~repro.serving.StreamingIngestor` applying click-log batches
-  from a background worker.
+  from a background worker, optionally write-ahead journaled into an
+  :class:`~repro.serving.IngestJournal` and replayed on startup
+  (:meth:`TaxonomyService.replay_journal`),
+* zero-downtime hot reload (:meth:`TaxonomyService.reload`): a new
+  bundle is loaded in the background, smoke-tested, and atomically
+  swapped into the scorer (and every pool worker) while in-flight
+  batches drain on the old engine.
 
 Every public method takes and returns JSON-friendly values, so the HTTP
 layer (:mod:`repro.serving.http`) is a thin router over this class and the
@@ -17,7 +25,10 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..core.expansion import expand_taxonomy
 from ..core.incremental import IncrementalExpander, IngestReport
@@ -37,6 +48,9 @@ class ServiceConfig:
     max_wait_ms: float = 2.0
     cache_size: int = 4096
     max_ingest_queue: int = 16
+    #: pairs sampled from the incoming bundle's taxonomy for the
+    #: pre-swap smoke test during hot reload
+    reload_probe_pairs: int = 8
 
 
 def _report_to_dict(report: IngestReport) -> dict:
@@ -50,16 +64,40 @@ def _report_to_dict(report: IngestReport) -> dict:
 
 
 class TaxonomyService:
-    """Long-running facade over a fitted pipeline and its taxonomy."""
+    """Long-running facade over a fitted pipeline and its taxonomy.
+
+    Parameters
+    ----------
+    bundle:
+        The loaded artifact bundle to serve.
+    config:
+        Operational knobs (batching, caching, queue bounds).
+    pool:
+        Optional started :class:`~repro.serving.ShardedScorerPool`; when
+        given, scoring fans out across its worker processes instead of
+        the in-process engine.  The caller keeps ownership (stop it
+        after :meth:`stop`).
+    journal:
+        Optional :class:`~repro.serving.IngestJournal`; every taxonomy
+        mutation (``ingest`` batches, synchronous ``expand`` calls,
+        ``reload`` events) is journaled write-ahead, and
+        :meth:`replay_journal` rebuilds state from it on startup.  The
+        caller keeps ownership (close it after :meth:`stop`).
+    """
 
     def __init__(self, bundle: ArtifactBundle,
-                 config: ServiceConfig | None = None):
+                 config: ServiceConfig | None = None,
+                 pool=None, journal=None):
         if bundle.pipeline.detector is None:
             raise ValueError("bundle holds an unfitted pipeline")
         self.bundle = bundle
         self.config = config or ServiceConfig()
+        self.pool = pool
+        self.journal = journal
+        backend = pool.score_pairs if pool is not None \
+            else bundle.pipeline.score_pairs
         self.scorer = BatchingScorer(
-            bundle.pipeline.score_pairs,
+            backend,
             max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms,
             cache_size=self.config.cache_size)
@@ -71,7 +109,10 @@ class TaxonomyService:
             bundle.pipeline.config.expansion)
         self.ingestor = StreamingIngestor(
             self.expander, max_queue=self.config.max_ingest_queue,
-            lock=self._taxonomy_lock)
+            lock=self._taxonomy_lock, journal=journal)
+        # Serialises hot reloads; scoring keeps flowing around it.
+        self._reload_lock = threading.Lock()
+        self._reloads = 0
         self._started_at = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -84,9 +125,15 @@ class TaxonomyService:
         return self
 
     def stop(self) -> None:
-        """Drain and stop both workers; idempotent."""
+        """Drain and stop both workers; idempotent.
+
+        Flushes (but does not close) an attached journal, and leaves an
+        attached pool running — both belong to whoever created them.
+        """
         self.ingestor.stop()
         self.scorer.stop()
+        if self.journal is not None:
+            self.journal.flush()
 
     def __enter__(self) -> "TaxonomyService":
         return self.start()
@@ -114,17 +161,14 @@ class TaxonomyService:
         """Synchronously expand the live taxonomy over given candidates.
 
         ``candidates`` maps a query concept to its candidate item
-        concepts.  Accepted edges are committed to the service taxonomy.
+        concepts.  Accepted edges are committed to the service taxonomy
+        (and journaled write-ahead when a journal is attached).
         """
         if not isinstance(candidates, dict):
             raise ValueError("candidates must map query -> [items]")
         cleaned = {str(query): [str(item) for item in items]
                    for query, items in candidates.items()}
-        with self._taxonomy_lock:
-            result = expand_taxonomy(
-                self.scorer, self.expander.taxonomy, cleaned,
-                self.expander.config)
-            self.expander.taxonomy = result.taxonomy
+        result = self._expand_cleaned(cleaned, journal_write=True)
         return {
             "attached_edges": [list(edge)
                                for edge in result.attached_edges],
@@ -132,6 +176,17 @@ class TaxonomyService:
             "scored_candidates": len(result.scored_pairs),
             "taxonomy_edges": result.taxonomy.num_edges,
         }
+
+    def _expand_cleaned(self, cleaned: dict, journal_write: bool):
+        """Expand under the taxonomy lock; journal first when asked."""
+        with self._taxonomy_lock:
+            if journal_write and self.journal is not None:
+                self.journal.append("expand", {"candidates": cleaned})
+            result = expand_taxonomy(
+                self.scorer, self.expander.taxonomy, cleaned,
+                self.expander.config)
+            self.expander.taxonomy = result.taxonomy
+        return result
 
     def ingest(self, records: list, provenance: dict | None = None,
                sync: bool = False) -> dict:
@@ -145,9 +200,153 @@ class TaxonomyService:
             # The ticket resolves to this batch's own report (or re-raises
             # this batch's own failure) — never another caller's outcome.
             report = ticket.wait(timeout=60.0)
+            if self.journal is not None:
+                # A synchronous ack promises durability: force the fsync
+                # regardless of where the batching window stands.
+                self.journal.flush()
             return {"accepted": True, "report": _report_to_dict(report)}
         return {"accepted": True,
                 "pending_batches": self.ingestor.pending}
+
+    # ------------------------------------------------------------------
+    # durability and hot reload
+    # ------------------------------------------------------------------
+    def replay_journal(self) -> dict:
+        """Rebuild incremental-expansion state from the attached journal.
+
+        Call once on startup, *before* :meth:`start`: every journaled
+        mutation is re-applied in order — ``ingest`` batches through the
+        expander, ``expand`` candidate maps through the expansion
+        routine, ``reload`` events by re-loading the recorded bundle
+        (best-effort: a vanished directory warns and keeps the current
+        model).  Scores are recomputed by the (deterministic) engine, so
+        replay converges on exactly the pre-crash attachments.  Nothing
+        is re-journaled during replay.
+        """
+        if self.journal is None:
+            raise RuntimeError("service has no journal attached")
+        counts = {"ingest": 0, "expand": 0, "reload": 0, "skipped": 0}
+        for record in self.journal.replay():
+            try:
+                if record.type == "ingest":
+                    batch = click_log_from_records(
+                        record.data.get("records", []),
+                        record.data.get("provenance"))
+                    with self._taxonomy_lock:
+                        self.expander.ingest(batch)
+                elif record.type == "expand":
+                    self._expand_cleaned(
+                        record.data.get("candidates", {}),
+                        journal_write=False)
+                elif record.type == "reload":
+                    self._swap_bundle(record.data["directory"])
+                else:
+                    counts["skipped"] += 1
+                    warnings.warn(
+                        f"unknown journal record type {record.type!r} "
+                        f"(seq={record.seq}); skipping", stacklevel=2)
+                    continue
+                counts[record.type] += 1
+            except Exception as error:
+                counts["skipped"] += 1
+                warnings.warn(
+                    f"journal record seq={record.seq} ({record.type}) "
+                    f"failed to replay: {error!r}; continuing",
+                    stacklevel=2)
+        counts["taxonomy_edges"] = self.expander.taxonomy.num_edges
+        return counts
+
+    def reload(self, directory: str | None = None) -> dict:
+        """Hot-swap a new artifact bundle with zero dropped requests.
+
+        Loads the bundle at ``directory`` (default: the directory the
+        current bundle came from, so operators can refresh it in place),
+        smoke-tests it on probe pairs sampled from its taxonomy, rolls
+        it out to every pool worker (where the reload message queues
+        behind in-flight scoring), then atomically swaps the scorer
+        backend and clears the score cache.  The outgoing engine keeps
+        serving batches that already hold it and is drained before the
+        call returns.  The live taxonomy and accumulated ingest state
+        are *preserved* — a reload updates the model, not the data.
+
+        Raises if the new bundle fails to load or its smoke test fails;
+        the old bundle keeps serving in that case (pool workers that
+        already swapped are rolled back to the previous directory, so
+        shards never serve mixed models).
+        """
+        directory = directory or self.bundle.directory
+        if not directory:
+            raise ValueError("no bundle directory to reload from")
+        with self._reload_lock:
+            outcome = self._swap_bundle(directory)
+            if self.journal is not None:
+                self.journal.append("reload", {"directory": directory})
+                self.journal.flush()
+            self._reloads += 1
+        return outcome
+
+    def _swap_bundle(self, directory: str) -> dict:
+        """Load + smoke-test + swap one bundle (no journaling here)."""
+        new_bundle = ArtifactBundle.load(directory)
+        probes = self._probe_pairs(new_bundle)
+        probs = np.asarray(new_bundle.score_pairs(probes))
+        if probes and not (np.all(np.isfinite(probs))
+                           and np.all((probs >= 0.0) & (probs <= 1.0))):
+            raise RuntimeError(
+                f"reload smoke test failed: non-probability scores from "
+                f"{directory!r}")
+        workers = 0
+        if self.pool is not None:
+            previous_dir = self.pool.bundle_dir
+            results = self.pool.reload(directory)
+            failed = [r for r in results if not r["ok"]]
+            if failed:
+                # Workers that did swap must not keep the new model while
+                # the rest serve the old one (mixed-model shards would
+                # break the parity contract) — roll everyone back.
+                self.pool.reload(previous_dir)
+                raise RuntimeError(
+                    f"pool reload failed on {len(failed)} worker(s), "
+                    f"rolled back to {previous_dir!r}: {failed}")
+            workers = len(results)
+            if probes:
+                pooled = np.asarray(self.pool.score_pairs(probes))
+                engine = new_bundle.pipeline.detector.inference_engine
+                tolerance = (engine.score_tolerance
+                             if engine is not None else 1e-4)
+                delta = float(np.max(np.abs(pooled - probs)))
+                if delta > tolerance:
+                    self.pool.reload(previous_dir)
+                    raise RuntimeError(
+                        f"reload parity check failed: pool vs "
+                        f"single-process max delta {delta:.2e} exceeds "
+                        f"{tolerance:.0e}; rolled back to "
+                        f"{previous_dir!r}")
+        old_bundle = self.bundle
+        backend = (self.pool.score_pairs if self.pool is not None
+                   else new_bundle.pipeline.score_pairs)
+        self.scorer.swap_scorer(backend, clear_cache=True)
+        self.bundle = new_bundle
+        old_detector = old_bundle.pipeline.detector
+        old_engine = (old_detector.inference_engine
+                      if old_detector is not None else None)
+        drained = True
+        if old_engine is not None and old_engine is not \
+                new_bundle.pipeline.detector.inference_engine:
+            drained = old_engine.drain(timeout=30.0)
+        return {
+            "reloaded": True,
+            "directory": directory,
+            "probe_pairs": len(probes),
+            "pool_workers": workers,
+            "old_engine_drained": drained,
+        }
+
+    def _probe_pairs(self, bundle: ArtifactBundle) -> list:
+        """Smoke-test pairs: a deterministic sample of taxonomy edges."""
+        edges = sorted(bundle.taxonomy.edges())
+        return [tuple(edge)
+                for edge in edges[:self.config.reload_probe_pairs]]
 
     def taxonomy_state(self, include_edges: bool = True) -> dict:
         """The live taxonomy plus accumulated-traffic statistics."""
@@ -174,13 +373,18 @@ class TaxonomyService:
     def health(self) -> dict:
         """Liveness snapshot for ``/healthz``."""
         errors = self.ingestor.errors
-        return {
+        workers = {
+            "scorer": self.scorer.running,
+            "ingestor": self.ingestor.running,
+        }
+        if self.pool is not None:
+            workers["pool"] = self.pool.running
+            workers["pool_stats"] = self.pool.stats_snapshot().as_dict()
+        payload = {
             "status": "degraded" if errors else "ok",
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
-            "workers": {
-                "scorer": self.scorer.running,
-                "ingestor": self.ingestor.running,
-            },
+            "reloads": self._reloads,
+            "workers": workers,
             "ingest": {
                 "pending_batches": self.ingestor.pending,
                 "processed_batches": self.ingestor.processed,
@@ -190,12 +394,17 @@ class TaxonomyService:
             "scorer": self.scorer.stats_snapshot().as_dict(),
             "taxonomy_edges": self.expander.taxonomy.num_edges,
         }
+        if self.journal is not None:
+            payload["journal"] = self.journal.stats_snapshot().as_dict()
+        return payload
 
     def metrics_text(self) -> str:
         """Prometheus text-format exposition for ``/metrics``.
 
         Covers scorer traffic (an atomic :class:`ScorerStats` snapshot),
-        ingest queue depth and totals, live-taxonomy gauges, and the
+        ingest queue depth and totals, live-taxonomy gauges, hot-reload
+        and journal activity, per-worker pool counters when a
+        :class:`~repro.serving.ShardedScorerPool` backs scoring, and the
         inference engine's dtype/batch counters when the fast path is
         compiled.
         """
@@ -227,8 +436,13 @@ class TaxonomyService:
         metric("repro_scorer_coalesced_requests_total", "counter",
                "Requests coalesced into shared batches.",
                scorer.coalesced_requests)
+        metric("repro_scorer_worker_failures_total", "counter",
+               "Scorer worker-thread deaths (queued requests were failed "
+               "over, not dropped).", scorer.worker_failures)
         metric("repro_scorer_cache_entries", "gauge",
                "Pair scores currently cached.", self.scorer.cache_len())
+        metric("repro_reloads_total", "counter",
+               "Successful artifact-bundle hot reloads.", self._reloads)
         metric("repro_ingest_queue_depth", "gauge",
                "Submitted click-log batches not yet processed.",
                self.ingestor.pending)
@@ -245,6 +459,47 @@ class TaxonomyService:
                "Nodes in the live taxonomy.", nodes)
         metric("repro_taxonomy_edges", "gauge",
                "Edges in the live taxonomy.", edges)
+
+        if self.journal is not None:
+            journal = self.journal.stats_snapshot()
+            metric("repro_journal_appended_total", "counter",
+                   "Records appended to the ingest journal.",
+                   journal.appended)
+            metric("repro_journal_fsyncs_total", "counter",
+                   "fsync calls issued by the ingest journal.",
+                   journal.fsyncs)
+            metric("repro_journal_rotations_total", "counter",
+                   "Journal segment rotations.", journal.rotations)
+            metric("repro_journal_corrupt_records_total", "counter",
+                   "Corrupt records met during journal recovery/replay.",
+                   journal.corrupt_records)
+            metric("repro_journal_segments", "gauge",
+                   "Journal segment files on disk.",
+                   len(self.journal.segments()))
+
+        if self.pool is not None:
+            pool = self.pool.stats_snapshot()
+            metric("repro_pool_requests_total", "counter",
+                   "Requests fanned out across the scorer pool.",
+                   pool.requests)
+            metric("repro_pool_pairs_scored_total", "counter",
+                   "Pairs scored through the pool.", pool.pairs_scored)
+            metric("repro_pool_shard_messages_total", "counter",
+                   "Shard messages dispatched to workers.",
+                   pool.shard_messages)
+            metric("repro_pool_worker_deaths_total", "counter",
+                   "Worker processes that died unexpectedly.",
+                   pool.worker_deaths)
+            metric("repro_pool_worker_restarts_total", "counter",
+                   "Worker processes respawned after a death.",
+                   pool.worker_restarts)
+            lines.append("# HELP repro_pool_worker_pairs_total Pairs "
+                         "routed to one worker (shard balance).")
+            lines.append("# TYPE repro_pool_worker_pairs_total counter")
+            for index, pairs in sorted(pool.worker_pairs.items()):
+                lines.append(
+                    f'repro_pool_worker_pairs_total{{worker="{index}"}} '
+                    f"{pairs}")
 
         detector = self.bundle.pipeline.detector
         engine = detector.inference_engine if detector is not None else None

@@ -1,0 +1,314 @@
+"""Ingest-journal tests: durability, rotation, corruption, replay.
+
+Covers the write path (fsync batching, segment rotation, sequence
+continuation across reopen), every corruption mode the ISSUE names
+(truncated final record, CRC mismatch mid-file, empty segment), and the
+service-level crash-recovery contract: a journal-backed service that
+dies without cleanup is rebuilt exactly by replay.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.serving import (
+    ArtifactBundle, IngestJournal, JournalCorruptionWarning, JournalRecord,
+    ServiceConfig, TaxonomyService,
+)
+
+
+def record_data(i):
+    return {"records": [["query", f"item {i}", 1]]}
+
+
+class TestAppendReplay:
+    def test_roundtrip_preserves_order_and_payload(self, tmp_path):
+        journal = IngestJournal(str(tmp_path))
+        for i in range(5):
+            journal.append("ingest", record_data(i))
+        journal.append("expand", {"candidates": {"a": ["b"]}})
+        journal.close()
+        replayed = list(IngestJournal(str(tmp_path)).replay())
+        assert [r.seq for r in replayed] == list(range(6))
+        assert replayed[0].data == record_data(0)
+        assert replayed[-1].type == "expand"
+
+    def test_wire_format_is_crc_stamped_json(self, tmp_path):
+        journal = IngestJournal(str(tmp_path))
+        journal.append("ingest", record_data(0))
+        journal.close()
+        with open(journal.segments()[0], "rb") as handle:
+            payload = json.loads(handle.readline())
+        assert set(payload) == {"seq", "type", "data", "crc"}
+        assert JournalRecord.decode(
+            json.dumps(payload).encode()).data == record_data(0)
+
+    def test_segment_rotation(self, tmp_path):
+        journal = IngestJournal(str(tmp_path), max_segment_bytes=150)
+        for i in range(10):
+            journal.append("ingest", record_data(i))
+        journal.close()
+        assert len(journal.segments()) > 1
+        # A rotation after the final append opens its new segment lazily,
+        # so the file count can trail the rotation count by one.
+        assert journal.stats.rotations >= len(journal.segments()) - 1
+        replayed = list(IngestJournal(str(tmp_path)).replay())
+        assert [r.seq for r in replayed] == list(range(10))
+
+    def test_sequence_continues_across_reopen(self, tmp_path):
+        journal = IngestJournal(str(tmp_path))
+        journal.append("ingest", record_data(0))
+        journal.close()
+        reopened = IngestJournal(str(tmp_path))
+        assert reopened.next_seq == 1
+        reopened.append("ingest", record_data(1))
+        reopened.close()
+        assert [r.seq for r in IngestJournal(str(tmp_path)).replay()] \
+            == [0, 1]
+
+    def test_fsync_batching(self, tmp_path):
+        journal = IngestJournal(str(tmp_path), fsync_every=4)
+        for i in range(10):
+            journal.append("ingest", record_data(i))
+        assert journal.stats.fsyncs == 2  # at appends 4 and 8
+        journal.flush()
+        assert journal.stats.fsyncs == 3  # the pending 2 records
+        journal.flush()  # nothing pending: no extra fsync
+        assert journal.stats.fsyncs == 3
+        journal.close()
+
+    def test_append_after_close_rejected(self, tmp_path):
+        journal = IngestJournal(str(tmp_path))
+        journal.close()
+        with pytest.raises(RuntimeError):
+            journal.append("ingest", record_data(0))
+
+
+class TestCorruption:
+    def test_truncated_final_record_recovers(self, tmp_path):
+        journal = IngestJournal(str(tmp_path))
+        for i in range(3):
+            journal.append("ingest", record_data(i))
+        journal.close()
+        with open(journal.segments()[-1], "ab") as handle:
+            handle.write(b'{"seq": 3, "type": "inge')  # torn mid-write
+        with pytest.warns(JournalCorruptionWarning):
+            recovered = IngestJournal(str(tmp_path))
+        assert recovered.next_seq == 3
+        assert [r.seq for r in recovered.replay()] == [0, 1, 2]
+        # New appends after recovery are visible to replay.
+        recovered.append("ingest", record_data(3))
+        recovered.close()
+        assert [r.seq for r in IngestJournal(str(tmp_path)).replay()] \
+            == [0, 1, 2, 3]
+
+    def test_crc_mismatch_mid_file_stops_segment(self, tmp_path):
+        journal = IngestJournal(str(tmp_path), max_segment_bytes=10 ** 9)
+        for i in range(4):
+            journal.append("ingest", record_data(i))
+        journal.close()
+        path = journal.segments()[0]
+        with open(path, "rb") as handle:
+            raw = bytearray(handle.read())
+        index = raw.find(b"item 1")
+        raw[index:index + 1] = b"X"  # payload no longer matches its CRC
+        with open(path, "wb") as handle:
+            handle.write(bytes(raw))
+        with pytest.warns(JournalCorruptionWarning):
+            replayed = list(IngestJournal(str(tmp_path)).replay())
+        # Record 0 survives; 1 is corrupt; the rest of the segment is
+        # untrusted.
+        assert [r.seq for r in replayed] == [0]
+
+    def test_corruption_in_old_segment_keeps_later_segments(self, tmp_path):
+        journal = IngestJournal(str(tmp_path), max_segment_bytes=150)
+        for i in range(10):
+            journal.append("ingest", record_data(i))
+        journal.close()
+        segments = journal.segments()
+        assert len(segments) >= 3
+        with open(segments[0], "rb") as handle:
+            raw = bytearray(handle.read())
+        raw[raw.find(b"item"):raw.find(b"item") + 1] = b"X"
+        with open(segments[0], "wb") as handle:
+            handle.write(bytes(raw))
+        with pytest.warns(JournalCorruptionWarning):
+            replayed = list(IngestJournal(str(tmp_path)).replay())
+        # Later segments still replay; only the corrupt segment's tail is
+        # lost.
+        assert replayed[-1].seq == 9
+        assert len(replayed) < 10
+
+    def test_empty_segment_skipped_with_warning(self, tmp_path):
+        journal = IngestJournal(str(tmp_path))
+        journal.append("ingest", record_data(0))
+        journal.close()
+        open(os.path.join(str(tmp_path), "journal-00000042.jsonl"),
+             "wb").close()
+        with pytest.warns(JournalCorruptionWarning, match="empty"):
+            replayed = list(IngestJournal(str(tmp_path)).replay())
+        assert [r.seq for r in replayed] == [0]
+
+    def test_corruption_counted_once_across_recovery_and_replay(
+            self, tmp_path):
+        # Corrupt a NON-final segment: recovery cannot truncate it away,
+        # so both the recovery scan and every replay() revisit it.
+        journal = IngestJournal(str(tmp_path), max_segment_bytes=150)
+        for i in range(6):
+            journal.append("ingest", record_data(i))
+        journal.close()
+        assert len(journal.segments()) > 1
+        path = journal.segments()[0]
+        with open(path, "rb") as handle:
+            raw = bytearray(handle.read())
+        index = raw.find(b"item 1")
+        raw[index:index + 1] = b"X"
+        with open(path, "wb") as handle:
+            handle.write(bytes(raw))
+        with pytest.warns(JournalCorruptionWarning):
+            reopened = IngestJournal(str(tmp_path))
+            list(reopened.replay())
+            list(reopened.replay())  # scanning again must not re-count
+        assert reopened.stats_snapshot().corrupt_records == 1
+
+    def test_corrupt_counters_exported(self, tmp_path):
+        journal = IngestJournal(str(tmp_path))
+        journal.append("ingest", record_data(0))
+        journal.close()
+        with open(journal.segments()[-1], "ab") as handle:
+            handle.write(b"garbage not json")
+        with pytest.warns(JournalCorruptionWarning):
+            recovered = IngestJournal(str(tmp_path))
+        stats = recovered.stats_snapshot().as_dict()
+        assert stats["corrupt_records"] >= 1
+        assert stats["truncated_bytes"] > 0
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(tiny_fitted_pipeline, small_world, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("journal_bundle"))
+    ArtifactBundle.export(tiny_fitted_pipeline, directory,
+                          taxonomy=small_world.existing_taxonomy,
+                          vocabulary=small_world.vocabulary)
+    return directory
+
+
+class TestServiceRecovery:
+    def test_crash_and_replay_restores_state(self, bundle_dir,
+                                             small_click_log):
+        import tempfile
+        journal_dir = tempfile.mkdtemp(prefix="svc_journal_")
+        service = TaxonomyService(
+            ArtifactBundle.load(bundle_dir), ServiceConfig(),
+            journal=IngestJournal(journal_dir, fsync_every=1))
+        service.start()
+        records = [[q, i, c] for (q, i), c in
+                   sorted(small_click_log.counts.items())[:40]]
+        assert service.ingest(records[:20], sync=True)["accepted"]
+        assert service.ingest(records[20:], sync=True)["accepted"]
+        service.expand({"fruit": ["apple"]})
+        before = service.taxonomy_state()
+        # Simulated kill -9: drop the service without stop()/close().
+        del service
+
+        restarted = TaxonomyService(
+            ArtifactBundle.load(bundle_dir), ServiceConfig(),
+            journal=IngestJournal(journal_dir))
+        summary = restarted.replay_journal()
+        assert summary == {"ingest": 2, "expand": 1, "reload": 0,
+                           "skipped": 0,
+                           "taxonomy_edges": before["stats"]["edges"]}
+        after = restarted.taxonomy_state()
+        assert after["stats"] == before["stats"]
+        assert {tuple(e) for e in after["edges"]} == \
+            {tuple(e) for e in before["edges"]}
+        restarted.stop()
+
+    def test_replay_requires_journal(self, bundle_dir):
+        service = TaxonomyService(ArtifactBundle.load(bundle_dir))
+        with pytest.raises(RuntimeError):
+            service.replay_journal()
+
+    def test_replay_tolerates_unknown_record_types(self, bundle_dir,
+                                                   tmp_path):
+        journal = IngestJournal(str(tmp_path))
+        journal.append("wat", {"x": 1})
+        journal.append("ingest", {"records": [["fruit", "apple", 1]]})
+        journal.close()
+        service = TaxonomyService(ArtifactBundle.load(bundle_dir),
+                                  journal=IngestJournal(str(tmp_path)))
+        with pytest.warns(UserWarning, match="unknown journal record"):
+            summary = service.replay_journal()
+        assert summary["skipped"] == 1
+        assert summary["ingest"] == 1
+        service.stop()
+
+
+class TestKillDashNine:
+    """The acceptance scenario: SIGKILL a real server mid-ingest."""
+
+    @pytest.mark.skipif(not hasattr(signal, "SIGKILL"),
+                        reason="needs SIGKILL")
+    def test_sigkill_then_restart_matches_snapshot(self, bundle_dir,
+                                                   small_click_log,
+                                                   tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        records = [[q, i, c] for (q, i), c in
+                   sorted(small_click_log.counts.items())[:30]]
+
+        def start_server():
+            env = dict(os.environ,
+                       PYTHONPATH="src" + os.pathsep
+                       + os.environ.get("PYTHONPATH", ""))
+            process = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "serve",
+                 "--artifacts", bundle_dir, "--journal-dir", journal_dir,
+                 "--journal-fsync", "1", "--port", "0", "--quiet"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                cwd=os.path.dirname(os.path.dirname(__file__)), env=env,
+                text=True)
+            port = None
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                line = process.stdout.readline()
+                if "repro serving on http://" in line:
+                    port = int(line.split("http://", 1)[1]
+                               .split(maxsplit=1)[0].rsplit(":", 1)[1])
+                    break
+            assert port, "server did not announce a port"
+            return process, port
+
+        def call(port, path, payload=None):
+            data = None if payload is None else \
+                json.dumps(payload).encode()
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}{path}", data=data,
+                headers={"Content-Type": "application/json"}
+                if data else {})
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return json.loads(response.read())
+
+        process, port = start_server()
+        try:
+            assert call(port, "/ingest",
+                        {"records": records, "sync": True})["accepted"]
+            snapshot = call(port, "/taxonomy")
+        finally:
+            process.kill()  # SIGKILL: no atexit, no flush, no close
+            process.wait(timeout=30)
+
+        process, port = start_server()
+        try:
+            restored = call(port, "/taxonomy")
+        finally:
+            process.kill()
+            process.wait(timeout=30)
+        assert restored["stats"] == snapshot["stats"]
+        assert {tuple(e) for e in restored["edges"]} == \
+            {tuple(e) for e in snapshot["edges"]}

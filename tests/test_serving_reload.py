@@ -1,0 +1,320 @@
+"""Hot-reload and scorer-resilience tests.
+
+Covers the zero-downtime artifact swap (service level and over HTTP,
+including under concurrent scoring load), the smoke-test guard that
+keeps a bad bundle out, SIGHUP wiring, the engine drain hook, and the
+BatchingScorer worker-death fix (queued requests must fail loudly and
+be counted, never silently dropped).
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ArtifactBundle, BatchingScorer, ServiceConfig, TaxonomyService,
+    make_server,
+)
+
+
+@pytest.fixture(scope="module")
+def bundles(tiny_fitted_pipeline, small_world, tmp_path_factory):
+    """Two bundle directories: v1 as fitted, v2 with shifted weights."""
+    v1 = str(tmp_path_factory.mktemp("reload_v1"))
+    ArtifactBundle.export(tiny_fitted_pipeline, v1,
+                          taxonomy=small_world.existing_taxonomy,
+                          vocabulary=small_world.vocabulary)
+    v2 = str(tmp_path_factory.mktemp("reload_v2"))
+    shifted = ArtifactBundle.load(v1).pipeline
+    for parameter in shifted.detector.classifier.parameters():
+        parameter.data = parameter.data + 0.05
+    shifted.detector.compile_inference(force=True)
+    ArtifactBundle.export(shifted, v2,
+                          taxonomy=small_world.existing_taxonomy,
+                          vocabulary=small_world.vocabulary)
+    return v1, v2
+
+
+@pytest.fixture(scope="module")
+def scoring_pairs(tiny_fitted_pipeline):
+    return [list(s.pair)
+            for s in tiny_fitted_pipeline.dataset.all_pairs][:16]
+
+
+class TestServiceReload:
+    def test_swap_changes_scores_and_clears_cache(self, bundles,
+                                                  scoring_pairs):
+        v1, v2 = bundles
+        service = TaxonomyService(ArtifactBundle.load(v1))
+        try:
+            before = service.score(scoring_pairs)["probabilities"]
+            assert service.scorer.cache_len() > 0
+            outcome = service.reload(v2)
+            assert outcome["reloaded"]
+            assert outcome["probe_pairs"] > 0
+            assert outcome["old_engine_drained"]
+            after = service.score(scoring_pairs)["probabilities"]
+            expected = ArtifactBundle.load(v2).score_pairs(
+                [tuple(pair) for pair in scoring_pairs])
+            assert np.max(np.abs(np.asarray(after)
+                                 - np.asarray(before))) > 1e-4
+            np.testing.assert_allclose(after, expected, atol=1e-8, rtol=0)
+            assert service.health()["reloads"] == 1
+            assert "repro_reloads_total 1" in service.metrics_text()
+        finally:
+            service.stop()
+
+    def test_reload_preserves_live_taxonomy(self, bundles, scoring_pairs):
+        v1, v2 = bundles
+        service = TaxonomyService(ArtifactBundle.load(v1))
+        try:
+            service.expand({"fruit": ["reload survivor"]})
+            edges_before = service.taxonomy_state()["stats"]["edges"]
+            service.reload(v2)
+            assert service.taxonomy_state()["stats"]["edges"] == \
+                edges_before
+        finally:
+            service.stop()
+
+    def test_default_directory_rereads_current_bundle(self, bundles):
+        v1, _v2 = bundles
+        service = TaxonomyService(ArtifactBundle.load(v1))
+        try:
+            assert service.reload()["directory"] == v1
+        finally:
+            service.stop()
+
+    def test_bad_bundle_keeps_old_model(self, bundles, scoring_pairs,
+                                        tmp_path):
+        v1, _v2 = bundles
+        service = TaxonomyService(ArtifactBundle.load(v1))
+        try:
+            before = service.score(scoring_pairs)["probabilities"]
+            with pytest.raises(Exception):
+                service.reload(str(tmp_path / "no_such_bundle"))
+            after = service.score(scoring_pairs)["probabilities"]
+            assert after == before
+            assert service.health()["reloads"] == 0
+        finally:
+            service.stop()
+
+    def test_reload_under_concurrent_load(self, bundles, scoring_pairs):
+        """No request may fail or see a non-probability mid-swap."""
+        v1, v2 = bundles
+        service = TaxonomyService(ArtifactBundle.load(v1),
+                                  ServiceConfig(max_wait_ms=0.5))
+        service.start()
+        errors: list = []
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    probs = service.score(scoring_pairs)["probabilities"]
+                    if not all(0.0 <= p <= 1.0 for p in probs):
+                        errors.append(f"bad probability: {probs}")
+                except Exception as error:
+                    errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        try:
+            for thread in threads:
+                thread.start()
+            time.sleep(0.1)
+            for directory in (v2, v1, v2):
+                service.reload(directory)
+                time.sleep(0.05)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            service.stop()
+        assert not errors, errors[:3]
+        assert service.health()["reloads"] == 3
+
+
+class TestHTTPReload:
+    @pytest.fixture()
+    def server(self, bundles):
+        v1, _v2 = bundles
+        service = TaxonomyService(ArtifactBundle.load(v1),
+                                  ServiceConfig(max_wait_ms=1.0))
+        service.start()
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        yield httpd
+        httpd.shutdown()
+        httpd.server_close()
+        service.stop()
+        thread.join(timeout=5)
+
+    def request(self, server, path, payload=None):
+        host, port = server.server_address[:2]
+        data = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            f"http://{host}:{port}{path}", data=data,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_admin_reload_endpoint(self, server, bundles, scoring_pairs):
+        _v1, v2 = bundles
+        _s, before = self.request(server, "/score",
+                                  {"pairs": scoring_pairs})
+        status, outcome = self.request(server, "/admin/reload",
+                                       {"artifacts": v2})
+        assert status == 200 and outcome["reloaded"]
+        _s, after = self.request(server, "/score",
+                                 {"pairs": scoring_pairs})
+        assert after["probabilities"] != before["probabilities"]
+
+    def test_admin_reload_failure_is_500(self, server):
+        status, payload = self.request(
+            server, "/admin/reload", {"artifacts": "/no/such/bundle"})
+        assert status == 500
+        assert "error" in payload
+
+
+class TestSighup:
+    def test_install_and_fire(self, bundles):
+        import os
+        import signal
+        v1, _v2 = bundles
+        service = TaxonomyService(ArtifactBundle.load(v1))
+        from repro.serving import install_sighup_reload
+        if not hasattr(signal, "SIGHUP"):
+            pytest.skip("platform has no SIGHUP")
+        previous = signal.getsignal(signal.SIGHUP)
+        try:
+            assert install_sighup_reload(service)
+            os.kill(os.getpid(), signal.SIGHUP)
+            deadline = time.time() + 30
+            while time.time() < deadline and \
+                    service.health()["reloads"] < 1:
+                time.sleep(0.05)
+            assert service.health()["reloads"] == 1
+        finally:
+            signal.signal(signal.SIGHUP, previous)
+            service.stop()
+
+
+class TestEngineDrain:
+    def test_idle_engine_drains_immediately(self, tiny_fitted_pipeline):
+        engine = tiny_fitted_pipeline.detector.compile_inference()
+        assert engine.drain(timeout=1.0)
+
+    def test_busy_engine_blocks_until_done(self, tiny_fitted_pipeline):
+        engine = tiny_fitted_pipeline.detector.compile_inference()
+        release = threading.Event()
+        holding = threading.Event()
+
+        def hold():
+            with engine._lock:
+                holding.set()
+                release.wait(10.0)
+
+        thread = threading.Thread(target=hold)
+        thread.start()
+        holding.wait(10.0)
+        assert not engine.drain(timeout=0.05)
+        release.set()
+        thread.join(10.0)
+        assert engine.drain(timeout=5.0)
+
+
+class TestSwapEpochFence:
+    """An in-flight batch must not repopulate the cache post-swap."""
+
+    def test_mid_batch_swap_keeps_cache_clean(self):
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_old_model(pairs):
+            entered.set()
+            release.wait(10.0)
+            return np.full(len(pairs), 0.1)
+
+        scorer = BatchingScorer(slow_old_model, cache_size=64)
+        result: dict = {}
+
+        def score():
+            result["probs"] = scorer.score_pairs([("a", "b")])
+
+        thread = threading.Thread(target=score)
+        thread.start()
+        entered.wait(10.0)  # old-model batch is in flight
+        scorer.swap_scorer(lambda pairs: np.full(len(pairs), 0.9))
+        release.set()
+        thread.join(10.0)
+        # The in-flight caller got the old model's answer (drain)...
+        np.testing.assert_allclose(result["probs"], [0.1])
+        # ...but the cache was not repolluted: a fresh request scores
+        # through the new model instead of serving 0.1 from cache.
+        assert scorer.cache_len() == 0
+        np.testing.assert_allclose(scorer.score_pairs([("a", "b")]),
+                                   [0.9])
+
+
+class TestScorerWorkerDeath:
+    """Satellite fix: a dead worker thread must not strand callers."""
+
+    def test_queued_requests_get_the_fatal_error(self):
+        scorer = BatchingScorer(lambda pairs: np.zeros(len(pairs)),
+                                cache_size=0)
+
+        def dying_collect():
+            with scorer._lock:
+                while not scorer._queue:
+                    scorer._wakeup.wait()
+            raise KeyboardInterrupt("worker thread died")
+
+        scorer._collect = dying_collect
+        scorer.start()
+        with pytest.raises(KeyboardInterrupt):
+            scorer.score_pairs([("a", "b")])
+        stats = scorer.stats_snapshot()
+        assert stats.worker_failures == 1
+        assert "worker_failures" in stats.as_dict()
+        assert not scorer.running
+
+    def test_degrades_to_synchronous_after_death(self):
+        scorer = BatchingScorer(lambda pairs: np.full(len(pairs), 0.25),
+                                cache_size=0)
+
+        def dying_collect():
+            with scorer._lock:
+                while not scorer._queue:
+                    scorer._wakeup.wait()
+            raise KeyboardInterrupt("worker thread died")
+
+        scorer._collect = dying_collect
+        scorer.start()
+        with pytest.raises(KeyboardInterrupt):
+            scorer.score_pairs([("a", "b")])
+        out = scorer.score_pairs([("a", "b"), ("c", "d")])
+        np.testing.assert_allclose(out, [0.25, 0.25])
+
+    def test_scoring_exception_does_not_kill_worker(self):
+        calls = {"n": 0}
+
+        def flaky(pairs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("transient scoring failure")
+            return np.zeros(len(pairs))
+
+        with BatchingScorer(flaky, cache_size=0) as scorer:
+            with pytest.raises(ValueError):
+                scorer.score_pairs([("a", "b")])
+            assert scorer.running  # per-batch failure, not worker death
+            assert scorer.score_pairs([("a", "b")]).shape == (1,)
+            assert scorer.stats_snapshot().worker_failures == 0
