@@ -120,9 +120,14 @@ def ablation_pipeline(key: str, config: PipelineConfig
 
 def concept_embeddings(pipeline: TaxonomyExpansionPipeline,
                        world) -> dict[str, np.ndarray]:
-    """Frozen C-BERT concept vectors for baselines needing embeddings."""
+    """Frozen C-BERT concept vectors for baselines needing embeddings.
+
+    Served through the pipeline's embedding dispatch — the compiled
+    engine's cached concept encoder on the fast path — so baseline
+    table regeneration builds its embedding tables at engine speed.
+    """
     concepts = sorted(world.vocabulary.concepts())
-    matrix = pipeline.relational.concept_embedding_matrix(concepts)
+    matrix = pipeline.concept_embedding_matrix(concepts)
     return dict(zip(concepts, matrix))
 
 

@@ -43,7 +43,7 @@ def main() -> None:
     visible = pipeline.visible_taxonomy
 
     concepts = sorted(world.vocabulary.concepts())
-    matrix = pipeline.relational.concept_embedding_matrix(concepts)
+    matrix = pipeline.concept_embedding_matrix(concepts)
     embeddings = dict(zip(concepts, matrix))
 
     contenders = {

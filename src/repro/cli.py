@@ -135,7 +135,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # safety); each worker loads the bundle and compiles its own engine.
     pool = None
     if args.workers > 1:
-        pool = ShardedScorerPool(args.artifacts, num_workers=args.workers)
+        pool = ShardedScorerPool(
+            args.artifacts, num_workers=args.workers,
+            watchdog_interval=args.watchdog_interval)
         pool.start()
         print(f"scorer pool: {args.workers} workers ready")
     journal = None
@@ -225,6 +227,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="scoring worker processes; >1 shards "
                                    "pairs across a ShardedScorerPool "
                                    "(0/1 = in-process engine)")
+    serve_parser.add_argument("--watchdog-interval", type=float,
+                              default=5.0,
+                              help="seconds between proactive pool "
+                                   "liveness sweeps that respawn dead "
+                                   "workers (0 disables the watchdog)")
     serve_parser.add_argument("--journal-dir", default=None,
                               help="durable ingest-journal directory; "
                                    "replayed on startup to rebuild "

@@ -236,6 +236,25 @@ class TaxonomyExpansionPipeline:
         return expand_taxonomy(self.score_pairs, existing, candidates,
                                self.config.expansion)
 
+    def concept_embedding_matrix(self, concepts: list[str],
+                                 pool: str = "cls") -> np.ndarray:
+        """Frozen C-BERT concept embeddings, shape ``(len(concepts), dim)``.
+
+        The embedding source for the distance/TaxoExpan/TMN/STEAM
+        baselines.  Routed through the compiled engine's cached concept
+        encoder on the fast path (same dispatch rules as
+        :meth:`score_pairs`); the float64 autograd encoder otherwise.
+        """
+        if self.relational is None:
+            raise RuntimeError("pipeline not fitted")
+        from ..infer import MODE_FAST, resolve_inference_mode
+        if self.detector is not None and resolve_inference_mode(
+                self.detector.inference_mode) == MODE_FAST:
+            engine = self.detector.compile_inference()
+            if engine.bert is not None:
+                return engine.concept_embedding_matrix(concepts, pool=pool)
+        return self.relational.concept_embedding_matrix(concepts, pool=pool)
+
     # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------

@@ -144,6 +144,20 @@ class StructuralEncoder(Module):
         return {"nodes": nodes, "features": self._features.copy(),
                 "adjacency": self._adjacency.copy()}
 
+    def propagation_spec(self) -> dict:
+        """Everything the inference engine needs to *own* propagation.
+
+        The engine compiles ``layers`` into CSR kernels
+        (:class:`~repro.nn.inference.CompiledPropagation`) and seeds its
+        dynamic adjacency from ``adjacency`` (the stored matrix — already
+        binarized when ``use_edge_weights`` is off, self-loops included),
+        after which this encoder is only consulted as the parity oracle.
+        """
+        arrays = self.export_arrays()
+        return {"nodes": arrays["nodes"], "features": arrays["features"],
+                "adjacency": arrays["adjacency"],
+                "layers": list(self.layers), "config": self.config}
+
     # ------------------------------------------------------------------
     @property
     def out_dim(self) -> int:

@@ -13,11 +13,15 @@ the autograd substrate.  Path selection:
 """
 
 from .engine import (
-    INFERENCE_ENV, MODE_AUTOGRAD, MODE_FAST, EngineStats, InferenceEngine,
-    default_inference_mode, resolve_inference_mode,
+    INFER_DTYPE_ENV, INFERENCE_ENV, MODE_AUTOGRAD, MODE_FAST, EngineStats,
+    InferenceEngine, default_inference_mode, default_node_dtype,
+    resolve_inference_mode,
 )
+from .graph import CsrSlice, DynamicGraph
 
 __all__ = [
-    "INFERENCE_ENV", "MODE_AUTOGRAD", "MODE_FAST", "EngineStats",
-    "InferenceEngine", "default_inference_mode", "resolve_inference_mode",
+    "INFER_DTYPE_ENV", "INFERENCE_ENV", "MODE_AUTOGRAD", "MODE_FAST",
+    "CsrSlice", "DynamicGraph", "EngineStats", "InferenceEngine",
+    "default_inference_mode", "default_node_dtype",
+    "resolve_inference_mode",
 ]

@@ -12,12 +12,20 @@ graph, no per-row Python input loops:
   recycle across calls),
 * segment ids come from vectorized boundary arithmetic instead of a
   per-row fill loop,
-* the structural representation is a precomputed node-embedding matrix
-  served as a vectorized gather (unknown concepts hit a zero fallback
-  row, exactly like the autograd path),
+* the structural representation is computed **by the engine itself**:
+  GNN propagation runs through the CSR kernels of
+  :class:`~repro.nn.inference.CompiledPropagation` over an engine-owned
+  :class:`~repro.infer.graph.DynamicGraph`, filling a node-embedding
+  matrix served as a vectorized gather (unknown concepts hit a zero
+  fallback row, exactly like the autograd path),
+* **incremental recompute**: :meth:`InferenceEngine.apply_attachments`
+  merges streamed taxonomy attachments into the live graph and
+  refreshes only the k-hop dirty frontier around the new edges, in
+  place, under an epoch fence — no full rebuild, no artifact reload,
 * single-concept embeddings are memoised in an LRU cache.
 
-The engine is a pure function of the detector's weights: rebuild it
+The engine is a pure function of the detector's weights plus the
+attachment deltas applied since compilation: rebuild it
 (``HyponymyDetector.compile_inference(force=True)``) after any
 parameter update.
 """
@@ -32,16 +40,28 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..nn.inference import (
-    CompiledBert, CompiledClassifier, SCORE_TOLERANCE,
+    CompiledBert, CompiledClassifier, CompiledPropagation, SCORE_TOLERANCE,
 )
+from .graph import DynamicGraph
 
 __all__ = [
-    "INFERENCE_ENV", "MODE_AUTOGRAD", "MODE_FAST", "EngineStats",
-    "InferenceEngine", "default_inference_mode", "resolve_inference_mode",
+    "INFERENCE_ENV", "INFER_DTYPE_ENV", "MODE_AUTOGRAD", "MODE_FAST",
+    "EngineStats", "InferenceEngine", "default_inference_mode",
+    "default_node_dtype", "resolve_inference_mode",
 ]
 
 #: environment variable selecting the scoring execution path
 INFERENCE_ENV = "REPRO_INFERENCE"
+
+#: environment variable selecting the node-matrix *storage* dtype
+#: (compute stays in the engine dtype; ``float16`` halves the resident
+#: size of the structural matrix for large taxonomies)
+INFER_DTYPE_ENV = "REPRO_INFER_DTYPE"
+
+_NODE_DTYPE_ALIASES = {
+    "float32": np.float32, "fp32": np.float32, "single": np.float32,
+    "float16": np.float16, "fp16": np.float16, "half": np.float16,
+}
 
 #: pair token-id memo bound; the whole dict is dropped when exceeded
 #: (entries are tiny lists — wholesale reset is cheaper than LRU churn)
@@ -79,6 +99,16 @@ def resolve_inference_mode(mode: str | None) -> str:
     return normalized
 
 
+def default_node_dtype(fallback=np.float32) -> np.dtype:
+    """Node-matrix storage dtype from ``REPRO_INFER_DTYPE``.
+
+    Unknown values fall back to ``fallback`` (serving should never die
+    on a typo'd environment, mirroring ``default_inference_mode``).
+    """
+    raw = os.environ.get(INFER_DTYPE_ENV, "").strip().lower()
+    return np.dtype(_NODE_DTYPE_ALIASES.get(raw, fallback))
+
+
 @dataclass
 class EngineStats:
     """Counters describing engine traffic since compilation."""
@@ -89,16 +119,27 @@ class EngineStats:
     concepts_encoded: int = 0
     concept_cache_hits: int = 0
     dtype: str = "float32"
+    node_dtype: str = "float32"
+    #: incremental-recompute fence: bumped once per applied delta
+    structural_epoch: int = 0
+    structural_nodes: int = 0
+    recompute_batches: int = 0
+    rows_recomputed: int = 0
 
     def as_dict(self) -> dict:
         """JSON/metrics-friendly snapshot."""
         return {
             "dtype": self.dtype,
+            "node_dtype": self.node_dtype,
             "batches": self.batches,
             "pairs_scored": self.pairs_scored,
             "sequences_encoded": self.sequences_encoded,
             "concepts_encoded": self.concepts_encoded,
             "concept_cache_hits": self.concept_cache_hits,
+            "structural_epoch": self.structural_epoch,
+            "structural_nodes": self.structural_nodes,
+            "recompute_batches": self.recompute_batches,
+            "rows_recomputed": self.rows_recomputed,
         }
 
 
@@ -122,10 +163,21 @@ class InferenceEngine:
         collapse onto few distinct shapes and scratch buffers recycle.
     concept_cache_size:
         LRU capacity of the single-concept embedding cache.
+    node_dtype:
+        Storage dtype of the node-embedding matrix (``None`` reads
+        ``REPRO_INFER_DTYPE``, defaulting to the engine dtype).
+        Propagation always computes in the engine dtype; ``float16``
+        merely halves the resident matrix, trading ~1e-3 relative
+        quantisation on the structural features.
     """
 
+    #: headroom rows allocated beyond the current node count so streamed
+    #: attachments rarely trigger a buffer reallocation
+    _GROWTH_SLACK = 64
+
     def __init__(self, detector, dtype=np.float32, max_batch: int = 128,
-                 bucket_multiple: int = 4, concept_cache_size: int = 4096):
+                 bucket_multiple: int = 4, concept_cache_size: int = 4096,
+                 node_dtype=None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if bucket_multiple < 1:
@@ -166,16 +218,35 @@ class InferenceEngine:
 
         structural = detector.structural
         self._structural_dim = 0
+        self._graph = None
+        self._structural_epoch = 0
+        self.node_dtype = (np.dtype(node_dtype) if node_dtype is not None
+                           else default_node_dtype(self.dtype))
+        self.stats.node_dtype = str(self.node_dtype)
         if structural is not None:
-            nodes = structural.node_embedding_matrix()
-            hidden_dim = nodes.shape[1]
-            # Row N is the zero fallback for concepts outside the graph.
-            matrix = np.zeros((nodes.shape[0] + 1, hidden_dim),
-                              dtype=self.dtype)
-            matrix[:-1] = nodes
-            self._node_matrix = matrix
-            self._pair_rows = structural.pair_rows
-            self._hidden_dim = hidden_dim
+            spec = structural.propagation_spec()
+            self._gnn = CompiledPropagation(spec["layers"], dtype=self.dtype)
+            self._graph = DynamicGraph(spec["nodes"], spec["adjacency"])
+            self._num_nodes = self._graph.num_nodes
+            self._hidden_dim = self._gnn.layers[-1].out_dim
+            features = np.asarray(spec["features"], dtype=self.dtype)
+            capacity = self._num_nodes + 1 + self._GROWTH_SLACK
+            self._features = np.zeros((capacity, features.shape[1]),
+                                      dtype=self.dtype)
+            self._features[:self._num_nodes] = features
+            # Per-hop hidden states are retained: an incremental
+            # recompute of hop k reads hop k-1 values of the frontier's
+            # neighbourhood without re-propagating the whole graph.
+            self._hidden_layers = [
+                np.zeros((capacity, layer.out_dim), dtype=self.dtype)
+                for layer in self._gnn.layers]
+            # Rows >= num_nodes stay zero, so row `num_nodes` is always
+            # the zero fallback for concepts outside the graph — even as
+            # the matrix grows in place.
+            self._node_matrix = np.zeros(
+                (capacity, self._hidden_dim), dtype=self.node_dtype)
+            self.recompute_structural()
+            self.stats.structural_nodes = self._num_nodes
             if structural.config.use_position:
                 self._position_parent = np.asarray(
                     structural.position_parent.data, dtype=self.dtype)
@@ -353,6 +424,22 @@ class InferenceEngine:
         with self._lock:
             return self._encode_concepts_locked(concepts, pool)
 
+    def concept_embedding_matrix(self, concepts: list[str],
+                                 batch_size: int | None = None,
+                                 pool: str = "cls") -> np.ndarray:
+        """Drop-in for :meth:`RelationalEncoder.concept_embedding_matrix
+        <repro.plm.RelationalEncoder.concept_embedding_matrix>`.
+
+        Same float64 output contract (within float32 tolerance), but
+        served through the compiled encoder with the LRU concept cache —
+        the baselines' embedding tables build at engine speed.
+        ``batch_size`` is accepted for signature compatibility; the
+        engine chunks by its own ``max_batch``.
+        """
+        del batch_size
+        return np.asarray(self.encode_concepts(concepts, pool=pool),
+                          dtype=np.float64)
+
     def _encode_concepts_locked(self, concepts: list[str],
                                 pool: str) -> np.ndarray:
         resolved: dict[str, np.ndarray] = {}
@@ -413,15 +500,38 @@ class InferenceEngine:
             self._concept_cache.popitem(last=False)
 
     # ------------------------------------------------------------------
-    # structural fast path
+    # structural fast path (engine-owned GNN propagation)
     # ------------------------------------------------------------------
+    @property
+    def structural_epoch(self) -> int:
+        """Monotone fence bumped by every applied attachment delta."""
+        with self._lock:
+            return self._structural_epoch
+
+    def _pair_rows(self, pairs: list[tuple[str, str]]
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Row indices of each pair's nodes in the *live* engine graph.
+
+        Mirrors ``StructuralEncoder.pair_rows`` but over the engine's
+        own (growing) index: concepts attached since compilation resolve
+        to their recomputed rows; unknown concepts hit the zero fallback
+        row at index ``num_nodes``.
+        """
+        index = self._graph.index
+        fallback = self._num_nodes
+        q_rows = np.fromiter((index.get(q, fallback) for q, _ in pairs),
+                             dtype=np.int64, count=len(pairs))
+        i_rows = np.fromiter((index.get(i, fallback) for _, i in pairs),
+                             dtype=np.int64, count=len(pairs))
+        return q_rows, i_rows
+
     def _structural_features(self, pairs: list[tuple[str, str]],
                              out: np.ndarray) -> None:
-        """Vectorized gather over the precomputed node-embedding matrix.
+        """Vectorized gather over the engine-propagated node matrix.
 
-        Row lookup delegates to ``StructuralEncoder.pair_rows`` (the
-        default fallback row is the zero row appended to the matrix), so
-        unknown-concept handling cannot drift between the two paths.
+        The fallback row for unknown concepts is the zero row at index
+        ``num_nodes`` (rows past the live node count are never written),
+        matching the autograd path's zero-embedding fallback.
         """
         q_rows, i_rows = self._pair_rows(pairs)
         hidden = self._hidden_dim
@@ -435,3 +545,186 @@ class InferenceEngine:
         out[:, hidden + position:2 * hidden + position] = \
             self._node_matrix[i_rows]
         out[:, 2 * hidden + position:] = self._position_child
+
+    # ------------------------------------------------------------------
+    # GNN propagation + incremental recompute-on-ingest
+    # ------------------------------------------------------------------
+    def recompute_structural(self) -> int:
+        """Full K-hop propagation into the node matrix.
+
+        Returns the number of row recomputations performed (rows x
+        hops).  This is the from-scratch baseline the dirty-frontier
+        pass of :meth:`apply_attachments` is benchmarked against
+        (``benchmarks/bench_incremental_recompute.py``).
+        """
+        with self._lock:
+            if self._graph is None:
+                return 0
+            rows = np.arange(self._num_nodes, dtype=np.int64)
+            total, _final = self._propagate_rows(rows)
+            return total
+
+    def _propagate_rows(self, rows: np.ndarray
+                        ) -> tuple[int, np.ndarray]:
+        """Recompute hop outputs for ``rows``, widening one hop per layer.
+
+        Hop 1 outputs change only for nodes whose adjacency row changed
+        (``rows``); hop k+1 outputs change for those nodes plus their
+        neighbourhood — so the frontier is expanded *between* hops, and
+        the final-hop frontier is exactly the set of node-matrix rows
+        that moved.  Returns ``(total rows recomputed, final frontier)``.
+        Caller holds the engine lock.
+        """
+        total = 0
+        count = self._num_nodes
+        hidden_prev = self._features[:count]
+        for k in range(self._gnn.num_hops):
+            if k > 0 and len(rows) < count:
+                rows = self._graph.expand_rows(rows)
+            sub = self._graph.gather(rows, self._gnn.includes_self(k))
+            out = self._gnn.propagate_rows(
+                k, hidden_prev, rows, sub.cols, sub.offsets, sub.counts,
+                sub.weights, sub.degrees)
+            self._hidden_layers[k][rows] = out
+            total += len(rows)
+            hidden_prev = self._hidden_layers[k][:count]
+        self._node_matrix[rows] = \
+            self._hidden_layers[-1][rows].astype(self.node_dtype)
+        return total, rows
+
+    def apply_attachments(self, edges: list[tuple[str, str]]) -> dict:
+        """Merge taxonomy attachments into the live structural graph.
+
+        For each ``(parent, child)`` edge: unseen concepts join the
+        graph (initial features from the engine's own C-BERT concept
+        encoder; zeros without a relational encoder), the edge is added
+        with taxonomy weight 1.0, and the k-hop neighbourhood around the
+        touched nodes is recomputed in place under the engine lock — an
+        **epoch fence**: scoring either sees the complete pre-delta or
+        the complete post-delta matrix, never a torn mix.  Already-known
+        edges are skipped, so re-applying a delta log (worker respawn,
+        hot reload) is idempotent.
+
+        Returns a JSON-friendly summary: ``epoch`` (post-apply fence
+        value), ``new_nodes``, ``applied_edges``, ``rows_recomputed``
+        and ``dirty_concepts`` — the concepts whose structural features
+        moved, which is exactly the set serving caches must invalidate.
+        """
+        cleaned = [(str(parent), str(child)) for parent, child in edges]
+        with self._lock:
+            if self._graph is None:
+                return {"applied": False, "reason": "engine has no "
+                        "structural graph", "epoch": 0, "new_nodes": [],
+                        "applied_edges": 0, "rows_recomputed": 0,
+                        "dirty_concepts": []}
+            graph = self._graph
+            new_nodes: list[str] = []
+            seen: set[str] = set()
+            for parent, child in cleaned:
+                for concept in (parent, child):
+                    if concept not in graph and concept not in seen:
+                        seen.add(concept)
+                        new_nodes.append(concept)
+            fresh = [pair for pair in cleaned
+                     if not graph.has_edge(*pair) and pair[0] != pair[1]]
+            if not fresh and not new_nodes:
+                return {"applied": True, "epoch": self._structural_epoch,
+                        "new_nodes": [], "applied_edges": 0,
+                        "rows_recomputed": 0, "dirty_concepts": []}
+            features = self._new_node_features(new_nodes)
+            self._ensure_node_capacity(self._num_nodes + len(new_nodes))
+            for slot, concept in enumerate(new_nodes):
+                row = graph.add_node(concept)
+                self._features[row] = features[slot]
+            self._num_nodes = graph.num_nodes
+            touched: set[int] = {graph.index[c] for c in new_nodes}
+            applied = 0
+            for parent, child in fresh:
+                if graph.add_edge(parent, child, weight=1.0):
+                    applied += 1
+                    touched.add(graph.index[parent])
+                    touched.add(graph.index[child])
+            rows = np.fromiter(sorted(touched), dtype=np.int64,
+                               count=len(touched))
+            total, final_rows = self._propagate_rows(rows)
+            self._structural_epoch += 1
+            self.stats.structural_epoch = self._structural_epoch
+            self.stats.structural_nodes = self._num_nodes
+            self.stats.recompute_batches += 1
+            self.stats.rows_recomputed += total
+            names = graph.names
+            return {"applied": True, "epoch": self._structural_epoch,
+                    "new_nodes": list(new_nodes), "applied_edges": applied,
+                    "rows_recomputed": total,
+                    "dirty_concepts": [names[row] for row in final_rows]}
+
+    def _new_node_features(self, concepts: list[str]) -> np.ndarray:
+        """Initial (hop-0) feature rows for freshly attached concepts.
+
+        Uses the engine's cached C-BERT ``[CLS]`` concept embeddings —
+        the same source the training pipeline seeds GNN features from —
+        falling back to zero rows when the detector has no relational
+        encoder (or its width differs, e.g. random-feature ablations).
+        Caller holds the engine lock.
+        """
+        width = self._features.shape[1]
+        out = np.zeros((len(concepts), width), dtype=self.dtype)
+        if concepts and self.bert is not None \
+                and self._relational_dim == width:
+            out[:] = self._encode_concepts_locked(concepts, "cls")
+        return out
+
+    def _ensure_node_capacity(self, num_nodes: int) -> None:
+        """Grow the per-node buffers to hold ``num_nodes`` + fallback row.
+
+        Amortised doubling; freshly exposed rows are zero, preserving
+        the invariant that the fallback row (index ``num_nodes``) reads
+        as a zero embedding.  Caller holds the engine lock.
+        """
+        needed = num_nodes + 1
+        if self._node_matrix.shape[0] >= needed:
+            return
+        capacity = max(needed + self._GROWTH_SLACK,
+                       2 * self._node_matrix.shape[0])
+
+        def grown(buffer: np.ndarray) -> np.ndarray:
+            replacement = np.zeros((capacity, buffer.shape[1]),
+                                   dtype=buffer.dtype)
+            replacement[:self._num_nodes] = buffer[:self._num_nodes]
+            return replacement
+
+        self._features = grown(self._features)
+        self._hidden_layers = [grown(layer) for layer in
+                               self._hidden_layers]
+        self._node_matrix = grown(self._node_matrix)
+
+    def node_embedding_matrix(self) -> np.ndarray:
+        """The live propagated node embeddings as float64 ``(N, hidden)``.
+
+        Row order matches :meth:`structural_arrays`; compare against
+        ``StructuralEncoder.from_arrays(...).node_embedding_matrix()``
+        for incremental-recompute parity.
+        """
+        with self._lock:
+            return np.asarray(self._node_matrix[:self._num_nodes],
+                              dtype=np.float64)
+
+    def structural_arrays(self) -> dict:
+        """The engine's live structural state as autograd-oracle inputs.
+
+        Feed the result to :meth:`repro.gnn.StructuralEncoder.from_arrays`
+        (plus ``load_state_dict`` of the original encoder weights) to
+        build a from-scratch float64 encoder over exactly the graph this
+        engine has grown incrementally — the parity contract for
+        recompute-on-ingest.
+        """
+        with self._lock:
+            if self._graph is None:
+                raise RuntimeError("engine has no structural graph")
+            count = self._num_nodes
+            return {
+                "nodes": list(self._graph.names),
+                "features": np.asarray(self._features[:count],
+                                       dtype=np.float64),
+                "adjacency": self._graph.dense_adjacency(),
+            }

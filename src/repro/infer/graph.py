@@ -1,0 +1,191 @@
+"""Grow-only CSR-style adjacency owned by the inference engine.
+
+The compiled scoring path can no longer treat the structural graph as
+frozen: streamed ingestion attaches new concepts, and the engine must
+propagate GNN features for them without a full artifact reload.
+:class:`DynamicGraph` is the engine-side adjacency substrate that makes
+that possible:
+
+* per-node neighbour arrays (``int64`` column indices + ``float64``
+  weights) that concatenate into CSR slices for any row subset — the
+  shape the :mod:`repro.nn.inference` propagation kernels consume,
+* O(degree) edge insertion with incremental degree maintenance (the
+  row-normalisation denominators of the weighted GCN),
+* frontier expansion (:meth:`expand_rows`) for the k-hop dirty set of an
+  incremental recompute,
+* a dense export (:meth:`dense_adjacency`) bit-compatible with
+  :meth:`repro.gnn.StructuralEncoder.export_arrays`, so a freshly built
+  autograd encoder over the exported arrays is the parity oracle for
+  the engine's incrementally-maintained state.
+
+Self-loops are implicit: every node carries a diagonal weight of 1.0
+(exactly what ``HeteroGraph.adjacency(add_self_loops=True)`` produces),
+and :meth:`gather` materialises or omits the self entry per aggregator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CsrSlice", "DynamicGraph"]
+
+#: self-loop weight, matching ``HeteroGraph.adjacency`` / the encoders
+SELF_LOOP_WEIGHT = 1.0
+
+
+class CsrSlice:
+    """CSR arrays for a subset of rows, ready for the gather kernels."""
+
+    __slots__ = ("rows", "cols", "offsets", "counts", "weights", "degrees")
+
+    def __init__(self, rows, cols, offsets, counts, weights, degrees):
+        self.rows = rows          #: (R,) target row indices
+        self.cols = cols          #: (nnz,) gathered column indices
+        self.offsets = offsets    #: (R,) start of each row's slice
+        self.counts = counts      #: (R,) entries per row
+        self.weights = weights    #: (nnz,) raw edge weights
+        self.degrees = degrees    #: (R,) raw weight sums incl. self-loop
+
+
+class DynamicGraph:
+    """Symmetric weighted adjacency with cheap append and row gather."""
+
+    def __init__(self, nodes: list[str], adjacency: np.ndarray):
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        if adjacency.shape != (len(nodes), len(nodes)):
+            raise ValueError("adjacency must be square over the node list")
+        self._index: dict[str, int] = {}
+        self._names: list[str] = []
+        self._neighbors: list[np.ndarray] = []
+        self._weights: list[np.ndarray] = []
+        self._degrees: list[float] = []
+        for row, node in enumerate(nodes):
+            if node in self._index:
+                raise ValueError(f"duplicate node {node!r}")
+            self._index[node] = row
+            self._names.append(node)
+            entries = adjacency[row].copy()
+            entries[row] = 0.0  # the self-loop is implicit
+            cols = np.flatnonzero(entries)
+            self._neighbors.append(cols.astype(np.int64))
+            self._weights.append(entries[cols])
+            self._degrees.append(SELF_LOOP_WEIGHT + float(entries[cols].sum()))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Live node count (grows as attachments arrive)."""
+        return len(self._neighbors)
+
+    @property
+    def index(self) -> dict[str, int]:
+        """The live node -> row mapping (shared, treat as read-only)."""
+        return self._index
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._index
+
+    def has_edge(self, source: str, target: str) -> bool:
+        """True when the undirected edge already exists."""
+        u, v = self._index.get(source), self._index.get(target)
+        if u is None or v is None:
+            return False
+        return bool(np.isin(v, self._neighbors[u]).item()) if u != v else True
+
+    @property
+    def names(self) -> list[str]:
+        """Nodes in row order (the live list — treat as read-only)."""
+        return self._names
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> int:
+        """Register ``node``; returns its (new or existing) row index."""
+        row = self._index.get(node)
+        if row is not None:
+            return row
+        row = len(self._neighbors)
+        self._index[node] = row
+        self._names.append(node)
+        self._neighbors.append(np.empty(0, dtype=np.int64))
+        self._weights.append(np.empty(0, dtype=np.float64))
+        self._degrees.append(SELF_LOOP_WEIGHT)
+        return row
+
+    def add_edge(self, source: str, target: str,
+                 weight: float = 1.0) -> bool:
+        """Insert the undirected edge; returns False when already present.
+
+        Both endpoints must exist (call :meth:`add_node` first); degree
+        bookkeeping updates incrementally, so the GCN normalisation of
+        every untouched row is bit-identical to a from-scratch build.
+        """
+        u, v = self._index[source], self._index[target]
+        if u == v:
+            raise ValueError("self-loops are implicit, not addable")
+        if np.isin(v, self._neighbors[u]).item():
+            return False
+        weight = float(weight)
+        self._neighbors[u] = np.append(self._neighbors[u], np.int64(v))
+        self._weights[u] = np.append(self._weights[u], weight)
+        self._neighbors[v] = np.append(self._neighbors[v], np.int64(u))
+        self._weights[v] = np.append(self._weights[v], weight)
+        self._degrees[u] += weight
+        self._degrees[v] += weight
+        return True
+
+    # ------------------------------------------------------------------
+    # CSR gathers
+    # ------------------------------------------------------------------
+    def gather(self, rows: np.ndarray, include_self: bool) -> CsrSlice:
+        """The CSR slice for ``rows`` (``include_self`` per aggregator)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        col_parts: list[np.ndarray] = []
+        weight_parts: list[np.ndarray] = []
+        counts = np.empty(len(rows), dtype=np.int64)
+        degrees = np.empty(len(rows), dtype=np.float64)
+        for slot, row in enumerate(rows):
+            neighbors = self._neighbors[row]
+            weights = self._weights[row]
+            if include_self:
+                col_parts.append(np.append(neighbors, np.int64(row)))
+                weight_parts.append(np.append(weights, SELF_LOOP_WEIGHT))
+            else:
+                col_parts.append(neighbors)
+                weight_parts.append(weights)
+            counts[slot] = len(col_parts[-1])
+            degrees[slot] = self._degrees[row]
+        offsets = np.zeros(len(rows), dtype=np.int64)
+        if len(rows) > 1:
+            np.cumsum(counts[:-1], out=offsets[1:])
+        cols = (np.concatenate(col_parts) if col_parts
+                else np.empty(0, dtype=np.int64))
+        weights = (np.concatenate(weight_parts) if weight_parts
+                   else np.empty(0, dtype=np.float64))
+        return CsrSlice(rows, cols, offsets, counts, weights, degrees)
+
+    def expand_rows(self, rows: np.ndarray) -> np.ndarray:
+        """``rows`` plus their undirected neighbourhood, sorted unique.
+
+        One application per extra hop grows a dirty seed into the k-hop
+        frontier whose layer-k outputs an incremental recompute must
+        refresh.
+        """
+        parts = [np.asarray(rows, dtype=np.int64)]
+        parts.extend(self._neighbors[row] for row in rows)
+        return np.unique(np.concatenate(parts))
+
+    # ------------------------------------------------------------------
+    # export (parity oracle)
+    # ------------------------------------------------------------------
+    def dense_adjacency(self) -> np.ndarray:
+        """Dense symmetric matrix with unit self-loops (float64)."""
+        size = self.num_nodes
+        adjacency = np.zeros((size, size), dtype=np.float64)
+        for row in range(size):
+            adjacency[row, self._neighbors[row]] = self._weights[row]
+            adjacency[row, row] = SELF_LOOP_WEIGHT
+        return adjacency

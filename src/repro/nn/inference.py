@@ -13,7 +13,11 @@ pure-numpy kernels over contiguous float32 arrays:
   QKV projection and softmax computed in place on the score buffer,
 * :class:`CompiledBert` — a :class:`~repro.plm.MiniBert` exported once
   into flat weight arrays and executed with zero ``Tensor`` allocation,
-* :class:`CompiledClassifier` — the detector MLP head as two GEMMs.
+* :class:`CompiledClassifier` — the detector MLP head as two GEMMs,
+* :class:`CompiledPropagation` — K hops of GCN/SAGE/GAT message passing
+  as CSR gather/segment-reduce kernels (:func:`gcn_propagate_rows` and
+  friends), executable over any *subset* of node rows so the engine can
+  recompute only a dirty frontier after an incremental graph update.
 
 The float64 autograd path remains the training substrate and the parity
 oracle; ``tests/test_inference_engine.py`` asserts per-layer and
@@ -27,7 +31,8 @@ import numpy as np
 __all__ = [
     "SCORE_TOLERANCE", "Workspace", "linear", "gelu_", "layer_norm_",
     "softmax_", "stable_sigmoid", "multi_head_attention",
-    "CompiledBert", "CompiledClassifier",
+    "CompiledBert", "CompiledClassifier", "CompiledPropagation",
+    "gcn_propagate_rows", "sage_propagate_rows", "gat_propagate_rows",
 ]
 
 #: documented max abs deviation of fast-path probabilities from the
@@ -406,3 +411,190 @@ class CompiledClassifier:
         """Hyponymy-class probabilities, shape ``(batch,)``."""
         logits = self.logits(features)
         return stable_sigmoid(logits[:, 1] - logits[:, 0])
+
+
+# ----------------------------------------------------------------------
+# GNN propagation kernels (CSR gather + segment reduce)
+# ----------------------------------------------------------------------
+def _activate_(x: np.ndarray, activation: str) -> np.ndarray:
+    """In-place relu/tanh/none, matching the autograd GNN layers."""
+    if activation == "relu":
+        np.maximum(x, 0.0, out=x)
+    elif activation == "tanh":
+        np.tanh(x, out=x)
+    return x
+
+
+def _project_gathered(hidden_prev: np.ndarray, cols: np.ndarray,
+                      weight: np.ndarray, bias: np.ndarray | None
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Project only the *distinct* gathered nodes, then fan back out.
+
+    Frontier recomputes gather a tiny fraction of the graph; projecting
+    the unique source rows once (instead of every node, or every CSR
+    entry) is what makes a dirty-frontier pass cheap.  Returns
+    ``(projected_unique, inverse)`` so callers index projections as
+    ``projected_unique[inverse]``.
+    """
+    unique, inverse = np.unique(cols, return_inverse=True)
+    return linear(hidden_prev[unique], weight, bias), inverse
+
+
+def gcn_propagate_rows(hidden_prev: np.ndarray, cols: np.ndarray,
+                       offsets: np.ndarray, weights: np.ndarray,
+                       degrees: np.ndarray, counts: np.ndarray,
+                       weight: np.ndarray, bias: np.ndarray | None,
+                       activation: str = "relu") -> np.ndarray:
+    """One weighted-GCN hop for a row subset: ``rho(Â H W)`` rows.
+
+    ``cols``/``offsets``/``counts`` describe a CSR slice whose entries
+    *include* the self-loop, so every row is non-empty (``reduceat`` is
+    only well-defined then); ``weights`` are the raw edge attributes and
+    ``degrees`` the per-row raw weight sums, reproducing the autograd
+    path's row normalisation ``D^-1 A``.
+    """
+    projected, inverse = _project_gathered(hidden_prev, cols, weight, bias)
+    norm = (weights / np.repeat(degrees, counts)).astype(
+        hidden_prev.dtype, copy=False)
+    contrib = projected[inverse]
+    contrib *= norm[:, None]
+    out = np.add.reduceat(contrib, offsets, axis=0)
+    return _activate_(out, activation)
+
+
+def sage_propagate_rows(hidden_prev: np.ndarray, rows: np.ndarray,
+                        cols: np.ndarray, offsets: np.ndarray,
+                        counts: np.ndarray, w_self: np.ndarray,
+                        b_self: np.ndarray | None, w_neigh: np.ndarray,
+                        b_neigh: np.ndarray | None,
+                        activation: str = "relu") -> np.ndarray:
+    """One GraphSAGE-mean hop for a row subset.
+
+    ``cols`` must *exclude* the self-loop (the self path is the separate
+    ``W_self`` term) and is treated as binary.  Rows with no neighbours
+    get a zero mean, so — exactly like the autograd path's all-zero
+    ``mean_op`` row — their neighbour term reduces to ``b_neigh``.
+    """
+    out = linear(hidden_prev[rows], w_self, b_self)
+    mean = np.zeros((len(rows), hidden_prev.shape[1]),
+                    dtype=hidden_prev.dtype)
+    nonempty = np.flatnonzero(counts)
+    if nonempty.size:
+        sums = np.add.reduceat(hidden_prev[cols], offsets[nonempty], axis=0)
+        mean[nonempty] = sums / counts[nonempty, None].astype(
+            hidden_prev.dtype)
+    out += linear(mean, w_neigh, b_neigh)
+    return _activate_(out, activation)
+
+
+def gat_propagate_rows(hidden_prev: np.ndarray, rows: np.ndarray,
+                       cols: np.ndarray, offsets: np.ndarray,
+                       counts: np.ndarray, weight: np.ndarray,
+                       bias: np.ndarray | None, attn_src: np.ndarray,
+                       attn_dst: np.ndarray, negative_slope: float,
+                       activation: str = "relu") -> np.ndarray:
+    """One dense-equivalent GAT hop for a row subset.
+
+    Attention is computed over each row's CSR entries only (self-loop
+    included, edges treated as binary).  This matches the autograd
+    layer's masked dense softmax because masked logits carry a ``-1e9``
+    bias whose exponential underflows to exactly zero — the dense and
+    sparse distributions are identical up to summation order.
+    """
+    unique, inverse = np.unique(cols, return_inverse=True)
+    projected = linear(hidden_prev[unique], weight, bias)
+    # rows ⊆ cols (self-loops), so every target row is in `unique`.
+    src = projected @ attn_src
+    dst = projected @ attn_dst
+    row_positions = np.searchsorted(unique, np.asarray(rows,
+                                                      dtype=np.int64))
+    logits = np.repeat(src[row_positions], counts) + dst[inverse]
+    negative = logits < 0.0
+    logits[negative] *= np.asarray(negative_slope, dtype=logits.dtype)
+    # Per-row (segment) softmax.
+    logits -= np.repeat(np.maximum.reduceat(logits, offsets), counts)
+    np.exp(logits, out=logits)
+    logits /= np.repeat(np.add.reduceat(logits, offsets), counts)
+    contrib = projected[inverse]
+    contrib *= logits[:, None]
+    out = np.add.reduceat(contrib, offsets, axis=0)
+    return _activate_(out, activation)
+
+
+class _CompiledGNNLayer:
+    """Weights of one propagation hop, exported for kernel execution."""
+
+    __slots__ = ("kind", "activation", "weight", "bias", "w_self", "b_self",
+                 "w_neigh", "b_neigh", "attn_src", "attn_dst",
+                 "negative_slope", "out_dim")
+
+    def __init__(self, layer, dtype):
+        self.activation = layer.activation
+        if hasattr(layer, "attn_src"):          # GATLayer
+            self.kind = "gat"
+            self.weight = _flat(layer.linear.weight.data, dtype)
+            self.bias = _flat(layer.linear.bias.data, dtype)
+            self.attn_src = _flat(layer.attn_src.data, dtype)
+            self.attn_dst = _flat(layer.attn_dst.data, dtype)
+            self.negative_slope = float(layer.negative_slope)
+            self.out_dim = self.weight.shape[1]
+        elif hasattr(layer, "self_linear"):     # SAGELayer
+            self.kind = "sage"
+            self.w_self = _flat(layer.self_linear.weight.data, dtype)
+            self.b_self = _flat(layer.self_linear.bias.data, dtype)
+            self.w_neigh = _flat(layer.neighbor_linear.weight.data, dtype)
+            self.b_neigh = _flat(layer.neighbor_linear.bias.data, dtype)
+            self.out_dim = self.w_self.shape[1]
+        else:                                   # GCNLayer
+            self.kind = "gcn"
+            self.weight = _flat(layer.linear.weight.data, dtype)
+            self.bias = _flat(layer.linear.bias.data, dtype)
+            self.out_dim = self.weight.shape[1]
+
+
+class CompiledPropagation:
+    """K hops of GNN message passing over CSR slices, sans autograd.
+
+    Compiled from the layer list of a
+    :class:`~repro.gnn.StructuralEncoder` (the layer type is sniffed per
+    hop, so mixed stacks would compile too).  Each hop executes through
+    the row-subset kernels above, so a caller may propagate the full
+    node set *or* any dirty subset — the engine's incremental
+    recompute-on-ingest path relies on the latter.
+    """
+
+    def __init__(self, layers, dtype=np.float32):
+        self.dtype = np.dtype(dtype)
+        self.layers = [_CompiledGNNLayer(layer, self.dtype)
+                       for layer in layers]
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.layers)
+
+    def includes_self(self, k: int) -> bool:
+        """Whether hop ``k`` gathers the self-loop entry (SAGE models the
+        self contribution as a separate linear path instead)."""
+        return self.layers[k].kind != "sage"
+
+    def propagate_rows(self, k: int, hidden_prev: np.ndarray,
+                       rows: np.ndarray, cols: np.ndarray,
+                       offsets: np.ndarray, counts: np.ndarray,
+                       weights: np.ndarray,
+                       degrees: np.ndarray | None) -> np.ndarray:
+        """Hop ``k`` outputs for ``rows``; CSR slice per
+        :meth:`includes_self`."""
+        layer = self.layers[k]
+        if layer.kind == "gcn":
+            return gcn_propagate_rows(
+                hidden_prev, cols, offsets, weights, degrees, counts,
+                layer.weight, layer.bias, layer.activation)
+        if layer.kind == "sage":
+            return sage_propagate_rows(
+                hidden_prev, rows, cols, offsets, counts, layer.w_self,
+                layer.b_self, layer.w_neigh, layer.b_neigh,
+                layer.activation)
+        return gat_propagate_rows(
+            hidden_prev, rows, cols, offsets, counts, layer.weight,
+            layer.bias, layer.attn_src, layer.attn_dst,
+            layer.negative_slope, layer.activation)

@@ -27,6 +27,17 @@ Design notes:
 * **hot reload** — :meth:`reload` sends every worker a reload message
   that queues behind in-flight scoring, so the old engine drains
   naturally and no request is ever dropped mid-swap.
+* **structural deltas** — :meth:`broadcast_attachments` fans freshly
+  attached taxonomy edges out to every worker, whose engine recomputes
+  only the affected k-hop frontier
+  (:meth:`~repro.infer.InferenceEngine.apply_attachments`).  The pool
+  keeps the cumulative delta log and replays it to respawned or
+  reloaded workers, so every shard serves the same live graph without a
+  bundle re-export.
+* **proactive supervision** — a watchdog thread (``watchdog_interval``)
+  respawns dead workers in the background instead of waiting for the
+  next request to their shard, so a crashed worker's shard is usually
+  healthy again before traffic notices.
 
 Scores agree with the in-process engine within the documented float32
 tolerance (``repro.nn.SCORE_TOLERANCE``): sharding changes batch
@@ -61,7 +72,9 @@ class PoolStats:
     shard_messages: int = 0
     worker_deaths: int = 0
     worker_restarts: int = 0
+    watchdog_restarts: int = 0
     reloads: int = 0
+    delta_broadcasts: int = 0
     worker_pairs: dict[int, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -72,7 +85,9 @@ class PoolStats:
             "shard_messages": self.shard_messages,
             "worker_deaths": self.worker_deaths,
             "worker_restarts": self.worker_restarts,
+            "watchdog_restarts": self.watchdog_restarts,
             "reloads": self.reloads,
+            "delta_broadcasts": self.delta_broadcasts,
             "worker_pairs": dict(self.worker_pairs),
         }
 
@@ -129,6 +144,19 @@ def _worker_main(conn, bundle_dir: str) -> None:
                 if engine is not None:
                     engine.drain(timeout=5.0)
                 conn.send(("ok", req_id, message[2]))
+            elif kind == "delta":
+                # Structural attachment delta: the worker's own engine
+                # merges the edges and recomputes the dirty frontier.
+                detector = bundle.pipeline.detector
+                engine = (detector.inference_engine
+                          if detector is not None else None)
+                if engine is None:
+                    conn.send(("ok", req_id,
+                               {"applied": False,
+                                "reason": "no compiled engine"}))
+                else:
+                    conn.send(("ok", req_id,
+                               engine.apply_attachments(message[2])))
             elif kind == "stats":
                 detector = bundle.pipeline.detector
                 engine = detector.inference_engine
@@ -214,16 +242,22 @@ class ShardedScorerPool:
     request_timeout:
         Seconds to wait for one shard response before failing the
         request.
+    watchdog_interval:
+        Seconds between proactive liveness sweeps; the watchdog thread
+        respawns dead workers in the background (``None`` or ``0``
+        disables it, reverting to respawn-on-next-request only).
     """
 
     def __init__(self, bundle_dir: str, num_workers: int = 2,
                  mp_context: str | None = None,
-                 request_timeout: float = 60.0):
+                 request_timeout: float = 60.0,
+                 watchdog_interval: float | None = 5.0):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.bundle_dir = bundle_dir
         self.num_workers = num_workers
         self.request_timeout = request_timeout
+        self.watchdog_interval = watchdog_interval or None
         if mp_context is None:
             mp_context = ("fork" if "fork" in mp.get_all_start_methods()
                           else "spawn")
@@ -237,6 +271,13 @@ class ShardedScorerPool:
         self._stats_lock = threading.Lock()
         self._started = False
         self._stopping = False
+        # Cumulative structural-delta log: replayed to every respawned
+        # or freshly reloaded worker so all shards serve the same live
+        # graph (apply_attachments is idempotent, so replay is safe).
+        self._delta_log: list[list[Pair]] = []
+        self._delta_lock = threading.Lock()
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop = threading.Event()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -249,10 +290,23 @@ class ShardedScorerPool:
                 if not worker.alive:
                     self._spawn(worker, restart=self._started)
             self._started = True
+            if self.watchdog_interval and (
+                    self._watchdog is None
+                    or not self._watchdog.is_alive()):
+                self._watchdog_stop.clear()
+                self._watchdog = threading.Thread(
+                    target=self._watchdog_loop, name="repro-pool-watchdog",
+                    daemon=True)
+                self._watchdog.start()
         return self
 
     def stop(self, timeout: float | None = 10.0) -> None:
         """Stop workers and reap processes; idempotent."""
+        self._watchdog_stop.set()
+        watchdog = self._watchdog
+        if watchdog is not None:
+            watchdog.join(timeout)
+            self._watchdog = None
         with self._lock:
             self._stopping = True
             for worker in self._workers:
@@ -377,8 +431,61 @@ class ShardedScorerPool:
                                 "error": repr(error)})
         if all(result["ok"] for result in results):
             self.bundle_dir = bundle_dir
+            # Freshly loaded bundles start from on-disk structural state;
+            # re-apply the accumulated attachment deltas so every shard
+            # keeps serving the live graph (idempotent per edge, so the
+            # compacted log is one broadcast however long the history).
+            backlog = self._compacted_delta_log()
+            if backlog:
+                self._broadcast_delta(backlog, timeout)
         with self._stats_lock:
             self._stats.reloads += 1
+        return results
+
+    def broadcast_attachments(self, edges: list[Pair],
+                              timeout: float | None = None) -> list[dict]:
+        """Fan one structural attachment delta out to every worker.
+
+        Each worker's engine merges the edges and recomputes its dirty
+        frontier (:meth:`~repro.infer.InferenceEngine.apply_attachments`);
+        per-worker outcomes are returned like :meth:`reload`.  The delta
+        joins the pool's cumulative replay log *first*, so a worker that
+        dies mid-broadcast still converges when it is respawned.
+        """
+        edges = [(str(parent), str(child)) for parent, child in edges]
+        with self._delta_lock:
+            self._delta_log.append(edges)
+        with self._stats_lock:
+            self._stats.delta_broadcasts += 1
+        return self._broadcast_delta(edges, timeout)
+
+    def _broadcast_delta(self, edges: list[Pair],
+                         timeout: float | None) -> list[dict]:
+        """Send one delta to all workers and collect per-worker results."""
+        timeout = self.request_timeout if timeout is None else timeout
+        futures: list[tuple[int, _ShardFuture | BaseException]] = []
+        for worker in self._workers:
+            try:
+                futures.append((worker.index,
+                                self._dispatch(worker.index, "delta",
+                                               edges)))
+            except BaseException as error:  # dead worker, failed respawn
+                futures.append((worker.index, error))
+        results = []
+        for index, item in futures:
+            if isinstance(item, BaseException):
+                results.append({"worker": index, "ok": False,
+                                "error": repr(item)})
+                continue
+            try:
+                payload = item.wait(timeout)
+                outcome = {"worker": index, "ok": True}
+                if isinstance(payload, dict):
+                    outcome.update(payload)
+                results.append(outcome)
+            except BaseException as error:
+                results.append({"worker": index, "ok": False,
+                                "error": repr(error)})
         return results
 
     def worker_stats(self, timeout: float = 10.0) -> list[dict]:
@@ -446,7 +553,8 @@ class ShardedScorerPool:
             self._stats.shard_messages += 1
         return future
 
-    def _spawn(self, worker: _Worker, restart: bool) -> None:
+    def _spawn(self, worker: _Worker, restart: bool,
+               supervised: bool = False) -> None:
         """Fork one worker and wait for its ready message.  Lock held."""
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
@@ -473,9 +581,79 @@ class ShardedScorerPool:
             target=self._read_loop, args=(worker,),
             name=f"repro-pool-reader-{worker.index}", daemon=True)
         worker.reader.start()
+        self._replay_deltas(worker)
         if restart:
             with self._stats_lock:
                 self._stats.worker_restarts += 1
+                if supervised:
+                    self._stats.watchdog_restarts += 1
+
+    def _compacted_delta_log(self) -> list[Pair]:
+        """The cumulative delta log as one deduplicated edge list.
+
+        ``apply_attachments`` is idempotent and a single cumulative
+        batch converges to the same graph (and the same propagated
+        embeddings) as the original batch sequence, so replay cost is
+        one message regardless of how long the server has been
+        streaming.
+        """
+        with self._delta_lock:
+            merged: dict[Pair, None] = {}
+            for batch in self._delta_log:
+                for edge in batch:
+                    merged.setdefault(edge, None)
+        return list(merged)
+
+    def _replay_deltas(self, worker: _Worker) -> None:
+        """Queue the compacted delta log on a fresh worker's pipe.
+
+        Holding ``send_lock`` keeps the delta ahead of any scoring
+        message another thread might dispatch the moment the worker is
+        marked alive.  The response is drained by the reader thread;
+        nothing waits on it (a worker that dies mid-replay is respawned
+        — and replayed — again).
+        """
+        backlog = self._compacted_delta_log()
+        if not backlog:
+            return
+        with worker.send_lock:
+            future = _ShardFuture()
+            req_id = self._next_req_id()
+            with worker.pending_lock:
+                worker.pending[req_id] = future
+            try:
+                worker.conn.send(("delta", req_id, backlog))
+            except (BrokenPipeError, OSError):
+                return  # next dispatch notices the death
+
+    def _watchdog_loop(self) -> None:
+        """Background liveness sweep: respawn dead workers proactively.
+
+        Runs every ``watchdog_interval`` seconds until :meth:`stop`.  A
+        failed respawn (e.g. the bundle directory briefly unreadable) is
+        retried on the next sweep rather than crashing the thread.
+        """
+        while not self._watchdog_stop.wait(self.watchdog_interval):
+            for worker in self._workers:
+                if self._stopping:
+                    return
+                # The whole check-mark-respawn sequence runs under the
+                # pool lock: a dispatch-triggered respawn cannot slip in
+                # between a stale liveness read and _mark_dead, so a
+                # just-respawned healthy worker is never killed again.
+                with self._lock:
+                    if self._stopping:
+                        return
+                    process = worker.process
+                    if worker.alive and (process is None
+                                         or not process.is_alive()):
+                        self._mark_dead(worker)
+                    if not worker.alive and self._started:
+                        try:
+                            self._spawn(worker, restart=True,
+                                        supervised=True)
+                        except Exception:
+                            pass  # retried on the next sweep
 
     def _read_loop(self, worker: _Worker) -> None:
         """Resolve futures from one worker's pipe until it dies."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import warnings
 from collections import deque
 
 from ..core.incremental import IncrementalExpander, IngestReport
@@ -122,17 +123,26 @@ class StreamingIngestor:
         journaled (write-ahead) under the expander lock immediately
         before it is applied, so journal order equals apply order and a
         replay from an empty expander reconstructs the same state.
+    on_attach:
+        Optional callback receiving each batch's attached ``(parent,
+        child)`` edges, invoked under the expander lock immediately
+        after the batch applies (so callback order equals apply order).
+        The service layer uses this to push structural deltas into the
+        compiled inference engine(s) before the batch is acknowledged.
+        A raising callback is warned about, not treated as a batch
+        failure — the taxonomy mutation has already committed.
     """
 
     def __init__(self, expander: IncrementalExpander, max_queue: int = 16,
                  lock: threading.Lock | None = None,
-                 max_history: int = 256, journal=None):
+                 max_history: int = 256, journal=None, on_attach=None):
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if max_history < 1:
             raise ValueError("max_history must be >= 1")
         self.expander = expander
         self.journal = journal
+        self.on_attach = on_attach
         self._queue: queue.Queue[IngestTicket | None] = \
             queue.Queue(maxsize=max_queue)
         self._expander_lock = lock or threading.Lock()
@@ -266,6 +276,14 @@ class StreamingIngestor:
                     self.journal.append("ingest", {
                         "records": records, "provenance": provenance})
                 report = self.expander.ingest(ticket.batch)
+                if self.on_attach is not None and report.attached_edges:
+                    try:
+                        self.on_attach(report.attached_edges)
+                    except Exception as error:
+                        warnings.warn(
+                            f"on_attach callback failed for batch "
+                            f"{report.batch_index}: {error!r}; the batch "
+                            f"itself applied", stacklevel=2)
         except BaseException as error:
             ticket.error = error
             with self._state:

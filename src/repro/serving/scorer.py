@@ -221,6 +221,24 @@ class BatchingScorer:
         with self._lock:
             self._cache.clear()
 
+    def invalidate_pairs_touching(self, concepts) -> int:
+        """Drop cached scores for pairs involving any of ``concepts``.
+
+        The recompute-on-ingest path calls this with the dirty frontier
+        of a structural delta: only pairs whose node embeddings actually
+        moved are evicted, so the rest of the cache keeps its hit rate.
+        Returns the number of evicted entries.
+        """
+        concepts = set(concepts)
+        if not concepts:
+            return 0
+        with self._lock:
+            stale = [pair for pair in self._cache
+                     if pair[0] in concepts or pair[1] in concepts]
+            for pair in stale:
+                del self._cache[pair]
+            return len(stale)
+
     def swap_scorer(self, scorer, clear_cache: bool = True) -> None:
         """Atomically replace the underlying scorer (hot reload).
 

@@ -107,9 +107,14 @@ class TaxonomyService:
         self.expander = IncrementalExpander(
             self.scorer, bundle.taxonomy, bundle.vocabulary,
             bundle.pipeline.config.expansion)
+        # Every attachment ever propagated to the engines, in apply
+        # order — re-applied onto freshly loaded bundles during hot
+        # reload so the new model serves the same live graph.
+        self._attached_edges: list[tuple[str, str]] = []
         self.ingestor = StreamingIngestor(
             self.expander, max_queue=self.config.max_ingest_queue,
-            lock=self._taxonomy_lock, journal=journal)
+            lock=self._taxonomy_lock, journal=journal,
+            on_attach=self._propagate_attachments)
         # Serialises hot reloads; scoring keeps flowing around it.
         self._reload_lock = threading.Lock()
         self._reloads = 0
@@ -186,7 +191,57 @@ class TaxonomyService:
                 self.scorer, self.expander.taxonomy, cleaned,
                 self.expander.config)
             self.expander.taxonomy = result.taxonomy
+            if result.attached_edges:
+                self._propagate_attachments(result.attached_edges)
         return result
+
+    def _propagate_attachments(self, edges: list) -> None:
+        """Push freshly attached edges into every compiled engine.
+
+        Runs under the taxonomy lock (ingest-worker callback and
+        synchronous expand both hold it), so delta order equals apply
+        order equals journal order.  The in-process engine recomputes
+        its dirty k-hop frontier, a sharded pool broadcasts the delta to
+        every worker, and the score cache evicts only the pairs whose
+        structural features actually moved.  Failures degrade loudly
+        (warnings + stale-but-consistent features) rather than failing
+        the taxonomy mutation, which has already committed.
+        """
+        edges = [(str(parent), str(child)) for parent, child in edges]
+        if not edges:
+            return
+        self._attached_edges.extend(edges)
+        dirty: set[str] = set()
+        detector = self.bundle.pipeline.detector
+        engine = detector.inference_engine if detector is not None else None
+        if engine is not None:
+            try:
+                summary = engine.apply_attachments(edges)
+                dirty.update(summary.get("dirty_concepts", ()))
+            except Exception as error:
+                warnings.warn(
+                    f"structural delta failed on the in-process engine: "
+                    f"{error!r}", stacklevel=2)
+        if self.pool is not None:
+            try:
+                results = self.pool.broadcast_attachments(edges)
+                failed = [r for r in results if not r.get("ok")]
+                if failed:
+                    warnings.warn(
+                        f"structural delta failed on {len(failed)} pool "
+                        f"worker(s): {failed} (respawn replays the "
+                        f"delta log)", stacklevel=2)
+                for result in results:
+                    dirty.update(result.get("dirty_concepts", ()))
+            except Exception as error:
+                warnings.warn(
+                    f"structural delta broadcast failed: {error!r}",
+                    stacklevel=2)
+        if not dirty:
+            # No engine reported a frontier (autograd mode, delta
+            # failure): fall back to evicting the endpoints themselves.
+            dirty = {concept for edge in edges for concept in edge}
+        self.scorer.invalidate_pairs_touching(dirty)
 
     def ingest(self, records: list, provenance: dict | None = None,
                sync: bool = False) -> dict:
@@ -233,7 +288,10 @@ class TaxonomyService:
                         record.data.get("records", []),
                         record.data.get("provenance"))
                     with self._taxonomy_lock:
-                        self.expander.ingest(batch)
+                        report = self.expander.ingest(batch)
+                        if report.attached_edges:
+                            self._propagate_attachments(
+                                report.attached_edges)
                 elif record.type == "expand":
                     self._expand_cleaned(
                         record.data.get("candidates", {}),
@@ -288,6 +346,19 @@ class TaxonomyService:
     def _swap_bundle(self, directory: str) -> dict:
         """Load + smoke-test + swap one bundle (no journaling here)."""
         new_bundle = ArtifactBundle.load(directory)
+        # A freshly loaded bundle starts from on-disk structural state;
+        # re-apply the live attachment log so the incoming engine serves
+        # the same grown graph the outgoing one did (the pool does the
+        # same for its workers inside pool.reload).  Must happen before
+        # the smoke test / pool parity check so both sides agree.
+        with self._taxonomy_lock:
+            seeded = len(self._attached_edges)
+            attachments = list(dict.fromkeys(self._attached_edges))
+        new_detector = new_bundle.pipeline.detector
+        new_engine = (new_detector.inference_engine
+                      if new_detector is not None else None)
+        if attachments and new_engine is not None:
+            new_engine.apply_attachments(attachments)
         probes = self._probe_pairs(new_bundle)
         probs = np.asarray(new_bundle.score_pairs(probes))
         if probes and not (np.all(np.isfinite(probs))
@@ -325,8 +396,18 @@ class TaxonomyService:
         old_bundle = self.bundle
         backend = (self.pool.score_pairs if self.pool is not None
                    else new_bundle.pipeline.score_pairs)
-        self.scorer.swap_scorer(backend, clear_cache=True)
-        self.bundle = new_bundle
+        # The swap happens under the taxonomy lock so it cannot
+        # interleave with _propagate_attachments: deltas committed
+        # during the load/smoke-test window (they went to the *old*
+        # engine) are re-applied here as the tail beyond the seed
+        # snapshot, and deltas after the lock releases route to the new
+        # bundle.  apply_attachments is idempotent, so overlap is safe.
+        with self._taxonomy_lock:
+            tail = self._attached_edges[seeded:]
+            if tail and new_engine is not None:
+                new_engine.apply_attachments(tail)
+            self.scorer.swap_scorer(backend, clear_cache=True)
+            self.bundle = new_bundle
         old_detector = old_bundle.pipeline.detector
         old_engine = (old_detector.inference_engine
                       if old_detector is not None else None)
@@ -493,6 +574,12 @@ class TaxonomyService:
             metric("repro_pool_worker_restarts_total", "counter",
                    "Worker processes respawned after a death.",
                    pool.worker_restarts)
+            metric("repro_pool_watchdog_restarts_total", "counter",
+                   "Respawns initiated proactively by the pool watchdog.",
+                   pool.watchdog_restarts)
+            metric("repro_pool_delta_broadcasts_total", "counter",
+                   "Structural attachment deltas broadcast to workers.",
+                   pool.delta_broadcasts)
             lines.append("# HELP repro_pool_worker_pairs_total Pairs "
                          "routed to one worker (shard balance).")
             lines.append("# TYPE repro_pool_worker_pairs_total counter")
@@ -520,4 +607,17 @@ class TaxonomyService:
             metric("repro_engine_concept_cache_hits_total", "counter",
                    "Single-concept embeddings served from the engine "
                    "cache.", stats.concept_cache_hits, label)
+            metric("repro_engine_structural_epoch", "gauge",
+                   "Incremental-recompute fence (bumped per applied "
+                   "structural delta).", stats.structural_epoch, label)
+            metric("repro_engine_structural_nodes", "gauge",
+                   "Nodes in the engine's live structural graph.",
+                   stats.structural_nodes, label)
+            metric("repro_engine_recompute_batches_total", "counter",
+                   "Dirty-frontier recompute passes executed.",
+                   stats.recompute_batches, label)
+            metric("repro_engine_rows_recomputed_total", "counter",
+                   "Node-embedding rows refreshed by frontier "
+                   "recomputes (rows x hops).", stats.rows_recomputed,
+                   label)
         return "\n".join(lines) + "\n"
