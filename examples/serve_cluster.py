@@ -1,14 +1,17 @@
 """Scenario: the full resilient-serving lifecycle, end to end.
 
 Walks the production-shaped path that ``docs/operations.md`` describes,
-entirely in one script:
+entirely in one script — every HTTP interaction goes through the
+``/v1`` API via the :class:`repro.api.TaxonomyClient` SDK (no raw
+urllib plumbing):
 
 1. **fit** a small pipeline and **export** artifact bundle v1,
 2. start a **2-worker sharded server** with a **durable ingest journal**
-   and talk to it over real HTTP (``/score``, ``/ingest``,
-   ``/taxonomy``),
+   and talk to it through the SDK (``score``, ``ingest``,
+   ``taxonomy``),
 3. **refit** (here: perturb + recompile) and export bundle v2, then
-   **hot-reload** it through ``POST /admin/reload`` with zero downtime,
+   **hot-reload** it as an async job (``submit_reload_job`` +
+   ``wait_for_job``) with zero downtime,
 4. simulate a **crash** (no clean shutdown) and restart against the same
    journal directory, verifying replay reconstructs the pre-crash
    taxonomy exactly.
@@ -16,11 +19,10 @@ entirely in one script:
 Run:  PYTHONPATH=src python examples/serve_cluster.py   (~2 minutes)
 """
 
-import json
 import tempfile
 import threading
-import urllib.request
 
+from repro.api import TaxonomyClient
 from repro.core import (
     DetectorConfig, PipelineConfig, TaxonomyExpansionPipeline,
 )
@@ -34,17 +36,6 @@ from repro.synthetic import (
     ClickLogConfig, UgcConfig, WorldConfig, build_world,
     generate_click_logs, generate_ugc,
 )
-
-
-def call(server, path, payload=None):
-    """One JSON request against the running server."""
-    host, port = server.server_address[:2]
-    data = None if payload is None else json.dumps(payload).encode()
-    request = urllib.request.Request(
-        f"http://{host}:{port}{path}", data=data,
-        headers={"Content-Type": "application/json"} if data else {})
-    with urllib.request.urlopen(request, timeout=60) as response:
-        return json.loads(response.read())
 
 
 def fit_and_export(world, click_log, ugc, directory, seed=0):
@@ -93,22 +84,24 @@ def main() -> None:
     server = make_server(service, port=0)  # ephemeral port
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
+    host, port = server.server_address[:2]
+    client = TaxonomyClient(f"http://{host}:{port}", timeout=60.0)
 
-    scores_v1 = call(server, "/score", {"pairs": probe_pairs})
+    scores_v1 = client.score(probe_pairs)
     print(f"scores (v1): "
           f"{[round(p, 4) for p in scores_v1['probabilities']]}")
 
     records = [[query, item, count]
                for (query, item), count in
                sorted(click_log.counts.items())[:30]]
-    ingested = call(server, "/ingest", {"records": records, "sync": True})
+    ingested = client.ingest(records, sync=True)
     print(f"ingested batch: {ingested['report']['num_attached']} "
           f"edge(s) attached")
-    before_crash = call(server, "/taxonomy")
+    before_crash = client.taxonomy()
     print(f"taxonomy: {before_crash['stats']['edges']} edges after "
           f"{before_crash['stats']['ingested_batches']} batch(es)")
 
-    # -- 3. hot reload ----------------------------------------------------
+    # -- 3. hot reload (async job through the SDK) ------------------------
     print("== exporting refit bundle v2 and hot-reloading ==")
     refit = ArtifactBundle.load(bundle_v1).pipeline
     for parameter in refit.detector.classifier.parameters():
@@ -117,9 +110,11 @@ def main() -> None:
     ArtifactBundle.export(refit, bundle_v2,
                           taxonomy=world.existing_taxonomy,
                           vocabulary=world.vocabulary)
-    outcome = call(server, "/admin/reload", {"artifacts": bundle_v2})
-    print(f"reload: {outcome}")
-    scores_v2 = call(server, "/score", {"pairs": probe_pairs})
+    job = client.submit_reload_job(bundle_v2)
+    print(f"reload job {job['id']} submitted ({job['status']})")
+    outcome = client.wait_for_job(job["id"], timeout=120.0)
+    print(f"reload: {outcome['result']}")
+    scores_v2 = client.score(probe_pairs)
     print(f"scores (v2): "
           f"{[round(p, 4) for p in scores_v2['probabilities']]}")
     assert scores_v2["probabilities"] != scores_v1["probabilities"], \

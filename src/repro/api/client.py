@@ -1,0 +1,280 @@
+"""``TaxonomyClient`` — the Python SDK for the ``/v1`` HTTP API.
+
+Every in-repo caller of the service (the ``repro score-remote`` /
+``ingest-remote`` CLI commands, ``examples/serve_cluster.py``, the
+end-to-end tests and the ``--client`` benchmark mode) routes through
+this class instead of re-implementing urllib plumbing.  stdlib only:
+
+>>> client = TaxonomyClient("http://127.0.0.1:8631")
+>>> client.score([("fruit", "apple")])["probabilities"]
+[0.993]
+>>> job = client.submit_expand_job({"fruit": ["dragonfruit"]})
+>>> client.wait_for_job(job["id"])["result"]["num_attached"]
+1
+
+Failures surface as :class:`TaxonomyApiError` carrying the server's
+stable ``code``, HTTP ``status`` and ``request_id`` (parsed from the
+canonical error envelope).  Transient server rejections — ``429
+backpressure`` and ``503 not_ready``, which the server answers *before*
+applying any side effect — are retried with exponential backoff on any
+method, honouring the server's ``Retry-After`` header when present.
+Transport failures (connection reset, timeout) are retried only for
+``GET`` requests: a lost response to a non-idempotent ``POST`` (ingest,
+expand) may have been applied server-side, and re-sending it would
+double-apply the data.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from .errors import RETRYABLE_CODES
+
+__all__ = ["TaxonomyApiError", "TaxonomyClient"]
+
+#: HTTP statuses the client treats as transient when no envelope code
+#: is available (proxy-generated bodies, legacy servers).
+_RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+class TaxonomyApiError(Exception):
+    """A ``/v1`` request failed; carries the canonical error fields.
+
+    ``code`` is the server's stable machine-readable code (or
+    ``"transport_error"`` when the failure never reached the server),
+    ``status`` the HTTP status (0 for transport failures), and
+    ``request_id`` the server-assigned correlation id when available.
+    """
+
+    def __init__(self, code: str, message: str, *, status: int = 0,
+                 detail=None, request_id: str | None = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.status = status
+        self.detail = detail
+        self.request_id = request_id
+
+    @property
+    def retryable(self) -> bool:
+        """Whether retrying after a delay may succeed."""
+        return (self.code in RETRYABLE_CODES
+                or self.code == "transport_error"
+                or self.status in _RETRYABLE_STATUSES)
+
+
+class TaxonomyClient:
+    """Typed Python client for one running taxonomy server.
+
+    Parameters
+    ----------
+    base_url:
+        Server root, e.g. ``"http://127.0.0.1:8631"`` (any trailing
+        slash is stripped; the client adds ``/v1/...`` itself).
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        Extra attempts for retryable failures (429/503/transport).
+    backoff:
+        Initial retry delay in seconds; doubles per attempt.  A server
+        ``Retry-After`` header overrides the computed delay (capped at
+        ``max_backoff``).
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 retries: int = 2, backoff: float = 0.2,
+                 max_backoff: float = 5.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload=None):
+        """One HTTP round-trip with retry-with-backoff on 429/503."""
+        url = f"{self.base_url}{path}"
+        data = None if payload is None else \
+            json.dumps(payload).encode("utf-8")
+        last_error: TaxonomyApiError | None = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url, data=data, method=method,
+                headers={"Content-Type": "application/json"}
+                if data is not None else {})
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as response:
+                    body = response.read()
+                    if response.headers.get_content_type() != \
+                            "application/json":
+                        return body.decode("utf-8")
+                    return json.loads(body) if body else {}
+            except urllib.error.HTTPError as error:
+                last_error = self._parse_http_error(error)
+                retry_after = error.headers.get("Retry-After")
+            except (urllib.error.URLError, ConnectionError,
+                    TimeoutError) as error:
+                last_error = TaxonomyApiError(
+                    "transport_error", f"request to {url} failed: "
+                    f"{error}")
+                retry_after = None
+            # A transport failure after a POST is ambiguous — the server
+            # may have applied the request before the response was lost.
+            # Re-sending a non-idempotent body (ingest, expand) would
+            # double-apply it, so only GETs retry transport errors;
+            # 429/503 are server rejections and always safe to retry.
+            if last_error.code == "transport_error" and method != "GET":
+                raise last_error
+            if not last_error.retryable or attempt >= self.retries:
+                raise last_error
+            delay = min(self.backoff * (2 ** attempt), self.max_backoff)
+            if retry_after:
+                try:
+                    delay = min(float(retry_after), self.max_backoff)
+                except ValueError:
+                    pass
+            time.sleep(delay)
+        raise last_error  # pragma: no cover - loop always raises above
+
+    @staticmethod
+    def _parse_http_error(error: urllib.error.HTTPError) \
+            -> TaxonomyApiError:
+        """Build a typed error from a canonical envelope (or raw body)."""
+        try:
+            envelope = json.loads(error.read() or b"{}")
+        except (ValueError, UnicodeDecodeError):
+            envelope = {}
+        detail = envelope.get("error")
+        if isinstance(detail, dict):
+            return TaxonomyApiError(
+                detail.get("code", "internal_error"),
+                detail.get("message", str(error)),
+                status=error.code, detail=detail.get("detail"),
+                request_id=detail.get("request_id"))
+        message = detail if isinstance(detail, str) else str(error)
+        return TaxonomyApiError("internal_error", message,
+                                status=error.code)
+
+    # ------------------------------------------------------------------
+    # synchronous endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /v1/healthz`` — liveness snapshot."""
+        return self._request("GET", "/v1/healthz")
+
+    def metrics_text(self) -> str:
+        """``GET /v1/metrics`` — raw Prometheus exposition text."""
+        return self._request("GET", "/v1/metrics")
+
+    def taxonomy(self) -> dict:
+        """``GET /v1/taxonomy`` — live snapshot + ingest statistics."""
+        return self._request("GET", "/v1/taxonomy")
+
+    def openapi(self) -> dict:
+        """``GET /v1/openapi.json`` — the generated API description."""
+        return self._request("GET", "/v1/openapi.json")
+
+    def score(self, pairs) -> dict:
+        """``POST /v1/score`` for explicit (parent, child) pairs."""
+        return self._request("POST", "/v1/score",
+                             {"pairs": [list(pair) for pair in pairs]})
+
+    def score_batched(self, pairs, batch_size: int = 512) -> list:
+        """Score arbitrarily many pairs in bounded requests.
+
+        Splits ``pairs`` into ``batch_size`` slices (each below the
+        server's per-request cap) and concatenates the probabilities in
+        order.
+        """
+        pairs = [list(pair) for pair in pairs]
+        probabilities: list = []
+        for start in range(0, len(pairs), max(1, batch_size)):
+            chunk = pairs[start:start + max(1, batch_size)]
+            probabilities.extend(self.score(chunk)["probabilities"])
+        return probabilities
+
+    def expand(self, candidates: dict) -> dict:
+        """``POST /v1/expand`` — synchronous expansion."""
+        return self._request("POST", "/v1/expand",
+                             {"candidates": candidates})
+
+    def ingest(self, records, provenance: dict | None = None,
+               sync: bool = False) -> dict:
+        """``POST /v1/ingest`` — queue one click-log batch."""
+        payload = {"records": [list(record) for record in records],
+                   "sync": bool(sync)}
+        if provenance:
+            payload["provenance"] = provenance
+        return self._request("POST", "/v1/ingest", payload)
+
+    def ingest_batched(self, records, batch_size: int = 5_000,
+                       sync: bool = False) -> list:
+        """Ingest arbitrarily many records in bounded batches.
+
+        Returns the per-batch acknowledgements in submission order;
+        backpressure rejections are retried by the transport layer.
+        """
+        records = [list(record) for record in records]
+        outcomes = []
+        for start in range(0, len(records), max(1, batch_size)):
+            chunk = records[start:start + max(1, batch_size)]
+            outcomes.append(self.ingest(chunk, sync=sync))
+        return outcomes
+
+    def reload(self, artifacts: str | None = None) -> dict:
+        """``POST /v1/admin/reload`` — synchronous hot reload."""
+        return self._request("POST", "/v1/admin/reload",
+                             {"artifacts": artifacts})
+
+    # ------------------------------------------------------------------
+    # async jobs
+    # ------------------------------------------------------------------
+    def submit_expand_job(self, candidates: dict) -> dict:
+        """``POST /v1/jobs/expand`` — returns the pending job snapshot."""
+        return self._request("POST", "/v1/jobs/expand",
+                             {"candidates": candidates})
+
+    def submit_reload_job(self, artifacts: str | None = None) -> dict:
+        """``POST /v1/jobs/reload`` — returns the pending job snapshot."""
+        return self._request("POST", "/v1/jobs/reload",
+                             {"artifacts": artifacts})
+
+    def job(self, job_id: str) -> dict:
+        """``GET /v1/jobs/{id}`` — poll one job's state."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> dict:
+        """``GET /v1/jobs`` — retained job snapshots, newest first."""
+        return self._request("GET", "/v1/jobs")
+
+    def wait_for_job(self, job_id: str, timeout: float = 60.0,
+                     poll_interval: float = 0.05) -> dict:
+        """Poll until the job finishes; return its terminal snapshot.
+
+        Raises :class:`TaxonomyApiError` with the job's stored error
+        code if the job failed, or ``code="timeout"``-free
+        ``TimeoutError`` if it does not finish within ``timeout``
+        seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["status"] == "succeeded":
+                return snapshot
+            if snapshot["status"] == "failed":
+                error = snapshot.get("error") or {}
+                raise TaxonomyApiError(
+                    error.get("code", "internal_error"),
+                    error.get("message", f"job {job_id} failed"),
+                    detail=error.get("detail"))
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['status']!r} after "
+                    f"{timeout}s")
+            time.sleep(poll_interval)

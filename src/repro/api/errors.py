@@ -1,0 +1,145 @@
+"""Canonical API errors: stable codes, HTTP statuses, one envelope.
+
+Every error leaving the ``/v1`` surface is shaped as
+
+.. code-block:: json
+
+    {"error": {"code": "invalid_request",
+               "message": "pairs[0] must be [parent, child]",
+               "detail": {"field": "pairs"},
+               "request_id": "req-7f3a9c1b2d4e"}}
+
+``code`` is machine-readable and stable across releases (clients branch
+on it, never on ``message``); ``request_id`` echoes the ``X-Request-Id``
+response header so one identifier correlates client logs, server logs
+and error bodies.  :class:`ApiError` carries the mapping from code to
+HTTP status, so handlers raise semantically ("this is backpressure") and
+the transport layer renders the right wire shape.
+"""
+
+from __future__ import annotations
+
+import uuid
+
+__all__ = [
+    "ApiError",
+    "ERROR_CODES",
+    "backpressure",
+    "internal_error",
+    "invalid_request",
+    "job_not_found",
+    "new_request_id",
+    "not_found",
+    "not_ready",
+    "payload_too_large",
+    "reload_failed",
+]
+
+#: every stable error code and the HTTP status it maps to — the single
+#: source of truth shared by the server, the OpenAPI document, the docs
+#: contract test and the client SDK's retry policy.
+ERROR_CODES: dict[str, int] = {
+    "invalid_request": 400,
+    "not_found": 404,
+    "job_not_found": 404,
+    "payload_too_large": 413,
+    "backpressure": 429,
+    "not_ready": 503,
+    "reload_failed": 500,
+    "internal_error": 500,
+}
+
+#: codes a well-behaved client may retry after a delay (the condition is
+#: transient by definition); everything else is a caller bug or a
+#: permanent failure.
+RETRYABLE_CODES = frozenset({"backpressure", "not_ready"})
+
+
+def new_request_id() -> str:
+    """A fresh correlation id (``req-`` + 12 hex chars)."""
+    return f"req-{uuid.uuid4().hex[:12]}"
+
+
+class ApiError(Exception):
+    """One canonical API failure: stable ``code`` + HTTP ``status``.
+
+    Raised by the schema layer, route handlers and the
+    :class:`~repro.api.JobManager`; rendered by the HTTP transport as
+    the error envelope.  ``detail`` is an optional JSON-friendly dict
+    with structured context (offending field, queue depth, ...), and
+    ``retry_after`` (seconds) becomes a ``Retry-After`` header when set.
+    """
+
+    def __init__(self, code: str, message: str, *,
+                 detail: dict | None = None,
+                 retry_after: float | None = None):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown API error code: {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.status = ERROR_CODES[code]
+        self.detail = detail
+        self.retry_after = retry_after
+
+    @property
+    def retryable(self) -> bool:
+        """Whether a client may retry this failure after a delay."""
+        return self.code in RETRYABLE_CODES
+
+    def envelope(self, request_id: str) -> dict:
+        """The canonical wire shape for this error."""
+        return {"error": {
+            "code": self.code,
+            "message": self.message,
+            "detail": self.detail,
+            "request_id": request_id,
+        }}
+
+
+def invalid_request(message: str, *, field: str | None = None) -> ApiError:
+    """400 — the request body failed schema validation."""
+    detail = {"field": field} if field is not None else None
+    return ApiError("invalid_request", message, detail=detail)
+
+
+def not_found(path: str) -> ApiError:
+    """404 — no route is registered at ``path``."""
+    return ApiError("not_found", f"unknown route {path!r}",
+                    detail={"path": path})
+
+
+def job_not_found(job_id: str) -> ApiError:
+    """404 — no job with this id exists (or it aged out of retention)."""
+    return ApiError("job_not_found", f"no such job {job_id!r}",
+                    detail={"job_id": job_id})
+
+
+def payload_too_large(length: int, limit: int) -> ApiError:
+    """413 — the request body exceeds the service byte cap."""
+    return ApiError(
+        "payload_too_large",
+        f"request body is {length} bytes; the limit is {limit}",
+        detail={"content_length": length, "limit_bytes": limit})
+
+
+def backpressure(message: str, *, retry_after: float = 1.0,
+                 detail: dict | None = None) -> ApiError:
+    """429 — a bounded queue is full; retry after ``retry_after`` s."""
+    return ApiError("backpressure", message, detail=detail,
+                    retry_after=retry_after)
+
+
+def not_ready(message: str, *, retry_after: float = 1.0) -> ApiError:
+    """503 — the service cannot take traffic yet (workers not running)."""
+    return ApiError("not_ready", message, retry_after=retry_after)
+
+
+def reload_failed(message: str) -> ApiError:
+    """500 — a hot reload was rejected; the previous model keeps serving."""
+    return ApiError("reload_failed", message)
+
+
+def internal_error(error: Exception) -> ApiError:
+    """500 — an unexpected failure inside a handler."""
+    return ApiError("internal_error", repr(error))

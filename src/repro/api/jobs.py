@@ -1,0 +1,259 @@
+"""In-process async jobs: submit now, poll ``/v1/jobs/{id}`` later.
+
+Slow operations (expansion traversals, artifact hot-reloads) should not
+hold an HTTP connection open for their full duration.  The
+:class:`JobManager` turns them into async jobs: ``submit`` enqueues a
+callable and returns a job snapshot immediately; a single background
+worker drains the queue in submission order (serialising reloads and
+expansions exactly like the service's own locks would); callers poll
+the job until it reaches a terminal state.
+
+Jobs move ``pending -> running -> succeeded | failed``.  A failed job
+stores a canonical error object (``code``/``message``/``detail``) built
+from :class:`~repro.api.errors.ApiError` semantics, so polling clients
+see the same stable codes as synchronous callers.  Finished jobs are
+retained in a bounded history (oldest evicted first) so memory stays
+flat no matter how long the service runs; an evicted id polls as
+``job_not_found``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+from collections import OrderedDict
+
+from .errors import ApiError, backpressure, job_not_found, not_ready
+
+__all__ = ["Job", "JobManager", "JobStats"]
+
+#: job lifecycle states
+_TERMINAL = frozenset({"succeeded", "failed"})
+
+
+class Job:
+    """One submitted operation and its lifecycle state."""
+
+    __slots__ = ("id", "kind", "status", "submitted_at", "started_at",
+                 "finished_at", "result", "error", "_fn")
+
+    def __init__(self, kind: str, fn):
+        self.id = f"job-{uuid.uuid4().hex[:12]}"
+        self.kind = kind
+        self.status = "pending"
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.result: dict | None = None
+        self.error: dict | None = None
+        self._fn = fn
+
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.status in _TERMINAL
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot matching ``schemas.JobResponse``."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+class JobStats:
+    """Counters for ``/metrics`` (mutated only under the manager lock)."""
+
+    __slots__ = ("submitted", "succeeded", "failed", "rejected")
+
+    def __init__(self):
+        self.submitted = 0
+        self.succeeded = 0
+        self.failed = 0
+        self.rejected = 0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly counter snapshot."""
+        return {"submitted": self.submitted, "succeeded": self.succeeded,
+                "failed": self.failed, "rejected": self.rejected}
+
+
+class JobManager:
+    """Bounded async-job executor with a single ordered worker.
+
+    Parameters
+    ----------
+    max_pending:
+        Submissions beyond this many unfinished jobs are rejected with
+        :func:`~repro.api.errors.backpressure` (HTTP 429) — the job
+        queue is a bounded resource exactly like the ingest queue.
+    max_retained:
+        Finished jobs kept for polling; the oldest finished job is
+        evicted first once the bound is hit.
+    """
+
+    def __init__(self, max_pending: int = 32, max_retained: int = 256):
+        self.max_pending = max_pending
+        self.max_retained = max_retained
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._queue: "queue.Queue[Job | None]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._sentinel_pending = False
+        self.stats = JobStats()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the worker thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "JobManager":
+        """Start the worker thread; idempotent."""
+        if not self.running:
+            self._thread = threading.Thread(
+                target=self._run, name="job-manager", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain queued jobs and stop the worker; idempotent.
+
+        If a job outlives ``timeout`` the worker reference is kept, so
+        ``running`` stays truthful and a subsequent :meth:`start` will
+        not spawn a second concurrent worker; the straggler still exits
+        at the queued sentinel once its job finishes.
+        """
+        if not self.running:
+            return
+        with self._lock:
+            if not self._sentinel_pending:
+                self._sentinel_pending = True
+                self._queue.put(None)
+        self._thread.join(timeout=timeout)
+        if not self._thread.is_alive():
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, fn) -> dict:
+        """Enqueue ``fn`` as one async job; returns its snapshot.
+
+        ``fn`` must return a JSON-friendly dict (the job ``result``) or
+        raise; an :class:`~repro.api.errors.ApiError` keeps its stable
+        code in the stored job error, any other exception becomes
+        ``internal_error``.
+
+        Raises :func:`~repro.api.errors.not_ready` when the worker is
+        not running or is shutting down — a job queued behind the stop
+        sentinel would stay ``pending`` forever.
+        """
+        with self._lock:
+            if self._sentinel_pending or not self.running:
+                raise not_ready(
+                    "job manager is not accepting work (stopped or "
+                    "shutting down)")
+            pending = sum(1 for job in self._jobs.values()
+                          if not job.done)
+            if pending >= self.max_pending:
+                self.stats.rejected += 1
+                raise backpressure(
+                    f"job queue holds {pending} unfinished job(s); the "
+                    f"limit is {self.max_pending}",
+                    detail={"pending_jobs": pending,
+                            "limit": self.max_pending})
+            job = Job(kind, fn)
+            self._jobs[job.id] = job
+            self.stats.submitted += 1
+            self._evict_locked()
+            # enqueue under the lock: stop() takes the same lock to
+            # queue its sentinel, so an accepted job can never land
+            # *behind* the sentinel and stay pending forever
+            self._queue.put(job)
+        return job.as_dict()
+
+    def get(self, job_id: str) -> dict:
+        """Snapshot one job; raises ``job_not_found`` for unknown ids."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise job_not_found(job_id)
+            return job.as_dict()
+
+    def list(self, limit: int = 50) -> list:
+        """Snapshots of retained jobs, newest first, capped at limit."""
+        with self._lock:
+            jobs = [job.as_dict() for job in
+                    reversed(list(self._jobs.values()))]
+        return jobs[:max(0, limit)]
+
+    def counts(self) -> dict:
+        """Gauges + counters for ``/metrics`` and ``/healthz``."""
+        with self._lock:
+            pending = sum(1 for job in self._jobs.values()
+                          if job.status == "pending")
+            running = sum(1 for job in self._jobs.values()
+                          if job.status == "running")
+            snapshot = self.stats.as_dict()
+        snapshot.update({"pending": pending, "running": running,
+                         "retained": len(self._jobs)})
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # worker internals
+    # ------------------------------------------------------------------
+    def _evict_locked(self) -> None:
+        """Drop oldest finished jobs beyond the retention bound."""
+        while len(self._jobs) > self.max_retained:
+            evicted = next(
+                (job_id for job_id, job in self._jobs.items()
+                 if job.done), None)
+            if evicted is None:
+                return  # everything retained is still live
+            del self._jobs[evicted]
+
+    def _run(self) -> None:
+        """Worker loop: execute jobs in submission order until stopped."""
+        while True:
+            job = self._queue.get()
+            if job is None:
+                with self._lock:
+                    self._sentinel_pending = False
+                return
+            with self._lock:
+                job.status = "running"
+                job.started_at = time.time()
+            try:
+                result = job._fn()
+            except ApiError as error:
+                outcome = ("failed", None, {
+                    "code": error.code, "message": error.message,
+                    "detail": error.detail})
+            except Exception as error:  # job crash must not kill worker
+                outcome = ("failed", None, {
+                    "code": "internal_error", "message": repr(error),
+                    "detail": None})
+            else:
+                outcome = ("succeeded",
+                           result if isinstance(result, dict) else
+                           {"value": result}, None)
+            with self._lock:
+                job.status, job.result, job.error = outcome
+                job.finished_at = time.time()
+                job._fn = None  # release closed-over state promptly
+                if job.status == "succeeded":
+                    self.stats.succeeded += 1
+                else:
+                    self.stats.failed += 1
+                self._evict_locked()

@@ -2,18 +2,24 @@
 
 Commands
 --------
-``world``    Generate a synthetic world and print its statistics.
-``expand``   Train the framework on a preset domain and expand its
-             taxonomy, optionally saving the result as JSON and/or
-             exporting a serving artifact bundle.
-``evaluate`` Train and report detector test metrics for a preset domain,
-             optionally dumping them as JSON for CI.
-``serve``    Load an artifact bundle and run the online taxonomy service
-             (JSON API: /score /expand /ingest /taxonomy /healthz
-             /metrics /admin/reload).  ``--workers N`` shards scoring
-             across N processes; ``--journal-dir`` makes ingestion
-             durable and replays it on startup; SIGHUP hot-reloads the
-             bundle.
+``world``         Generate a synthetic world and print its statistics.
+``expand``        Train the framework on a preset domain and expand its
+                  taxonomy, optionally saving the result as JSON and/or
+                  exporting a serving artifact bundle.
+``evaluate``      Train and report detector test metrics for a preset
+                  domain, optionally dumping them as JSON for CI.
+``serve``         Load an artifact bundle and run the online taxonomy
+                  service (versioned JSON API under ``/v1``: score,
+                  expand, ingest, taxonomy, healthz, metrics, async
+                  jobs, admin/reload, openapi.json — legacy unversioned
+                  paths remain as deprecated aliases).  ``--workers N``
+                  shards scoring across N processes; ``--journal-dir``
+                  makes ingestion durable and replays it on startup;
+                  SIGHUP hot-reloads the bundle.
+``score-remote``  Score (parent, child) pairs against a running server
+                  through the :class:`repro.api.TaxonomyClient` SDK.
+``ingest-remote`` Send click-log records (JSON file or stdin) to a
+                  running server through the SDK, in bounded batches.
 """
 
 from __future__ import annotations
@@ -173,6 +179,65 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_score_remote(args: argparse.Namespace) -> int:
+    from .api import TaxonomyApiError, TaxonomyClient
+    pairs = []
+    for raw in args.pairs:
+        parent, sep, child = raw.partition(",")
+        if not sep or not parent or not child:
+            print(f"error: pair must be PARENT,CHILD: {raw!r}",
+                  file=sys.stderr)
+            return 2
+        pairs.append((parent, child))
+    client = TaxonomyClient(args.url, timeout=args.timeout,
+                            retries=args.retries)
+    try:
+        probabilities = client.score_batched(pairs,
+                                             batch_size=args.batch_size)
+    except TaxonomyApiError as error:
+        print(f"error: {error} (request_id={error.request_id})",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        json.dump({"pairs": [list(pair) for pair in pairs],
+                   "probabilities": probabilities},
+                  sys.stdout, indent=1)
+        print()
+    else:
+        for (parent, child), prob in zip(pairs, probabilities):
+            print(f"{prob:.4f}  {parent} -> {child}")
+    return 0
+
+
+def cmd_ingest_remote(args: argparse.Namespace) -> int:
+    from .api import TaxonomyApiError, TaxonomyClient
+    if args.records == "-":
+        records = json.load(sys.stdin)
+    else:
+        with open(args.records, encoding="utf-8") as handle:
+            records = json.load(handle)
+    if not isinstance(records, list):
+        print("error: records file must hold a JSON list of "
+              "[query, item(, count)] records", file=sys.stderr)
+        return 2
+    client = TaxonomyClient(args.url, timeout=args.timeout,
+                            retries=args.retries)
+    try:
+        outcomes = client.ingest_batched(records,
+                                         batch_size=args.batch_size,
+                                         sync=args.sync)
+    except TaxonomyApiError as error:
+        print(f"error: {error} (request_id={error.request_id})",
+              file=sys.stderr)
+        return 1
+    attached = sum((o.get("report") or {}).get("num_attached", 0)
+                   for o in outcomes)
+    print(f"sent {len(records)} record(s) in {len(outcomes)} batch(es)")
+    if args.sync:
+        print(f"attached edges: {attached}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -244,6 +309,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--quiet", action="store_true",
                               help="suppress per-request access logs")
     serve_parser.set_defaults(func=cmd_serve)
+
+    def remote_common(p):
+        p.add_argument("--url", default="http://127.0.0.1:8631",
+                       help="server base URL (the client adds /v1)")
+        p.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request socket timeout in seconds")
+        p.add_argument("--retries", type=int, default=2,
+                       help="extra attempts on 429/503/transport errors")
+
+    score_remote = sub.add_parser(
+        "score-remote",
+        help="score pairs against a running server via the SDK")
+    remote_common(score_remote)
+    score_remote.add_argument(
+        "pairs", nargs="+", metavar="PARENT,CHILD",
+        help="(parent, child) concept pairs, comma-separated")
+    score_remote.add_argument("--batch-size", type=int, default=512,
+                              help="pairs per /v1/score request")
+    score_remote.add_argument("--json", action="store_true",
+                              help="print the full JSON response")
+    score_remote.set_defaults(func=cmd_score_remote)
+
+    ingest_remote = sub.add_parser(
+        "ingest-remote",
+        help="send click-log records to a running server via the SDK")
+    remote_common(ingest_remote)
+    ingest_remote.add_argument(
+        "records", metavar="RECORDS_JSON",
+        help="path to a JSON list of [query, item(, count)] records "
+             "('-' reads stdin)")
+    ingest_remote.add_argument("--batch-size", type=int, default=5000,
+                               help="records per /v1/ingest request")
+    ingest_remote.add_argument("--sync", action="store_true",
+                               help="wait for each batch's ingest "
+                                    "report (prints attached-edge "
+                                    "totals)")
+    ingest_remote.set_defaults(func=cmd_ingest_remote)
     return parser
 
 

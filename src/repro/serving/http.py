@@ -1,26 +1,27 @@
-"""Stdlib HTTP front-end for :class:`~repro.serving.TaxonomyService`.
+"""Stdlib HTTP transport for :class:`~repro.serving.TaxonomyService`.
 
-No web framework — a :class:`http.server.ThreadingHTTPServer` routes the
-JSON endpoints onto the service facade:
+No web framework — a :class:`http.server.ThreadingHTTPServer` dispatches
+the declarative route table from :data:`repro.api.ROUTES` onto the
+service facade.  The transport owns *no* parsing logic of its own:
 
-========  =============  =================================================
-method    path           body / response
-========  =============  =================================================
-GET       /healthz       liveness, worker state, scorer statistics
-GET       /metrics       Prometheus text-format counters and gauges
-GET       /taxonomy      live taxonomy snapshot + ingestion statistics
-POST      /score         ``{"pairs": [[parent, child], ...]}``
-POST      /expand        ``{"candidates": {query: [item, ...]}}``
-POST      /ingest        ``{"records": [[query, item, count?], ...],
-                         "provenance": {...}?, "sync": bool?}``
-POST      /admin/reload  ``{"artifacts": path?}`` — hot-swap the bundle
-                         (defaults to re-reading the current directory)
-========  =============  =================================================
+* request bodies are validated by the typed models in
+  :mod:`repro.api.schemas` (one ``Model.parse`` per route),
+* failures are rendered as the canonical error envelope from
+  :mod:`repro.api.errors` with stable codes and correct statuses
+  (400/404/413/429/503/500) plus a ``Retry-After`` header where the
+  condition is transient,
+* every response — success or error — carries an ``X-Request-Id``
+  header echoed inside error envelopes,
+* ``GET /v1/openapi.json`` serves the API description generated from
+  the *same* route table this module dispatches on.
 
-Errors return ``{"error": ...}`` with 400 (bad request), 404 (unknown
-route), 503 (backpressure rejection) or 500 (scoring/reload failure).
-``repro serve`` additionally installs a SIGHUP handler that triggers the
-same reload as ``POST /admin/reload`` with no body (see :func:`serve`).
+All endpoints live under ``/v1/...``; the pre-versioning paths
+(``/score``, ``/ingest``, ...) remain as thin deprecated aliases that
+keep their historical semantics (permissive defaults, raw service
+response shapes, 503 on ingest backpressure) and emit ``Deprecation``
+and ``Link: rel="successor-version"`` headers.  ``repro serve``
+additionally installs a SIGHUP handler that triggers the same reload as
+``POST /v1/admin/reload`` with no body (see :func:`serve`).
 """
 
 from __future__ import annotations
@@ -30,12 +31,224 @@ import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..api import errors as api_errors
+from ..api import schemas
+from ..api.errors import ApiError
+from ..api.openapi import ROUTES, build_openapi
 from .service import TaxonomyService
 
-__all__ = ["TaxonomyHTTPServer", "install_sighup_reload", "make_server",
-           "serve"]
+__all__ = ["MAX_BODY_BYTES", "TaxonomyHTTPServer",
+           "install_sighup_reload", "make_server", "serve"]
 
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# /v1 handlers — named by RouteSpec.handler; each takes
+# (service, body, params) and returns (status, payload) with payload
+# already validated/normalised through the route's response model.
+# ----------------------------------------------------------------------
+def _require_started(service: TaxonomyService) -> None:
+    if not service.started:
+        raise api_errors.not_ready(
+            "service workers are not running yet; retry shortly")
+
+
+def _handle_health(service, body, params):
+    payload = schemas.HealthResponse.parse(
+        service.health(), allow_extra=True).as_payload()
+    return 200, payload
+
+
+def _handle_taxonomy(service, body, params):
+    payload = schemas.TaxonomyResponse.parse(
+        service.taxonomy_state(), allow_extra=True).as_payload()
+    return 200, payload
+
+
+#: the document is static for the life of the process (ROUTES and the
+#: schema models are module constants), so build it once at import
+_OPENAPI_DOC = build_openapi()
+
+
+def _handle_openapi(service, body, params):
+    return 200, _OPENAPI_DOC
+
+
+def _handle_score(service, body, params):
+    request = schemas.ScoreRequest.parse(body)
+    _require_started(service)
+    return 200, schemas.ScoreResponse.parse(
+        service.score(request), allow_extra=True).as_payload()
+
+
+def _handle_expand(service, body, params):
+    request = schemas.ExpandRequest.parse(body)
+    _require_started(service)
+    return 200, schemas.ExpandResponse.parse(
+        service.expand(request), allow_extra=True).as_payload()
+
+
+def _handle_ingest(service, body, params):
+    request = schemas.IngestRequest.parse(body)
+    _require_started(service)
+    result = service.ingest(request)
+    if not result.get("accepted"):
+        # Bounded-queue rejection is backpressure (retryable), not an
+        # outage: 429 + Retry-After, distinct from 503 not_ready.
+        raise api_errors.backpressure(
+            "ingest queue is full; retry after the worker drains it",
+            retry_after=1.0,
+            detail={"pending_batches": result.get("pending_batches")})
+    return 202, schemas.IngestResponse.parse(
+        result, allow_extra=True).as_payload()
+
+
+def _handle_reload(service, body, params):
+    request = schemas.ReloadRequest.parse(body)
+    try:
+        result = service.reload(request.artifacts, wait=False)
+    except ApiError:
+        raise
+    except Exception as error:
+        # Stable code for any rejected swap (missing bundle, smoke-test
+        # or pool-parity failure); the previous model keeps serving.
+        raise api_errors.reload_failed(repr(error)) from error
+    return 200, schemas.ReloadResponse.parse(
+        result, allow_extra=True).as_payload()
+
+
+def _handle_job_expand(service, body, params):
+    request = schemas.ExpandRequest.parse(body)
+    _require_started(service)
+    snapshot = service.jobs.submit(
+        "expand", lambda: service.expand(request))
+    return 202, schemas.JobResponse.parse(
+        snapshot, allow_extra=True).as_payload()
+
+
+def _handle_job_reload(service, body, params):
+    request = schemas.ReloadRequest.parse(body)
+    _require_started(service)
+
+    def run():
+        try:
+            return service.reload(request.artifacts)
+        except ApiError:
+            raise
+        except Exception as error:
+            raise api_errors.reload_failed(repr(error)) from error
+
+    snapshot = service.jobs.submit("reload", run)
+    return 202, schemas.JobResponse.parse(
+        snapshot, allow_extra=True).as_payload()
+
+
+def _handle_job_list(service, body, params):
+    return 200, schemas.JobListResponse.parse(
+        {"jobs": service.jobs.list()}).as_payload()
+
+
+def _handle_job_get(service, body, params):
+    snapshot = service.jobs.get(params["job_id"])
+    return 200, schemas.JobResponse.parse(
+        snapshot, allow_extra=True).as_payload()
+
+
+# ----------------------------------------------------------------------
+# legacy alias handlers — historical permissive semantics, raw service
+# response shapes.  Deliberately thin: new behaviour goes to /v1 only.
+# ----------------------------------------------------------------------
+def _legacy_health(service, body, params):
+    # raw shape: no schema normalisation (e.g. "journal" stays absent
+    # without a journal, as pre-/v1 monitoring expects)
+    return 200, service.health()
+
+
+def _legacy_taxonomy(service, body, params):
+    return 200, service.taxonomy_state()
+
+
+def _legacy_score(service, body, params):
+    return 200, service.score(body.get("pairs", []))
+
+
+def _legacy_expand(service, body, params):
+    return 200, service.expand(body.get("candidates", {}))
+
+
+def _legacy_ingest(service, body, params):
+    result = service.ingest(body.get("records", []),
+                            body.get("provenance"),
+                            sync=bool(body.get("sync", False)))
+    return (202 if result["accepted"] else 503), result
+
+
+def _legacy_reload(service, body, params):
+    return 200, service.reload(body.get("artifacts"))
+
+
+_V1_HANDLERS = {
+    "health": _handle_health,
+    "taxonomy": _handle_taxonomy,
+    "openapi": _handle_openapi,
+    "score": _handle_score,
+    "expand": _handle_expand,
+    "ingest": _handle_ingest,
+    "reload": _handle_reload,
+    "job_expand": _handle_job_expand,
+    "job_reload": _handle_job_reload,
+    "job_list": _handle_job_list,
+    "job_get": _handle_job_get,
+    # "metrics" is text/plain and handled inline by the transport
+}
+
+_LEGACY_HANDLERS = {
+    "health": _legacy_health,
+    "taxonomy": _legacy_taxonomy,
+    "score": _legacy_score,
+    "expand": _legacy_expand,
+    "ingest": _legacy_ingest,
+    "reload": _legacy_reload,
+}
+
+
+class _BoundRoute:
+    """One dispatchable (method, path template) -> handler binding."""
+
+    __slots__ = ("spec", "segments", "legacy")
+
+    def __init__(self, spec, path: str, legacy: bool):
+        self.spec = spec
+        self.segments = tuple(path.strip("/").split("/"))
+        self.legacy = legacy
+
+    def match(self, segments: tuple) -> dict | None:
+        """Path params when ``segments`` matches this template."""
+        if len(segments) != len(self.segments):
+            return None
+        params = {}
+        for template, actual in zip(self.segments, segments):
+            if template.startswith("{") and template.endswith("}"):
+                params[template[1:-1]] = actual
+            elif template != actual:
+                return None
+        return params
+
+
+def _build_route_index() -> dict:
+    """``{method: [_BoundRoute, ...]}`` from the declarative table."""
+    index: dict[str, list] = {}
+    for spec in ROUTES:
+        index.setdefault(spec.method, []).append(
+            _BoundRoute(spec, spec.path, legacy=False))
+        if spec.legacy_alias:
+            index.setdefault(spec.method, []).append(
+                _BoundRoute(spec, spec.legacy_alias, legacy=True))
+    return index
+
+
+_ROUTE_INDEX = _build_route_index()
 
 
 class TaxonomyHTTPServer(ThreadingHTTPServer):
@@ -51,7 +264,7 @@ class TaxonomyHTTPServer(ThreadingHTTPServer):
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes JSON requests onto ``self.server.service``."""
+    """Dispatches the declarative route table onto ``server.service``."""
 
     server: TaxonomyHTTPServer
     protocol_version = "HTTP/1.1"
@@ -63,93 +276,105 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _reply_text(self, status: int, text: str,
-                    content_type: str) -> None:
-        body = text.encode("utf-8")
+    def _send(self, status: int, body: bytes, content_type: str,
+              request_id: str, *, legacy: bool = False,
+              successor: str | None = None,
+              retry_after: float | None = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", request_id)
+        if legacy and successor:
+            self.send_header("Deprecation", "true")
+            self.send_header("Link",
+                             f'<{successor}>; rel="successor-version"')
+        if retry_after is not None:
+            self.send_header("Retry-After",
+                             str(max(1, round(retry_after))))
         if status >= 400:
             # Error paths may leave the request body unread; under
-            # HTTP/1.1 keep-alive those bytes would be parsed as the next
-            # request, so drop the connection instead.
+            # HTTP/1.1 keep-alive those bytes would be parsed as the
+            # next request, so drop the connection instead.
             self.send_header("Connection", "close")
             self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_json(self, status: int, payload: dict, request_id: str,
+                   **kwargs) -> None:
+        self._send(status, json.dumps(payload).encode("utf-8"),
+                   "application/json", request_id, **kwargs)
+
+    def _send_error(self, error: ApiError, request_id: str,
+                    **kwargs) -> None:
+        self._send_json(error.status, error.envelope(request_id),
+                        request_id, retry_after=error.retry_after,
+                        **kwargs)
+
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
-            raise ValueError("request body too large")
+            raise api_errors.payload_too_large(length, MAX_BODY_BYTES)
+        if length < 0:
+            # rfile.read(-1) would block until EOF on a keep-alive
+            # socket, wedging the handler thread — reject outright.
+            raise api_errors.invalid_request(
+                f"invalid Content-Length: {length}")
         if length == 0:
             return {}
         payload = json.loads(self.rfile.read(length).decode("utf-8"))
         if not isinstance(payload, dict):
-            raise ValueError("request body must be a JSON object")
+            raise api_errors.invalid_request(
+                "request body must be a JSON object")
         return payload
 
-    def _dispatch(self, handler) -> None:
-        try:
-            status, payload = handler()
-        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as e:
-            status, payload = 400, {"error": str(e)}
-        except Exception as e:  # scoring/ingest failure — keep serving
-            status, payload = 500, {"error": repr(e)}
-        self._reply(status, payload)
-
     # ------------------------------------------------------------------
-    # routes
+    # dispatch
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        service = self.server.service
-        path = self.path.split("?", 1)[0]
-        if path == "/healthz":
-            self._dispatch(lambda: (200, service.health()))
-        elif path == "/metrics":
-            try:
-                text = service.metrics_text()
-            except Exception as e:  # keep the scrape endpoint alive
-                self._reply(500, {"error": repr(e)})
-            else:
-                self._reply_text(
-                    200, text, "text/plain; version=0.0.4; charset=utf-8")
-        elif path == "/taxonomy":
-            self._dispatch(lambda: (200, service.taxonomy_state()))
-        else:
-            self._reply(404, {"error": f"unknown route {path!r}"})
+        self._route("GET")
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        service = self.server.service
+        self._route("POST")
+
+    def _route(self, method: str) -> None:
+        request_id = api_errors.new_request_id()
         path = self.path.split("?", 1)[0]
-        if path == "/score":
-            self._dispatch(lambda: (
-                200, service.score(self._read_json().get("pairs", []))))
-        elif path == "/expand":
-            self._dispatch(lambda: (
-                200,
-                service.expand(self._read_json().get("candidates", {}))))
-        elif path == "/ingest":
-            def run():
-                body = self._read_json()
-                result = service.ingest(body.get("records", []),
-                                        body.get("provenance"),
-                                        sync=bool(body.get("sync", False)))
-                return (202 if result["accepted"] else 503), result
-            self._dispatch(run)
-        elif path == "/admin/reload":
-            self._dispatch(lambda: (
-                200, service.reload(self._read_json().get("artifacts"))))
+        segments = tuple(path.strip("/").split("/"))
+        bound, params = None, None
+        for candidate in _ROUTE_INDEX.get(method, ()):
+            params = candidate.match(segments)
+            if params is not None:
+                bound = candidate
+                break
+        if bound is None:
+            self._send_error(api_errors.not_found(path), request_id)
+            return
+        legacy_kwargs = {"legacy": bound.legacy,
+                         "successor": bound.spec.path}
+        try:
+            if bound.spec.handler == "metrics":
+                text = self.server.service.metrics_text()
+                self._send(200, text.encode("utf-8"),
+                           bound.spec.media_type, request_id,
+                           **legacy_kwargs)
+                return
+            body = self._read_json() if method == "POST" else {}
+            handler = (_LEGACY_HANDLERS if bound.legacy
+                       else _V1_HANDLERS)[bound.spec.handler]
+            status, payload = handler(self.server.service, body, params)
+        except ApiError as error:
+            self._send_error(error, request_id, **legacy_kwargs)
+        except (ValueError, KeyError, TypeError,
+                json.JSONDecodeError) as error:
+            self._send_error(api_errors.invalid_request(str(error)),
+                             request_id, **legacy_kwargs)
+        except Exception as error:  # keep serving on handler failure
+            self._send_error(api_errors.internal_error(error),
+                             request_id, **legacy_kwargs)
         else:
-            self._reply(404, {"error": f"unknown route {path!r}"})
+            self._send_json(status, payload, request_id,
+                            **legacy_kwargs)
 
 
 def make_server(service: TaxonomyService, host: str = "127.0.0.1",
@@ -168,7 +393,7 @@ def install_sighup_reload(service: TaxonomyService) -> bool:
     which executes on the main thread, between ``serve_forever`` polls —
     never blocks the accept loop behind a bundle load.  Returns False on
     platforms without SIGHUP (Windows) or off the main thread, where
-    ``signal.signal`` is unavailable; ``POST /admin/reload`` covers
+    ``signal.signal`` is unavailable; ``POST /v1/admin/reload`` covers
     those.
     """
     if not hasattr(signal, "SIGHUP"):
@@ -196,7 +421,7 @@ def serve(service: TaxonomyService, host: str = "127.0.0.1",
     """Start the service workers and serve until interrupted.
 
     With ``sighup_reload`` (default), ``kill -HUP <pid>`` hot-swaps the
-    artifact bundle exactly like ``POST /admin/reload``.
+    artifact bundle exactly like ``POST /v1/admin/reload``.
     """
     server = make_server(service, host, port, quiet=quiet)
     bound_host, bound_port = server.server_address[:2]
@@ -204,8 +429,10 @@ def serve(service: TaxonomyService, host: str = "127.0.0.1",
     if sighup_reload:
         install_sighup_reload(service)
     print(f"repro serving on http://{bound_host}:{bound_port} "
-          f"(endpoints: /healthz /metrics /taxonomy /score /expand "
-          f"/ingest /admin/reload)")
+          f"(/v1 API: /v1/healthz /v1/metrics /v1/taxonomy /v1/score "
+          f"/v1/expand /v1/ingest /v1/admin/reload /v1/jobs "
+          f"/v1/openapi.json; legacy unversioned aliases remain with a "
+          f"Deprecation header)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

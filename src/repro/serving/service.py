@@ -30,6 +30,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api import errors as api_errors
+from ..api.jobs import JobManager
+from ..api.schemas import (
+    ExpandRequest, IngestRequest, ScoreRequest, clean_candidates,
+    clean_pairs,
+)
 from ..core.expansion import expand_taxonomy
 from ..core.incremental import IncrementalExpander, IngestReport
 from ..taxonomy import taxonomy_to_dict
@@ -51,6 +57,10 @@ class ServiceConfig:
     #: pairs sampled from the incoming bundle's taxonomy for the
     #: pre-swap smoke test during hot reload
     reload_probe_pairs: int = 8
+    #: unfinished async jobs accepted before /v1/jobs/... backpressures
+    max_pending_jobs: int = 32
+    #: finished async jobs retained for polling before eviction
+    max_retained_jobs: int = 256
 
 
 def _report_to_dict(report: IngestReport) -> dict:
@@ -119,26 +129,41 @@ class TaxonomyService:
         self._reload_lock = threading.Lock()
         self._reloads = 0
         self._started_at = time.monotonic()
+        self._started = False
+        # Async-job executor behind POST /v1/jobs/... — one ordered
+        # worker, bounded retention (see repro.api.jobs).
+        self.jobs = JobManager(
+            max_pending=self.config.max_pending_jobs,
+            max_retained=self.config.max_retained_jobs)
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "TaxonomyService":
-        """Start the scoring and ingestion workers; idempotent."""
+        """Start the scoring, ingestion and job workers; idempotent."""
         self.scorer.start()
         self.ingestor.start()
+        self.jobs.start()
+        self._started = True
         return self
 
     def stop(self) -> None:
-        """Drain and stop both workers; idempotent.
+        """Drain and stop every worker; idempotent.
 
         Flushes (but does not close) an attached journal, and leaves an
         attached pool running — both belong to whoever created them.
         """
+        self._started = False
+        self.jobs.stop()
         self.ingestor.stop()
         self.scorer.stop()
         if self.journal is not None:
             self.journal.flush()
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has run (and :meth:`stop` has not)."""
+        return self._started
 
     def __enter__(self) -> "TaxonomyService":
         return self.start()
@@ -149,30 +174,34 @@ class TaxonomyService:
     # ------------------------------------------------------------------
     # operations (JSON-friendly in, JSON-friendly out)
     # ------------------------------------------------------------------
-    def score(self, pairs: list) -> dict:
-        """Hyponymy probabilities for explicit (parent, child) pairs."""
-        cleaned = []
-        for pair in pairs:
-            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
-                raise ValueError(f"pair must be [parent, child]: {pair!r}")
-            cleaned.append((str(pair[0]), str(pair[1])))
-        probs = self.scorer.score_pairs(cleaned)
+    def score(self, pairs) -> dict:
+        """Hyponymy probabilities for explicit (parent, child) pairs.
+
+        Accepts a raw ``[[parent, child], ...]`` list or an
+        already-validated :class:`~repro.api.ScoreRequest`; raw input is
+        cleaned through the same schema validator the HTTP boundary
+        uses (violations raise :class:`~repro.api.ApiError`).
+        """
+        cleaned = (pairs.pairs if isinstance(pairs, ScoreRequest)
+                   else clean_pairs(pairs))
+        probs = self.scorer.score_pairs(list(cleaned))
         return {
             "pairs": [list(pair) for pair in cleaned],
             "probabilities": [float(p) for p in probs],
         }
 
-    def expand(self, candidates: dict) -> dict:
+    def expand(self, candidates) -> dict:
         """Synchronously expand the live taxonomy over given candidates.
 
         ``candidates`` maps a query concept to its candidate item
-        concepts.  Accepted edges are committed to the service taxonomy
-        (and journaled write-ahead when a journal is attached).
+        concepts (raw dict or a validated
+        :class:`~repro.api.ExpandRequest`).  Accepted edges are
+        committed to the service taxonomy (and journaled write-ahead
+        when a journal is attached).
         """
-        if not isinstance(candidates, dict):
-            raise ValueError("candidates must map query -> [items]")
-        cleaned = {str(query): [str(item) for item in items]
-                   for query, items in candidates.items()}
+        cleaned = (candidates.candidates
+                   if isinstance(candidates, ExpandRequest)
+                   else clean_candidates(candidates))
         result = self._expand_cleaned(cleaned, journal_write=True)
         return {
             "attached_edges": [list(edge)
@@ -243,9 +272,18 @@ class TaxonomyService:
             dirty = {concept for edge in edges for concept in edge}
         self.scorer.invalidate_pairs_touching(dirty)
 
-    def ingest(self, records: list, provenance: dict | None = None,
+    def ingest(self, records, provenance: dict | None = None,
                sync: bool = False) -> dict:
-        """Queue one click-log batch; ``sync=True`` waits for the report."""
+        """Queue one click-log batch; ``sync=True`` waits for the report.
+
+        ``records`` is a raw ``[[query, item(, count)], ...]`` list or a
+        validated :class:`~repro.api.IngestRequest` (which also carries
+        ``provenance`` and ``sync``).
+        """
+        if isinstance(records, IngestRequest):
+            provenance = records.provenance
+            sync = bool(records.sync)
+            records = [list(record) for record in records.records]
         batch = click_log_from_records(records, provenance)
         ticket = self.ingestor.submit(batch, block=False)
         if ticket is None:
@@ -314,7 +352,8 @@ class TaxonomyService:
         counts["taxonomy_edges"] = self.expander.taxonomy.num_edges
         return counts
 
-    def reload(self, directory: str | None = None) -> dict:
+    def reload(self, directory: str | None = None, *,
+               wait: bool = True) -> dict:
         """Hot-swap a new artifact bundle with zero dropped requests.
 
         Loads the bundle at ``directory`` (default: the directory the
@@ -327,6 +366,12 @@ class TaxonomyService:
         call returns.  The live taxonomy and accumulated ingest state
         are *preserved* — a reload updates the model, not the data.
 
+        Reloads are serialised; with ``wait=False`` a reload that is
+        already in flight raises :func:`~repro.api.errors.not_ready`
+        (HTTP 503) instead of queueing behind it — the synchronous
+        ``/v1/admin/reload`` route uses this so callers can tell
+        "busy swapping" apart from a failed swap.
+
         Raises if the new bundle fails to load or its smoke test fails;
         the old bundle keeps serving in that case (pool workers that
         already swapped are rolled back to the previous directory, so
@@ -335,12 +380,18 @@ class TaxonomyService:
         directory = directory or self.bundle.directory
         if not directory:
             raise ValueError("no bundle directory to reload from")
-        with self._reload_lock:
+        if not self._reload_lock.acquire(blocking=wait):
+            raise api_errors.not_ready(
+                "a reload is already in flight; retry shortly",
+                retry_after=2.0)
+        try:
             outcome = self._swap_bundle(directory)
             if self.journal is not None:
                 self.journal.append("reload", {"directory": directory})
                 self.journal.flush()
             self._reloads += 1
+        finally:
+            self._reload_lock.release()
         return outcome
 
     def _swap_bundle(self, directory: str) -> dict:
@@ -473,6 +524,7 @@ class TaxonomyService:
                 "recent_errors": [repr(e) for e in errors],
             },
             "scorer": self.scorer.stats_snapshot().as_dict(),
+            "jobs": self.jobs.counts(),
             "taxonomy_edges": self.expander.taxonomy.num_edges,
         }
         if self.journal is not None:
@@ -524,6 +576,22 @@ class TaxonomyService:
                "Pair scores currently cached.", self.scorer.cache_len())
         metric("repro_reloads_total", "counter",
                "Successful artifact-bundle hot reloads.", self._reloads)
+        jobs = self.jobs.counts()
+        metric("repro_jobs_submitted_total", "counter",
+               "Async jobs accepted via /v1/jobs/...", jobs["submitted"])
+        metric("repro_jobs_succeeded_total", "counter",
+               "Async jobs that finished successfully.",
+               jobs["succeeded"])
+        metric("repro_jobs_failed_total", "counter",
+               "Async jobs that finished with an error.", jobs["failed"])
+        metric("repro_jobs_rejected_total", "counter",
+               "Async job submissions rejected with backpressure.",
+               jobs["rejected"])
+        metric("repro_jobs_pending", "gauge",
+               "Async jobs queued or running right now.",
+               jobs["pending"] + jobs["running"])
+        metric("repro_jobs_retained", "gauge",
+               "Job snapshots retained for polling.", jobs["retained"])
         metric("repro_ingest_queue_depth", "gauge",
                "Submitted click-log batches not yet processed.",
                self.ingestor.pending)

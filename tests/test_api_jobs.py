@@ -1,0 +1,143 @@
+"""Unit tests for the async JobManager (`repro.api.jobs`)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import ApiError, JobManager, reload_failed
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+@pytest.fixture()
+def manager():
+    manager = JobManager(max_pending=4, max_retained=8).start()
+    yield manager
+    manager.stop()
+
+
+class TestLifecycle:
+    def test_submit_returns_pending_snapshot(self, manager):
+        gate = threading.Event()
+        snapshot = manager.submit("expand", lambda: gate.wait(5) or {})
+        assert snapshot["status"] in ("pending", "running")
+        assert snapshot["id"].startswith("job-")
+        assert snapshot["result"] is None
+        gate.set()
+
+    def test_success_stores_result(self, manager):
+        snapshot = manager.submit("expand", lambda: {"num_attached": 2})
+        assert wait_until(
+            lambda: manager.get(snapshot["id"])["status"] == "succeeded")
+        done = manager.get(snapshot["id"])
+        assert done["result"] == {"num_attached": 2}
+        assert done["error"] is None
+        assert done["started_at"] >= done["submitted_at"]
+        assert done["finished_at"] >= done["started_at"]
+
+    def test_jobs_run_in_submission_order(self, manager):
+        order = []
+        first = manager.submit("expand", lambda: order.append(1) or {})
+        second = manager.submit("expand", lambda: order.append(2) or {})
+        assert wait_until(
+            lambda: manager.get(second["id"])["status"] == "succeeded")
+        assert order == [1, 2]
+        assert manager.get(first["id"])["status"] == "succeeded"
+
+    def test_worker_survives_job_crash(self, manager):
+        crashed = manager.submit("expand", lambda: 1 / 0)
+        healthy = manager.submit("expand", lambda: {"ok": True})
+        assert wait_until(
+            lambda: manager.get(healthy["id"])["status"] == "succeeded")
+        failed = manager.get(crashed["id"])
+        assert failed["status"] == "failed"
+        assert failed["error"]["code"] == "internal_error"
+        assert "ZeroDivisionError" in failed["error"]["message"]
+
+    def test_api_error_keeps_stable_code(self, manager):
+        def run():
+            raise reload_failed("smoke test failed")
+        snapshot = manager.submit("reload", run)
+        assert wait_until(
+            lambda: manager.get(snapshot["id"])["status"] == "failed")
+        assert manager.get(snapshot["id"])["error"]["code"] == \
+            "reload_failed"
+
+
+class TestBoundsAndErrors:
+    def test_unknown_job_raises_job_not_found(self, manager):
+        with pytest.raises(ApiError) as exc:
+            manager.get("job-nope")
+        assert exc.value.code == "job_not_found"
+        assert exc.value.status == 404
+
+    def test_backpressure_beyond_max_pending(self):
+        manager = JobManager(max_pending=2, max_retained=8).start()
+        gate = threading.Event()
+        try:
+            for _ in range(2):
+                manager.submit("expand", lambda: gate.wait(10) or {})
+            with pytest.raises(ApiError) as exc:
+                manager.submit("expand", lambda: {})
+            assert exc.value.code == "backpressure"
+            assert exc.value.status == 429
+            assert manager.counts()["rejected"] == 1
+        finally:
+            gate.set()
+            manager.stop()
+
+    def test_retention_evicts_oldest_finished(self):
+        manager = JobManager(max_pending=64, max_retained=8).start()
+        try:
+            ids = [manager.submit("expand", lambda: {})["id"]
+                   for _ in range(12)]
+            assert wait_until(
+                lambda: manager.get(ids[-1])["status"] == "succeeded")
+            assert wait_until(
+                lambda: manager.counts()["retained"] <= 8)
+            with pytest.raises(ApiError):
+                manager.get(ids[0])  # oldest evicted
+            assert manager.get(ids[-1])["status"] == "succeeded"
+        finally:
+            manager.stop()
+
+    def test_list_is_newest_first_and_bounded(self, manager):
+        ids = [manager.submit("expand", lambda: {})["id"]
+               for _ in range(3)]
+        assert wait_until(
+            lambda: manager.get(ids[-1])["status"] == "succeeded")
+        listed = manager.list(limit=2)
+        assert len(listed) == 2
+        assert listed[0]["id"] == ids[-1]
+
+    def test_counts_track_outcomes(self, manager):
+        manager.submit("expand", lambda: {})
+        manager.submit("expand", lambda: 1 / 0)
+        assert wait_until(
+            lambda: manager.counts()["succeeded"]
+            + manager.counts()["failed"] == 2)
+        counts = manager.counts()
+        assert counts["submitted"] == 2
+        assert counts["succeeded"] == 1
+        assert counts["failed"] == 1
+
+    def test_stop_is_idempotent(self):
+        manager = JobManager().start()
+        manager.stop()
+        manager.stop()
+        assert not manager.running
+
+    def test_submit_after_stop_is_not_ready(self):
+        manager = JobManager().start()
+        manager.stop()
+        with pytest.raises(ApiError) as exc:
+            manager.submit("expand", lambda: {})
+        assert exc.value.code == "not_ready"

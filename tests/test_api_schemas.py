@@ -1,0 +1,132 @@
+"""Unit tests for the stdlib schema layer (`repro.api.schemas`)."""
+
+import pytest
+
+from repro.api import (
+    ApiError, ERROR_CODES, ExpandRequest, IngestRequest, ReloadRequest,
+    ScoreRequest, ScoreResponse, build_openapi, clean_pairs,
+)
+from repro.api.schemas import (
+    Field, HealthResponse, MAX_PAIRS_PER_REQUEST, SchemaModel,
+)
+
+
+class TestFieldValidation:
+    def test_kind_mismatch_names_the_field(self):
+        with pytest.raises(ApiError) as exc:
+            ScoreRequest.parse({"pairs": "not-a-list"})
+        assert exc.value.code == "invalid_request"
+        assert exc.value.status == 400
+        assert exc.value.detail == {"field": "pairs"}
+
+    def test_booleans_are_not_integers(self):
+        field = Field("n", "integer")
+        with pytest.raises(ApiError):
+            field.check(True)
+        assert field.check(3) == 3
+
+    def test_max_items_enforced(self):
+        too_many = [["a", "b"]] * (MAX_PAIRS_PER_REQUEST + 1)
+        with pytest.raises(ApiError) as exc:
+            ScoreRequest.parse({"pairs": too_many})
+        assert "limit" in exc.value.message
+
+    def test_item_kind_enforced_with_index(self):
+        with pytest.raises(ApiError) as exc:
+            ScoreRequest.parse({"pairs": [["a", "b"], "oops"]})
+        assert "pairs[1]" in exc.value.message
+
+
+class TestParse:
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ApiError) as exc:
+            ScoreRequest.parse({"pairs": [], "extra": 1})
+        assert "extra" in exc.value.message
+
+    def test_allow_extra_tolerates_growth(self):
+        model = ScoreResponse.parse(
+            {"pairs": [["a", "b"]], "probabilities": [0.5],
+             "future_field": "x"}, allow_extra=True)
+        assert model.probabilities == [0.5]
+        # additive fields pass through instead of being dropped
+        assert model.as_payload()["future_field"] == "x"
+
+    def test_missing_required_field(self):
+        with pytest.raises(ApiError) as exc:
+            ScoreRequest.parse({})
+        assert "pairs" in exc.value.message
+
+    def test_non_object_body(self):
+        with pytest.raises(ApiError):
+            ScoreRequest.parse([1, 2, 3])
+
+    def test_defaults_and_nullables(self):
+        request = IngestRequest.parse({"records": [["q", "i"]]})
+        assert request.sync is False
+        assert request.provenance is None
+        request = ReloadRequest.parse({"artifacts": None})
+        assert request.artifacts is None
+
+    def test_as_payload_round_trip(self):
+        payload = {"pairs": [["a", "b"]], "probabilities": [0.25]}
+        assert ScoreResponse.parse(payload).as_payload() == payload
+
+
+class TestCleaners:
+    def test_pairs_coerced_to_string_tuples(self):
+        request = ScoreRequest.parse({"pairs": [[1, 2], ["a", "b"]]})
+        assert request.pairs == (("1", "2"), ("a", "b"))
+
+    def test_bad_pair_shape(self):
+        with pytest.raises(ApiError):
+            clean_pairs([["solo"]])
+
+    def test_candidates_must_hold_lists(self):
+        with pytest.raises(ApiError) as exc:
+            ExpandRequest.parse({"candidates": {"q": "not-a-list"}})
+        assert exc.value.detail == {"field": "candidates"}
+
+    def test_records_count_validation(self):
+        with pytest.raises(ApiError):
+            IngestRequest.parse({"records": [["q", "i", 0]]})
+        with pytest.raises(ApiError):
+            IngestRequest.parse({"records": [["q", "i", "three"]]})
+        request = IngestRequest.parse({"records": [["q", "i"],
+                                                   ["q", "j", 4]]})
+        assert request.records == (("q", "i", 1), ("q", "j", 4))
+
+
+class TestOpenApiGeneration:
+    def test_model_schema_lists_required_fields(self):
+        schema = ScoreRequest.openapi_schema()
+        assert schema["type"] == "object"
+        assert schema["required"] == ["pairs"]
+        assert schema["properties"]["pairs"]["maxItems"] == \
+            MAX_PAIRS_PER_REQUEST
+
+    def test_nullable_fields_marked(self):
+        schema = HealthResponse.openapi_schema()
+        assert schema["properties"]["journal"]["nullable"] is True
+
+    def test_document_lists_every_v1_route(self):
+        doc = build_openapi()
+        v1_paths = {p for p in doc["paths"] if p.startswith("/v1/")}
+        assert "/v1/score" in v1_paths
+        assert "/v1/jobs/{job_id}" in v1_paths
+        assert "/v1/openapi.json" in v1_paths
+
+    def test_legacy_aliases_marked_deprecated(self):
+        doc = build_openapi()
+        assert doc["paths"]["/score"]["post"]["deprecated"] is True
+        assert "deprecated" not in doc["paths"]["/v1/score"]["post"]
+
+    def test_error_component_covers_every_code(self):
+        doc = build_openapi()
+        error = doc["components"]["schemas"]["Error"]
+        codes = error["properties"]["error"]["properties"]["code"]
+        assert set(codes["enum"]) == set(ERROR_CODES)
+
+    def test_every_model_field_matches_dataclass(self):
+        # the _check_model decorator already enforces this at import
+        # time; assert the guard itself works
+        assert SchemaModel.parse({}) is not None

@@ -1,12 +1,17 @@
-"""Documentation hygiene, enforced in CI by the ``docs-check`` job.
+"""Documentation hygiene, enforced in CI by the ``docs-check`` and
+``contract-check`` jobs.
 
-Two contracts:
+Three contracts:
 
 * **docstring coverage** (pydocstyle-lite): every module under
-  ``repro.serving`` and ``repro.infer``, every exported name, and every
-  public method on exported classes carries a non-empty docstring.
+  ``repro.serving``, ``repro.infer`` and ``repro.api``, every exported
+  name, and every public method on exported classes carries a
+  non-empty docstring.
 * **markdown link integrity**: every intra-repo link in the README and
   the ``docs/`` site resolves to a real file.
+* **API contract**: the ``/v1`` routes documented in
+  ``docs/http_api.md`` match ``GET /v1/openapi.json`` as served by a
+  live server — the docs cannot drift from the deployed surface.
 """
 
 import importlib
@@ -20,7 +25,7 @@ import pytest
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: packages whose public surface must be fully documented
-DOCUMENTED_PACKAGES = ["repro.serving", "repro.infer"]
+DOCUMENTED_PACKAGES = ["repro.serving", "repro.infer", "repro.api"]
 
 #: markdown files whose intra-repo links must resolve
 MARKDOWN_FILES = [
@@ -122,3 +127,87 @@ def test_docs_pages_exist_and_are_linked_from_readme():
                  "docs/operations.md"):
         assert os.path.exists(os.path.join(REPO_ROOT, page)), page
         assert page in readme, f"README does not link {page}"
+
+
+# ----------------------------------------------------------------------
+# API contract: docs/http_api.md vs the served /v1/openapi.json
+# ----------------------------------------------------------------------
+#: route-table rows in docs/http_api.md, e.g. ``| GET | [`/v1/healthz`](...)``
+DOCS_ROUTE_PATTERN = re.compile(
+    r"^\|\s*(GET|POST)\s*\|\s*\[`(/v1/[^`]*)`\]", re.MULTILINE)
+
+
+def documented_v1_routes() -> set:
+    """(method, path) pairs from the docs/http_api.md route table."""
+    path = os.path.join(REPO_ROOT, "docs", "http_api.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    return {(method, route)
+            for method, route in DOCS_ROUTE_PATTERN.findall(text)}
+
+
+@pytest.fixture(scope="module")
+def live_openapi(tiny_fitted_pipeline, small_world, tmp_path_factory):
+    """Start a real server and fetch its generated OpenAPI document."""
+    import threading
+
+    from repro.api import TaxonomyClient
+    from repro.serving import (
+        ArtifactBundle, ServiceConfig, TaxonomyService, make_server,
+    )
+
+    directory = str(tmp_path_factory.mktemp("contract_bundle"))
+    ArtifactBundle.export(tiny_fitted_pipeline, directory,
+                          taxonomy=small_world.existing_taxonomy,
+                          vocabulary=small_world.vocabulary)
+    service = TaxonomyService(ArtifactBundle.load(directory),
+                              ServiceConfig(max_wait_ms=1.0))
+    service.start()
+    httpd = make_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    try:
+        yield TaxonomyClient(f"http://{host}:{port}").openapi()
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.stop()
+        thread.join(timeout=5)
+
+
+class TestApiContract:
+    """The documented /v1 surface must equal the served one."""
+
+    def test_docs_table_parses(self):
+        routes = documented_v1_routes()
+        assert len(routes) >= 10, routes
+
+    def test_every_documented_route_is_served(self, live_openapi):
+        missing = [
+            (method, path) for method, path in documented_v1_routes()
+            if method.lower() not in live_openapi["paths"].get(path, {})]
+        assert not missing, \
+            f"documented in http_api.md but not served: {missing}"
+
+    def test_every_served_v1_route_is_documented(self, live_openapi):
+        documented = documented_v1_routes()
+        undocumented = [
+            (method.upper(), path)
+            for path, operations in live_openapi["paths"].items()
+            if path.startswith("/v1/")
+            for method in operations
+            if (method.upper(), path) not in documented]
+        assert not undocumented, \
+            f"served but not documented in http_api.md: {undocumented}"
+
+    def test_documented_error_codes_match_registry(self):
+        from repro.api import ERROR_CODES
+        path = os.path.join(REPO_ROOT, "docs", "http_api.md")
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        for code, status in ERROR_CODES.items():
+            assert f"`{code}`" in text, \
+                f"error code {code!r} missing from http_api.md"
+            assert re.search(rf"`{code}`\s*\|\s*{status}\b", text), \
+                f"{code} documented with wrong status (expect {status})"

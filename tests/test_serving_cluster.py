@@ -104,8 +104,13 @@ class TestFailureRecovery:
     def test_inflight_requests_fail_loudly_not_silently(self, bundle_dir):
         with ShardedScorerPool(bundle_dir, num_workers=1) as pool:
             worker = pool._workers[0]
-            future = pool._dispatch(0, "score",
-                                    [("fruit", "apple")] * 4)
+            # A batch of distinct unseen pairs keeps the worker busy for
+            # far longer than the kill takes to land, so the request is
+            # reliably still in flight (4 cached pairs could finish
+            # before the kill and let the future resolve cleanly).
+            pairs = [("fruit", f"unseen candidate {i}")
+                     for i in range(1500)]
+            future = pool._dispatch(0, "score", pairs)
             worker.process.kill()
             with pytest.raises(RuntimeError, match="died|error|broken"):
                 future.wait(30.0)
