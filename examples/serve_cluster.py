@@ -7,8 +7,10 @@ urllib plumbing):
 
 1. **fit** a small pipeline and **export** artifact bundle v1,
 2. start a **2-worker sharded server** with a **durable ingest journal**
-   and talk to it through the SDK (``score``, ``ingest``,
-   ``taxonomy``),
+   and talk to it through the SDK (``score``, ``ingest``, ``suggest``,
+   ``taxonomy``) — including retrieval-backed **top-k suggestion for a
+   freshly ingested concept** (the candidate index absorbs ingest
+   without a rebuild),
 3. **refit** (here: perturb + recompile) and export bundle v2, then
    **hot-reload** it as an async job (``submit_reload_job`` +
    ``wait_for_job``) with zero downtime,
@@ -100,6 +102,19 @@ def main() -> None:
     before_crash = client.taxonomy()
     print(f"taxonomy: {before_crash['stats']['edges']} edges after "
           f"{before_crash['stats']['ingested_batches']} batch(es)")
+
+    # Retrieval-backed suggestion for a concept the ingest just
+    # attached: the candidate index extends incrementally (no rebuild),
+    # so the new node is immediately retrievable and re-ranked by the
+    # exact pair scorer.
+    attached = ingested["report"]["attached_edges"]
+    probe_concept = attached[0][1] if attached else records[0][0]
+    suggestion = client.suggest(probe_concept, k=3)
+    print(f"suggest({probe_concept!r}): "
+          + ", ".join(f"{c['concept']} p={c['probability']:.3f}"
+                      for c in suggestion["candidates"])
+          + f"  [{suggestion['retrieval']['mode']} index, "
+          f"{suggestion['retrieval']['index_size']} concepts]")
 
     # -- 3. hot reload (async job through the SDK) ------------------------
     print("== exporting refit bundle v2 and hot-reloading ==")

@@ -25,7 +25,8 @@ from .schemas import (
     ExpandRequest, ExpandResponse, Field, HealthResponse, IngestRequest,
     IngestResponse, JobListResponse, JobResponse, ReloadRequest,
     ReloadResponse, SchemaModel, ScoreRequest, ScoreResponse,
-    TaxonomyResponse, clean_candidates, clean_pairs, clean_records,
+    SuggestRequest, SuggestResponse, TaxonomyResponse, clean_candidates,
+    clean_pairs, clean_records,
 )
 from .jobs import Job, JobManager, JobStats
 from .openapi import API_VERSION, ROUTES, RouteSpec, build_openapi
@@ -36,7 +37,8 @@ __all__ = [
     "invalid_request", "job_not_found", "new_request_id", "not_found",
     "not_ready", "payload_too_large", "reload_failed",
     "Field", "SchemaModel",
-    "ScoreRequest", "ScoreResponse", "ExpandRequest", "ExpandResponse",
+    "ScoreRequest", "ScoreResponse", "SuggestRequest", "SuggestResponse",
+    "ExpandRequest", "ExpandResponse",
     "IngestRequest", "IngestResponse", "ReloadRequest", "ReloadResponse",
     "TaxonomyResponse", "HealthResponse", "JobResponse",
     "JobListResponse",

@@ -199,10 +199,33 @@ class TaxonomyClient:
             probabilities.extend(self.score(chunk)["probabilities"])
         return probabilities
 
-    def expand(self, candidates: dict) -> dict:
-        """``POST /v1/expand`` — synchronous expansion."""
-        return self._request("POST", "/v1/expand",
-                             {"candidates": candidates})
+    def suggest(self, query: str, k: int = 10) -> dict:
+        """``POST /v1/suggest`` — ranked attachment candidates.
+
+        Retrieves ``k`` nearest concepts from the embedding index and
+        re-ranks them with the exact pair scorer; the response carries
+        per-candidate ``probability`` (exact) and ``similarity``
+        (retrieval) plus a ``retrieval`` metadata object.
+        """
+        return self._request("POST", "/v1/suggest",
+                             {"query": str(query), "k": int(k)})
+
+    def expand(self, candidates: dict | None = None, *,
+               queries=None, top_k: int | None = None) -> dict:
+        """``POST /v1/expand`` — synchronous expansion.
+
+        Pass ``candidates`` (explicit query -> items map) or
+        ``queries`` (+ optional ``top_k``) to let the server retrieve
+        candidates from its embedding index per frontier node.
+        """
+        payload: dict = {}
+        if candidates is not None:
+            payload["candidates"] = candidates
+        if queries is not None:
+            payload["queries"] = [str(query) for query in queries]
+        if top_k is not None:
+            payload["top_k"] = int(top_k)
+        return self._request("POST", "/v1/expand", payload)
 
     def ingest(self, records, provenance: dict | None = None,
                sync: bool = False) -> dict:
@@ -235,10 +258,21 @@ class TaxonomyClient:
     # ------------------------------------------------------------------
     # async jobs
     # ------------------------------------------------------------------
-    def submit_expand_job(self, candidates: dict) -> dict:
-        """``POST /v1/jobs/expand`` — returns the pending job snapshot."""
-        return self._request("POST", "/v1/jobs/expand",
-                             {"candidates": candidates})
+    def submit_expand_job(self, candidates: dict | None = None, *,
+                          queries=None, top_k: int | None = None) -> dict:
+        """``POST /v1/jobs/expand`` — returns the pending job snapshot.
+
+        Accepts the same ``candidates`` / ``queries`` + ``top_k``
+        alternatives as :meth:`expand`.
+        """
+        payload: dict = {}
+        if candidates is not None:
+            payload["candidates"] = candidates
+        if queries is not None:
+            payload["queries"] = [str(query) for query in queries]
+        if top_k is not None:
+            payload["top_k"] = int(top_k)
+        return self._request("POST", "/v1/jobs/expand", payload)
 
     def submit_reload_job(self, artifacts: str | None = None) -> dict:
         """``POST /v1/jobs/reload`` — returns the pending job snapshot."""

@@ -81,6 +81,13 @@ ROUTES: tuple = (
               response_model=schemas.ScoreResponse,
               error_codes=("not_ready",),
               legacy_alias="/score", tags=("scoring",)),
+    RouteSpec("POST", "/v1/suggest", "suggest",
+              "Ranked attachment candidates for one concept: top-k "
+              "retrieval over the embedding index, re-ranked by the "
+              "exact pair scorer.",
+              request_model=schemas.SuggestRequest,
+              response_model=schemas.SuggestResponse,
+              error_codes=("not_ready",), tags=("scoring",)),
     RouteSpec("POST", "/v1/expand", "expand",
               "Synchronous top-down expansion over a candidate map.",
               request_model=schemas.ExpandRequest,

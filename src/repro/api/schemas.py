@@ -30,6 +30,7 @@ __all__ = [
     "Field",
     "SchemaModel",
     "ScoreRequest", "ScoreResponse",
+    "SuggestRequest", "SuggestResponse",
     "ExpandRequest", "ExpandResponse",
     "IngestRequest", "IngestResponse",
     "ReloadRequest", "ReloadResponse",
@@ -38,6 +39,7 @@ __all__ = [
     "clean_candidates", "clean_pairs", "clean_records",
     "MAX_PAIRS_PER_REQUEST", "MAX_RECORDS_PER_BATCH",
     "MAX_CANDIDATE_QUERIES", "MAX_ITEMS_PER_QUERY",
+    "MAX_SUGGEST_K",
 ]
 
 #: request-level cardinality caps — large enough for real batches, small
@@ -46,6 +48,7 @@ MAX_PAIRS_PER_REQUEST = 10_000
 MAX_RECORDS_PER_BATCH = 50_000
 MAX_CANDIDATE_QUERIES = 1_000
 MAX_ITEMS_PER_QUERY = 10_000
+MAX_SUGGEST_K = 100
 
 #: JSON kind name -> accepted Python types (bool is NOT an int here;
 #: JSON distinguishes them and so does the contract).
@@ -264,6 +267,46 @@ def clean_candidates(candidates) -> dict:
     return cleaned
 
 
+def _clean_query(query) -> str:
+    """Require a non-empty query concept string."""
+    query = str(query).strip()
+    if not query:
+        raise invalid_request("query must be a non-empty string",
+                              field="query")
+    return query
+
+
+def _clean_queries(queries) -> tuple:
+    """Normalise expansion seed queries to non-empty strings."""
+    cleaned = []
+    for index, query in enumerate(queries):
+        query = str(query).strip()
+        if not query:
+            raise invalid_request(
+                f"queries[{index}] must be a non-empty string",
+                field="queries")
+        cleaned.append(query)
+    return tuple(cleaned)
+
+
+def _clean_k(k) -> int:
+    """Clamp-check a top-k count to ``1..MAX_SUGGEST_K``."""
+    if not 1 <= k <= MAX_SUGGEST_K:
+        raise invalid_request(
+            f"k must be between 1 and {MAX_SUGGEST_K}, got {k}",
+            field="k")
+    return int(k)
+
+
+def _clean_top_k(top_k) -> int:
+    """Clamp-check retrieval fan-out to ``1..MAX_SUGGEST_K``."""
+    if not 1 <= top_k <= MAX_SUGGEST_K:
+        raise invalid_request(
+            f"top_k must be between 1 and {MAX_SUGGEST_K}, got {top_k}",
+            field="top_k")
+    return int(top_k)
+
+
 def clean_records(records) -> tuple:
     """Normalise click records to ``((query, item, count), ...)``."""
     cleaned = []
@@ -306,15 +349,47 @@ class ScoreRequest(SchemaModel):
 
 @_check_model
 @dataclass(frozen=True)
-class ExpandRequest(SchemaModel):
-    """Top-down expansion over a query -> [candidate items] map."""
+class SuggestRequest(SchemaModel):
+    """Ranked attachment candidates for one query concept."""
 
-    candidates: dict = None
+    query: str = ""
+    k: int = 10
 
     FIELDS = (
-        Field("candidates", "object", required=True,
+        Field("query", "string", required=True, clean=_clean_query,
+              doc="Concept to find attachment candidates for."),
+        Field("k", "integer", default=10, clean=_clean_k,
+              doc=f"Candidates to return (1..{MAX_SUGGEST_K})."),
+    )
+
+
+@_check_model
+@dataclass(frozen=True)
+class ExpandRequest(SchemaModel):
+    """Top-down expansion, caller-supplied or retrieval-backed.
+
+    Exactly one of ``candidates`` (explicit query -> items map) or
+    ``queries`` (seed concepts whose candidates come from the retrieval
+    index, ``top_k`` per frontier node) must be provided.
+    """
+
+    candidates: dict = None
+    queries: tuple = None
+    top_k: int = 20
+
+    FIELDS = (
+        Field("candidates", "object", nullable=True,
               clean=clean_candidates,
-              doc="Map from query concept to candidate item concepts."),
+              doc="Map from query concept to candidate item concepts "
+                  "(mutually exclusive with 'queries')."),
+        Field("queries", "array", nullable=True, item_kind="string",
+              max_items=MAX_CANDIDATE_QUERIES, clean=_clean_queries,
+              doc="Seed concepts; candidates are retrieved from the "
+                  "embedding index per frontier node (mutually "
+                  "exclusive with 'candidates')."),
+        Field("top_k", "integer", default=20, clean=_clean_top_k,
+              doc="Retrieved candidates per frontier node when "
+                  "'queries' drives the expansion."),
     )
 
 
@@ -375,6 +450,31 @@ class ScoreResponse(SchemaModel):
 
 @_check_model
 @dataclass(frozen=True)
+class SuggestResponse(SchemaModel):
+    """Ranked attachment candidates plus retrieval metadata."""
+
+    query: str = ""
+    k: int = 0
+    candidates: list = None
+    retrieval: dict = None
+
+    FIELDS = (
+        Field("query", "string", required=True,
+              doc="Echo of the suggested-for concept."),
+        Field("k", "integer", required=True,
+              doc="Echo of the requested candidate count."),
+        Field("candidates", "array", required=True, item_kind="object",
+              doc="Ranked candidates: concept, probability (exact "
+                  "re-rank), similarity (retrieval score), and "
+                  "already_parent."),
+        Field("retrieval", "object", required=True,
+              doc="Retrieval metadata: mode, retrieved, index_size, "
+                  "synced_epoch, reranked."),
+    )
+
+
+@_check_model
+@dataclass(frozen=True)
 class ExpandResponse(SchemaModel):
     """Outcome of one synchronous expansion."""
 
@@ -425,6 +525,7 @@ class ReloadResponse(SchemaModel):
     probe_pairs: int = 0
     pool_workers: int = 0
     old_engine_drained: bool = True
+    cache_warmed_pairs: int = 0
 
     FIELDS = (
         Field("reloaded", "boolean", required=True,
@@ -438,6 +539,9 @@ class ReloadResponse(SchemaModel):
         Field("old_engine_drained", "boolean", required=True,
               doc="Whether in-flight batches on the old engine drained "
                   "before returning."),
+        Field("cache_warmed_pairs", "integer", default=0,
+              doc="Recently-hot pairs re-scored through the new engine "
+                  "after the swap (cache warming)."),
     )
 
 
@@ -480,6 +584,7 @@ class HealthResponse(SchemaModel):
     scorer: dict = None
     jobs: dict = None
     journal: dict = None
+    retrieval: dict = None
     taxonomy_edges: int = 0
 
     FIELDS = (
@@ -502,6 +607,9 @@ class HealthResponse(SchemaModel):
         Field("journal", "object", nullable=True,
               doc="Ingest-journal statistics (journaled services "
                   "only)."),
+        Field("retrieval", "object", nullable=True,
+              doc="Candidate-index statistics (null until the first "
+                  "suggest/retrieval-backed expand builds it)."),
         Field("taxonomy_edges", "integer", required=True,
               doc="Live taxonomy edge count."),
     )

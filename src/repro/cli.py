@@ -16,8 +16,14 @@ Commands
                   shards scoring across N processes; ``--journal-dir``
                   makes ingestion durable and replays it on startup;
                   SIGHUP hot-reloads the bundle.
+``suggest``       Load an artifact bundle and print ranked attachment
+                  candidates for query concepts (top-k retrieval over
+                  the embedding index, re-ranked by the exact scorer)
+                  without starting a server.
 ``score-remote``  Score (parent, child) pairs against a running server
                   through the :class:`repro.api.TaxonomyClient` SDK.
+``suggest-remote``  Ask a running server for ranked attachment
+                  candidates through the SDK (``POST /v1/suggest``).
 ``ingest-remote`` Send click-log records (JSON file or stdin) to a
                   running server through the SDK, in bounded batches.
 """
@@ -179,6 +185,61 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_suggestions(result: dict) -> None:
+    meta = result.get("retrieval", {})
+    print(f"{result['query']}  (index: {meta.get('index_size', '?')} "
+          f"concepts, {meta.get('mode', '?')} mode, retrieved "
+          f"{meta.get('retrieved', '?')})")
+    for candidate in result["candidates"]:
+        marker = " *" if candidate.get("already_parent") else ""
+        print(f"  {candidate['probability']:.4f}  "
+              f"(sim {candidate['similarity']:.3f})  "
+              f"{candidate['concept']} -> {result['query']}{marker}")
+
+
+def cmd_suggest(args: argparse.Namespace) -> int:
+    from .serving import ArtifactBundle, TaxonomyService
+    try:
+        bundle = ArtifactBundle.load(args.artifacts)
+    except FileNotFoundError as error:
+        print(f"error: no artifact bundle at {args.artifacts!r} ({error}); "
+              f"create one with: repro expand --artifacts {args.artifacts}",
+              file=sys.stderr)
+        return 2
+    # Unstarted service: suggest works synchronously without workers.
+    service = TaxonomyService(bundle)
+    results = [service.suggest(query, k=args.k) for query in args.queries]
+    if args.json:
+        json.dump(results if len(results) > 1 else results[0],
+                  sys.stdout, indent=1)
+        print()
+    else:
+        for result in results:
+            _print_suggestions(result)
+    return 0
+
+
+def cmd_suggest_remote(args: argparse.Namespace) -> int:
+    from .api import TaxonomyApiError, TaxonomyClient
+    client = TaxonomyClient(args.url, timeout=args.timeout,
+                            retries=args.retries)
+    try:
+        results = [client.suggest(query, k=args.k)
+                   for query in args.queries]
+    except TaxonomyApiError as error:
+        print(f"error: {error} (request_id={error.request_id})",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        json.dump(results if len(results) > 1 else results[0],
+                  sys.stdout, indent=1)
+        print()
+    else:
+        for result in results:
+            _print_suggestions(result)
+    return 0
+
+
 def cmd_score_remote(args: argparse.Namespace) -> int:
     from .api import TaxonomyApiError, TaxonomyClient
     pairs = []
@@ -310,6 +371,21 @@ def build_parser() -> argparse.ArgumentParser:
                               help="suppress per-request access logs")
     serve_parser.set_defaults(func=cmd_serve)
 
+    suggest_parser = sub.add_parser(
+        "suggest",
+        help="ranked attachment candidates from a local bundle")
+    suggest_parser.add_argument("--artifacts", required=True,
+                                help="artifact bundle directory "
+                                     "(see: repro expand --artifacts)")
+    suggest_parser.add_argument(
+        "queries", nargs="+", metavar="CONCEPT",
+        help="concepts to find attachment candidates for")
+    suggest_parser.add_argument("--k", type=int, default=10,
+                                help="candidates per query")
+    suggest_parser.add_argument("--json", action="store_true",
+                                help="print the full JSON response")
+    suggest_parser.set_defaults(func=cmd_suggest)
+
     def remote_common(p):
         p.add_argument("--url", default="http://127.0.0.1:8631",
                        help="server base URL (the client adds /v1)")
@@ -330,6 +406,19 @@ def build_parser() -> argparse.ArgumentParser:
     score_remote.add_argument("--json", action="store_true",
                               help="print the full JSON response")
     score_remote.set_defaults(func=cmd_score_remote)
+
+    suggest_remote = sub.add_parser(
+        "suggest-remote",
+        help="ranked attachment candidates from a running server")
+    remote_common(suggest_remote)
+    suggest_remote.add_argument(
+        "queries", nargs="+", metavar="CONCEPT",
+        help="concepts to find attachment candidates for")
+    suggest_remote.add_argument("--k", type=int, default=10,
+                                help="candidates per query")
+    suggest_remote.add_argument("--json", action="store_true",
+                                help="print the full JSON response")
+    suggest_remote.set_defaults(func=cmd_suggest_remote)
 
     ingest_remote = sub.add_parser(
         "ingest-remote",

@@ -65,10 +65,16 @@ def expand_taxonomy(scorer: Scorer | Callable,
     existing:
         The taxonomy T0 to expand (not mutated).
     candidates_by_query:
-        Query concept -> item concepts observed under it in the click logs.
-        Unknown queries simply have no candidates.
+        Query concept -> item concepts observed under it in the click
+        logs, or a callable ``provider(query) -> iterable of items``
+        (e.g. a retrieval index's top-k neighbours) evaluated lazily
+        per frontier node.  Unknown queries simply have no candidates.
     """
     config = config or ExpansionConfig()
+    if callable(candidates_by_query):
+        lookup = candidates_by_query
+    else:
+        lookup = lambda node: candidates_by_query.get(node, ())  # noqa: E731
     expanded = existing.copy()
     result = ExpansionResult(taxonomy=expanded)
 
@@ -83,7 +89,7 @@ def expand_taxonomy(scorer: Scorer | Callable,
 
     while queue:
         node = queue.popleft()
-        candidates = [c for c in candidates_by_query.get(node, ())
+        candidates = [c for c in lookup(node)
                       if c != node
                       and not expanded.has_edge(node, c)
                       and not expanded.is_ancestor(c, node)]

@@ -125,6 +125,10 @@ class EngineStats:
     structural_nodes: int = 0
     recompute_batches: int = 0
     rows_recomputed: int = 0
+    #: last ``structural_epoch`` a retrieval index cached row norms at
+    #: (-1: no index has synced); lag behind ``structural_epoch`` means
+    #: a stale candidate index
+    norms_epoch: int = -1
 
     def as_dict(self) -> dict:
         """JSON/metrics-friendly snapshot."""
@@ -140,6 +144,7 @@ class EngineStats:
             "structural_nodes": self.structural_nodes,
             "recompute_batches": self.recompute_batches,
             "rows_recomputed": self.rows_recomputed,
+            "norms_epoch": self.norms_epoch,
         }
 
 
@@ -281,6 +286,21 @@ class InferenceEngine:
         """An atomic copy of the counters taken under the engine lock."""
         with self._lock:
             return replace(self.stats)
+
+    def mark_norms_cached(self, epoch: int | None) -> None:
+        """Record that a retrieval index cached row norms at ``epoch``.
+
+        Called by :class:`~repro.retrieval.refresh.CandidateRetriever`
+        whenever it syncs with this engine; ``stats.norms_epoch`` then
+        exposes index staleness (lag vs ``structural_epoch``) through
+        ``/metrics``.  Monotonic — an older epoch never regresses the
+        marker — and a ``None`` epoch is a no-op.
+        """
+        if epoch is None:
+            return
+        with self._lock:
+            self.stats.norms_epoch = max(self.stats.norms_epoch,
+                                         int(epoch))
 
     def drain(self, timeout: float | None = None) -> bool:
         """Wait until no scoring batch is executing in this engine.

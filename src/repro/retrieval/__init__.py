@@ -1,0 +1,32 @@
+"""Candidate retrieval: sub-linear top-k search over concept embeddings.
+
+The retrieve-then-rank split for taxonomy expansion: this package finds
+*which* concepts a query could attach to (approximate, fast), and the
+exact pair scorer ranks the survivors (exact, slower).  Three layers:
+
+* :mod:`repro.retrieval.kernels` — blocked-GEMM + ``argpartition``
+  exact top-k with cached row norms; bit-identical to the naive
+  argsort oracle, memory bounded at any matrix size.
+* :mod:`repro.retrieval.index` — :class:`CandidateIndex`: the kernel
+  plus an optional IVF-style partitioned mode (k-means cells +
+  ``nprobe``) with a measured-recall escape hatch back to exact.
+* :mod:`repro.retrieval.refresh` — :class:`CandidateRetriever`:
+  epoch-fenced incremental maintenance so ingested concepts become
+  retrievable without a rebuild, and hot reload swaps cleanly.
+
+``TaxonomyService.suggest`` and the retrieval-backed ``expand`` path
+consume this package; ``/v1/suggest`` exposes it over HTTP.
+"""
+
+from .index import CandidateIndex, IndexConfig, IndexStats
+from .kernels import row_norms, topk_blocked
+from .refresh import CandidateRetriever
+
+__all__ = [
+    "CandidateIndex",
+    "CandidateRetriever",
+    "IndexConfig",
+    "IndexStats",
+    "row_norms",
+    "topk_blocked",
+]

@@ -1,0 +1,472 @@
+"""``CandidateIndex`` — top-k concept retrieval with optional partitions.
+
+The index owns one embedding matrix (one row per concept, float32 by
+default) plus the cached row norms the exact kernel consumes, and
+serves two search modes:
+
+* **exact** — :func:`~repro.retrieval.kernels.topk_blocked` over every
+  row: always available, always correct, memory bounded by the slab
+  size.
+* **partitioned** (IVF-style) — rows are coarse-quantised into k-means
+  cells at build time; a search scores the query against the ``cells``
+  centroids, visits only the ``nprobe`` nearest cells, and runs the
+  exact kernel on the gathered rows.  Sub-linear work per query at the
+  cost of (measured) recall.
+
+The partitioned mode carries a **measured-recall escape hatch**: at
+build time a sample of indexed rows is self-queried through both modes
+and, if partitioned recall@k lands under ``min_recall``, the partitions
+are disabled and every search silently falls back to exact (counted in
+:class:`IndexStats.exact_fallbacks`).  An index that cannot prove its
+speed/recall trade keeps correctness.
+
+Incremental growth (:meth:`CandidateIndex.add`) appends rows with
+amortised reallocation, extends the norm cache, and assigns new rows to
+their nearest existing centroid — ingested concepts become searchable
+without a rebuild (the epoch bookkeeping lives one layer up, in
+:mod:`repro.retrieval.refresh`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .kernels import (
+    DEFAULT_BLOCK_ROWS, METRICS, _select_topk, row_norms, topk_blocked,
+)
+
+__all__ = ["CandidateIndex", "IndexConfig", "IndexStats"]
+
+
+@dataclass(frozen=True)
+class IndexConfig:
+    """Construction-time knobs for one :class:`CandidateIndex`."""
+
+    #: similarity metric: "cosine" (default) or "dot"
+    metric: str = "cosine"
+    #: matrix rows per GEMM slab in the exact kernel
+    block_rows: int = DEFAULT_BLOCK_ROWS
+    #: storage dtype of the indexed matrix (embeddings arrive float64
+    #: from the engine; float32 halves the resident matrix)
+    dtype: str = "float32"
+    #: below this many rows the partitioned mode is never built —
+    #: exact search over a small matrix is already one cheap GEMM
+    partition_min_rows: int = 4096
+    #: k-means cells for the partitioned mode (None: ~sqrt(rows))
+    cells: int | None = None
+    #: cells visited per query (None: cells // 8, at least 1)
+    nprobe: int | None = None
+    #: Lloyd iterations for the coarse quantiser
+    kmeans_iters: int = 6
+    #: deterministic seed for centroid initialisation
+    seed: int = 0
+    #: partitioned recall@``recall_k`` floor measured at build time;
+    #: below it the partitions are disabled (exact fallback)
+    min_recall: float = 0.95
+    #: indexed rows self-queried for the recall measurement
+    recall_sample: int = 64
+    #: k used by the recall measurement
+    recall_k: int = 10
+
+
+@dataclass
+class IndexStats:
+    """Counters describing one index's traffic since construction."""
+
+    size: int = 0
+    searches: int = 0
+    queries: int = 0
+    exact_searches: int = 0
+    partition_searches: int = 0
+    #: cells actually visited across all partitioned queries
+    partition_probes: int = 0
+    #: searches that wanted partitions but ran exact (partitions
+    #: disabled by the recall floor, or not built for this size)
+    exact_fallbacks: int = 0
+    adds: int = 0
+    rows_added: int = 0
+    #: build-time recall@k of the partitioned mode (1.0 when exact)
+    measured_recall: float = 1.0
+    cells: int = 0
+    nprobe: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON/metrics-friendly snapshot."""
+        return {
+            "size": self.size,
+            "searches": self.searches,
+            "queries": self.queries,
+            "exact_searches": self.exact_searches,
+            "partition_searches": self.partition_searches,
+            "partition_probes": self.partition_probes,
+            "exact_fallbacks": self.exact_fallbacks,
+            "adds": self.adds,
+            "rows_added": self.rows_added,
+            "measured_recall": round(self.measured_recall, 4),
+            "cells": self.cells,
+            "nprobe": self.nprobe,
+        }
+
+
+class CandidateIndex:
+    """Searchable concept-embedding matrix with incremental growth.
+
+    Parameters
+    ----------
+    concepts:
+        Concept name per matrix row, in row order (must be unique).
+    vectors:
+        ``(len(concepts), dim)`` embedding matrix.
+    config:
+        :class:`IndexConfig` knobs; defaults build a cosine index that
+        partitions itself only past ``partition_min_rows`` rows.
+    """
+
+    def __init__(self, concepts, vectors, config: IndexConfig | None = None):
+        self.config = config or IndexConfig()
+        if self.config.metric not in METRICS:
+            raise ValueError(
+                f"metric must be one of {METRICS}, got "
+                f"{self.config.metric!r}")
+        concepts = [str(concept) for concept in concepts]
+        vectors = np.asarray(vectors, dtype=self.config.dtype)
+        if vectors.ndim != 2 or vectors.shape[0] != len(concepts):
+            raise ValueError(
+                f"vectors must be ({len(concepts)}, dim), got shape "
+                f"{vectors.shape}")
+        if len(set(concepts)) != len(concepts):
+            raise ValueError("concepts must be unique")
+        self._lock = threading.RLock()
+        self._concepts: list[str] = concepts
+        self._row_of: dict[str, int] = {
+            concept: row for row, concept in enumerate(concepts)}
+        self._count = len(concepts)
+        self._matrix = np.ascontiguousarray(vectors)
+        self._norms = row_norms(self._matrix)
+        self._stats = IndexStats(size=self._count)
+        self._centroids: np.ndarray | None = None
+        self._centroid_norms: np.ndarray | None = None
+        self._cells: list[list[int]] = []
+        #: per-search gather cache of ``_cells`` as int64 arrays;
+        #: invalidated (None) whenever cell membership changes
+        self._cell_arrays: list[np.ndarray] | None = None
+        self._partitions_enabled = False
+        if self._count >= self.config.partition_min_rows:
+            self._build_partitions()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count
+
+    def __contains__(self, concept: str) -> bool:
+        with self._lock:
+            return str(concept) in self._row_of
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality of the indexed matrix."""
+        return int(self._matrix.shape[1])
+
+    @property
+    def mode(self) -> str:
+        """Search mode currently in effect: "partitioned" or "exact"."""
+        with self._lock:
+            return "partitioned" if self._partitions_enabled else "exact"
+
+    @property
+    def concepts(self) -> tuple:
+        """Indexed concept names, in row order."""
+        with self._lock:
+            return tuple(self._concepts)
+
+    def stats_snapshot(self) -> IndexStats:
+        """An atomic copy of the counters taken under the index lock."""
+        with self._lock:
+            return replace(self._stats, size=self._count)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(self, queries: np.ndarray, k: int, *,
+               exclude=(), mode: str | None = None) -> list:
+        """Top-k indexed concepts per query vector.
+
+        Parameters
+        ----------
+        queries:
+            ``(Q, dim)`` query vectors (or ``(dim,)`` for one query).
+        k:
+            Results per query (fewer when the index is smaller).
+        exclude:
+            Concept names never returned (e.g. the query concept).
+        mode:
+            Force ``"exact"`` or ``"partitioned"``; ``None`` picks
+            partitioned when built and healthy, exact otherwise.
+
+        Returns
+        -------
+        One ``[(concept, score), ...]`` list per query, sorted by
+        descending score then concept row order.
+        """
+        queries = np.atleast_2d(np.asarray(queries))
+        if mode not in (None, "exact", "partitioned"):
+            raise ValueError(f"unknown search mode {mode!r}")
+        with self._lock:
+            self._stats.searches += 1
+            self._stats.queries += queries.shape[0]
+            if self._count == 0:
+                return [[] for _ in range(queries.shape[0])]
+            excluded_rows = np.asarray(
+                sorted(self._row_of[str(concept)] for concept in exclude
+                       if str(concept) in self._row_of), dtype=np.int64)
+            partitioned = self._partitions_enabled if mode is None \
+                else (mode == "partitioned" and self._partitions_enabled)
+            if not partitioned:
+                if mode != "exact":
+                    self._stats.exact_fallbacks += 1
+                self._stats.exact_searches += 1
+                scores, ids = self._search_exact_locked(
+                    queries, k, excluded_rows)
+            else:
+                self._stats.partition_searches += 1
+                scores, ids = self._search_partitioned_locked(
+                    queries, k, excluded_rows)
+            return [
+                [(self._concepts[row], float(score))
+                 for score, row in zip(scores[q], ids[q])]
+                for q in range(queries.shape[0])]
+
+    def _search_exact_locked(self, queries, k, excluded_rows):
+        return topk_blocked(
+            queries, self._matrix[:self._count], k,
+            metric=self.config.metric,
+            matrix_norms=self._norms[:self._count],
+            exclude=excluded_rows if excluded_rows.size else None,
+            block_rows=self.config.block_rows)
+
+    def _search_partitioned_locked(self, queries, k, excluded_rows):
+        """Cell-centric IVF search: every probed cell is gathered from
+        the matrix exactly once and scored against *all* the queries
+        probing it in one batched GEMM — the per-query gather-and-GEMM
+        alternative re-copies each cell for every query and loses to
+        exact search on memory traffic alone."""
+        num_queries = queries.shape[0]
+        nprobe = min(self._effective_nprobe(), len(self._cells))
+        queries = np.asarray(queries, dtype=np.float64)
+        if self.config.metric == "cosine":
+            qnorms = row_norms(queries)
+            queries = queries / np.where(qnorms > 0, qnorms,
+                                         1.0)[:, np.newaxis]
+        queries = queries.astype(self._matrix.dtype)
+        centroid_scores = queries @ self._centroids.T
+        if self.config.metric == "cosine":
+            safe = np.where(self._centroid_norms > 0,
+                            self._centroid_norms, 1.0)
+            centroid_scores = centroid_scores / safe[np.newaxis, :]
+        if nprobe < centroid_scores.shape[1]:
+            probe_cells = np.argpartition(
+                -centroid_scores, nprobe - 1, axis=1)[:, :nprobe]
+        else:
+            probe_cells = np.broadcast_to(
+                np.arange(centroid_scores.shape[1]),
+                (num_queries, centroid_scores.shape[1]))
+        if self._cell_arrays is None:
+            self._cell_arrays = [np.asarray(cell, dtype=np.int64)
+                                 for cell in self._cells]
+        self._stats.partition_probes += int(probe_cells.shape[0]
+                                            * probe_cells.shape[1])
+        queries_of_cell: dict[int, list[int]] = {}
+        for q in range(num_queries):
+            for cell in probe_cells[q]:
+                queries_of_cell.setdefault(int(cell), []).append(q)
+        chunk_scores: list[list[np.ndarray]] = \
+            [[] for _ in range(num_queries)]
+        chunk_rows: list[list[np.ndarray]] = \
+            [[] for _ in range(num_queries)]
+        for cell, query_ids in queries_of_cell.items():
+            rows = self._cell_arrays[cell]
+            if rows.size == 0:
+                continue
+            scores = queries[query_ids] @ self._matrix[rows].T
+            if self.config.metric == "cosine":
+                norms = self._norms[rows]
+                scores = scores / np.where(norms > 0, norms,
+                                           1.0)[np.newaxis, :]
+            for position, q in enumerate(query_ids):
+                chunk_scores[q].append(scores[position])
+                chunk_rows[q].append(rows)
+        exclude = excluded_rows if excluded_rows.size else None
+        all_scores, all_ids = [], []
+        for q in range(num_queries):
+            if not chunk_rows[q]:
+                all_scores.append(np.zeros(0, dtype=self._matrix.dtype))
+                all_ids.append(np.zeros(0, dtype=np.int64))
+                continue
+            scores = np.concatenate(chunk_scores[q])
+            rows = np.concatenate(chunk_rows[q])
+            if exclude is not None:
+                mask = np.isin(rows, exclude)
+                if mask.any():
+                    scores = scores.copy()
+                    scores[mask] = -np.inf
+            # Global row ids + the kernel's total order keep ranking and
+            # tie-breaks identical to an exact search restricted to the
+            # probed cells.
+            top_scores, top_ids = _select_topk(
+                scores[np.newaxis, :], rows[np.newaxis, :], k)
+            valid = np.isfinite(top_scores[0])
+            all_scores.append(top_scores[0][valid])
+            all_ids.append(top_ids[0][valid])
+        width = min((len(s) for s in all_scores), default=0)
+        return ([s[:width] for s in all_scores],
+                [i[:width] for i in all_ids])
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def add(self, concepts, vectors) -> int:
+        """Append new concepts; already-indexed names are skipped.
+
+        Returns the number of rows actually added.  New rows extend the
+        matrix (amortised reallocation), the norm cache, and — when the
+        partitioned mode is live — the nearest centroid's cell, so they
+        are immediately searchable in both modes without a rebuild.
+        """
+        concepts = [str(concept) for concept in concepts]
+        vectors = np.asarray(vectors, dtype=self.config.dtype)
+        vectors = np.atleast_2d(vectors)
+        if vectors.shape[0] != len(concepts):
+            raise ValueError(
+                f"{len(concepts)} concepts but {vectors.shape[0]} "
+                f"vectors")
+        with self._lock:
+            fresh = [(concept, vector)
+                     for concept, vector in zip(concepts, vectors)
+                     if concept not in self._row_of]
+            # de-dup within the batch as well
+            seen: dict[str, np.ndarray] = {}
+            for concept, vector in fresh:
+                seen.setdefault(concept, vector)
+            if not seen:
+                self._stats.adds += 1
+                return 0
+            block = np.ascontiguousarray(
+                np.stack(list(seen.values())), dtype=self.config.dtype)
+            if self._matrix.size == 0:
+                self._matrix = block.copy()
+                capacity = self._matrix.shape[0]
+            else:
+                capacity = self._matrix.shape[0]
+            needed = self._count + block.shape[0]
+            if needed > capacity:
+                grown = np.empty(
+                    (max(needed, int(capacity * 1.5) + 8),
+                     self._matrix.shape[1]), dtype=self.config.dtype)
+                grown[:self._count] = self._matrix[:self._count]
+                self._matrix = grown
+            self._matrix[self._count:needed] = block[:needed - self._count] \
+                if self._matrix is not block else block
+            new_norms = row_norms(block)
+            if self._norms.shape[0] < needed:
+                grown_norms = np.empty(self._matrix.shape[0],
+                                       dtype=self._norms.dtype)
+                grown_norms[:self._count] = self._norms[:self._count]
+                self._norms = grown_norms
+            self._norms[self._count:needed] = new_norms
+            for offset, concept in enumerate(seen):
+                row = self._count + offset
+                self._concepts.append(concept)
+                self._row_of[concept] = row
+            if self._partitions_enabled:
+                self._assign_to_cells(block, start_row=self._count)
+            self._count = needed
+            self._stats.adds += 1
+            self._stats.rows_added += block.shape[0]
+            self._stats.size = self._count
+            return block.shape[0]
+
+    # ------------------------------------------------------------------
+    # partitions (coarse quantiser)
+    # ------------------------------------------------------------------
+    def _effective_nprobe(self) -> int:
+        if self.config.nprobe is not None:
+            return max(1, self.config.nprobe)
+        return max(1, len(self._cells) // 8)
+
+    def _build_partitions(self) -> None:
+        """k-means the rows into cells, then gate on measured recall."""
+        cells = self.config.cells or max(
+            1, int(round(np.sqrt(self._count))))
+        cells = min(cells, self._count)
+        matrix = self._matrix[:self._count]
+        if self.config.metric == "cosine":
+            safe = np.where(self._norms[:self._count] > 0,
+                            self._norms[:self._count], 1.0)
+            matrix = matrix / safe[:, np.newaxis]
+        rng = np.random.default_rng(self.config.seed)
+        centroids = matrix[rng.choice(self._count, size=cells,
+                                      replace=False)].copy()
+        assignment = np.zeros(self._count, dtype=np.int64)
+        for _ in range(max(1, self.config.kmeans_iters)):
+            # nearest centroid by the index metric (cosine rows are
+            # pre-normalised, so dot == cosine up to centroid norms)
+            scores = matrix @ centroids.T
+            assignment = np.argmax(scores, axis=1)
+            for cell in range(cells):
+                members = np.flatnonzero(assignment == cell)
+                if members.size:
+                    centroids[cell] = matrix[members].mean(axis=0)
+        self._centroids = np.ascontiguousarray(
+            centroids, dtype=self._matrix.dtype)
+        self._centroid_norms = row_norms(self._centroids)
+        self._cells = [np.flatnonzero(assignment == cell).tolist()
+                       for cell in range(cells)]
+        self._cell_arrays = None
+        self._partitions_enabled = True
+        self._stats.cells = cells
+        self._stats.nprobe = min(self._effective_nprobe(), cells)
+        recall = self._measure_recall_locked()
+        self._stats.measured_recall = recall
+        if recall < self.config.min_recall:
+            # escape hatch: an index that cannot prove its recall floor
+            # serves exact — correctness over speed.
+            self._partitions_enabled = False
+
+    def _assign_to_cells(self, block: np.ndarray, start_row: int) -> None:
+        """Route freshly added rows to their nearest existing centroid."""
+        rows = block.astype(self._matrix.dtype, copy=False)
+        if self.config.metric == "cosine":
+            norms = row_norms(rows)
+            safe = np.where(norms > 0, norms, 1.0)
+            rows = rows / safe[:, np.newaxis]
+        nearest = np.argmax(rows @ self._centroids.T, axis=1)
+        for offset, cell in enumerate(nearest):
+            self._cells[int(cell)].append(start_row + offset)
+        self._cell_arrays = None
+
+    def _measure_recall_locked(self) -> float:
+        """recall@k of partitioned search vs exact, on indexed rows."""
+        sample = min(self.config.recall_sample, self._count)
+        if sample == 0:
+            return 1.0
+        rng = np.random.default_rng(self.config.seed + 1)
+        rows = rng.choice(self._count, size=sample, replace=False)
+        queries = np.asarray(self._matrix[rows], dtype=np.float64)
+        k = self.config.recall_k
+        exact_scores, exact_ids = self._search_exact_locked(
+            queries, k, np.zeros(0, dtype=np.int64))
+        part_scores, part_ids = self._search_partitioned_locked(
+            queries, k, np.zeros(0, dtype=np.int64))
+        hits = total = 0
+        for q in range(sample):
+            truth = set(np.asarray(exact_ids[q]).tolist())
+            got = set(np.asarray(part_ids[q]).tolist())
+            hits += len(truth & got)
+            total += len(truth)
+        return hits / total if total else 1.0

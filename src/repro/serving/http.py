@@ -82,6 +82,13 @@ def _handle_score(service, body, params):
         service.score(request), allow_extra=True).as_payload()
 
 
+def _handle_suggest(service, body, params):
+    request = schemas.SuggestRequest.parse(body)
+    _require_started(service)
+    return 200, schemas.SuggestResponse.parse(
+        service.suggest(request), allow_extra=True).as_payload()
+
+
 def _handle_expand(service, body, params):
     request = schemas.ExpandRequest.parse(body)
     _require_started(service)
@@ -193,6 +200,7 @@ _V1_HANDLERS = {
     "taxonomy": _handle_taxonomy,
     "openapi": _handle_openapi,
     "score": _handle_score,
+    "suggest": _handle_suggest,
     "expand": _handle_expand,
     "ingest": _handle_ingest,
     "reload": _handle_reload,
@@ -430,7 +438,7 @@ def serve(service: TaxonomyService, host: str = "127.0.0.1",
         install_sighup_reload(service)
     print(f"repro serving on http://{bound_host}:{bound_port} "
           f"(/v1 API: /v1/healthz /v1/metrics /v1/taxonomy /v1/score "
-          f"/v1/expand /v1/ingest /v1/admin/reload /v1/jobs "
+          f"/v1/suggest /v1/expand /v1/ingest /v1/admin/reload /v1/jobs "
           f"/v1/openapi.json; legacy unversioned aliases remain with a "
           f"Deprecation header)")
     try:

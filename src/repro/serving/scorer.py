@@ -221,6 +221,20 @@ class BatchingScorer:
         with self._lock:
             self._cache.clear()
 
+    def recent_pairs(self, limit: int) -> list:
+        """The most recently used cached pairs, hottest first.
+
+        The hot-reload cache-warming path captures these *before*
+        ``swap_scorer`` clears the cache, then replays them through the
+        new engine — post-reload traffic keeps hitting warm entries
+        instead of falling off a latency cliff.
+        """
+        if limit <= 0:
+            return []
+        with self._lock:
+            keys = list(self._cache.keys())
+        return keys[-limit:][::-1]
+
     def invalidate_pairs_touching(self, concepts) -> int:
         """Drop cached scores for pairs involving any of ``concepts``.
 

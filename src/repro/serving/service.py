@@ -33,11 +33,12 @@ import numpy as np
 from ..api import errors as api_errors
 from ..api.jobs import JobManager
 from ..api.schemas import (
-    ExpandRequest, IngestRequest, ScoreRequest, clean_candidates,
-    clean_pairs,
+    ExpandRequest, IngestRequest, ScoreRequest, SuggestRequest,
+    clean_candidates, clean_pairs,
 )
 from ..core.expansion import expand_taxonomy
 from ..core.incremental import IncrementalExpander, IngestReport
+from ..retrieval import CandidateRetriever
 from ..taxonomy import taxonomy_to_dict
 from .artifacts import ArtifactBundle
 from .ingest import StreamingIngestor, click_log_from_records
@@ -61,6 +62,12 @@ class ServiceConfig:
     max_pending_jobs: int = 32
     #: finished async jobs retained for polling before eviction
     max_retained_jobs: int = 256
+    #: retrieval fan-out per suggest: retrieve ``k * factor`` nearest
+    #: concepts, re-rank with the exact scorer, return the top ``k``
+    suggest_retrieve_factor: int = 4
+    #: recently-hot pairs re-scored through the new engine after a hot
+    #: reload so the post-swap cache is warm (0 disables warming)
+    reload_warm_pairs: int = 128
 
 
 def _report_to_dict(report: IngestReport) -> dict:
@@ -125,6 +132,16 @@ class TaxonomyService:
             self.expander, max_queue=self.config.max_ingest_queue,
             lock=self._taxonomy_lock, journal=journal,
             on_attach=self._propagate_attachments)
+        # Candidate-retrieval index: built lazily on the first suggest
+        # or retrieval-backed expand (embedding every node up front
+        # would slow construction for services that never retrieve).
+        # _retriever_lock serialises builds; the reference itself swaps
+        # atomically so readers never block on a build.
+        self._retriever: CandidateRetriever | None = None
+        self._retriever_lock = threading.Lock()
+        self._suggest_requests = 0
+        self._index_rebuilds = 0
+        self._cache_warmed_pairs = 0
         # Serialises hot reloads; scoring keeps flowing around it.
         self._reload_lock = threading.Lock()
         self._reloads = 0
@@ -190,19 +207,84 @@ class TaxonomyService:
             "probabilities": [float(p) for p in probs],
         }
 
-    def expand(self, candidates) -> dict:
-        """Synchronously expand the live taxonomy over given candidates.
+    def suggest(self, query, k: int = 10) -> dict:
+        """Ranked attachment candidates for one query concept.
 
-        ``candidates`` maps a query concept to its candidate item
-        concepts (raw dict or a validated
-        :class:`~repro.api.ExpandRequest`).  Accepted edges are
-        committed to the service taxonomy (and journaled write-ahead
-        when a journal is attached).
+        The retrieve-then-rank split: the candidate index returns the
+        ``k * suggest_retrieve_factor`` nearest concepts by embedding
+        similarity (sub-linear in partitioned mode), then the exact
+        pair scorer re-ranks them as ``(candidate, query)`` hyponymy
+        probabilities — "how likely is this candidate to be the
+        query's parent?".  Accepts a raw query string (plus ``k``) or a
+        validated :class:`~repro.api.SuggestRequest`.
         """
-        cleaned = (candidates.candidates
-                   if isinstance(candidates, ExpandRequest)
-                   else clean_candidates(candidates))
-        result = self._expand_cleaned(cleaned, journal_write=True)
+        request = (query if isinstance(query, SuggestRequest)
+                   else SuggestRequest.parse({"query": str(query),
+                                              "k": int(k)}))
+        query, k = request.query, request.k
+        retriever = self._get_retriever()
+        self._suggest_requests += 1
+        retrieve_k = max(k, k * max(1, self.config.suggest_retrieve_factor))
+        neighbors = retriever.neighbors(query, retrieve_k)
+        pairs = [(concept, query) for concept, _ in neighbors]
+        probs = self.scorer.score_pairs(pairs) if pairs else []
+        with self._taxonomy_lock:
+            taxonomy = self.expander.taxonomy
+            parents = (set(taxonomy.parents(query))
+                       if query in taxonomy.nodes else set())
+        ranked = sorted(
+            ((float(prob), concept, float(similarity))
+             for (concept, similarity), prob in zip(neighbors, probs)),
+            key=lambda item: (-item[0], item[1]))
+        candidates = [
+            {"concept": concept,
+             "probability": prob,
+             "similarity": similarity,
+             "already_parent": concept in parents}
+            for prob, concept, similarity in ranked[:k]]
+        return {
+            "query": query,
+            "k": k,
+            "candidates": candidates,
+            "retrieval": {
+                "mode": retriever.index.mode,
+                "retrieved": len(neighbors),
+                "reranked": len(pairs),
+                "index_size": len(retriever),
+                "synced_epoch": retriever.synced_epoch,
+            },
+        }
+
+    def expand(self, candidates=None, *, queries=None,
+               top_k: int = 20) -> dict:
+        """Synchronously expand the live taxonomy.
+
+        Exactly one of ``candidates`` (query concept -> candidate item
+        concepts, raw dict or inside a validated
+        :class:`~repro.api.ExpandRequest`) or ``queries`` (seed
+        concepts whose candidates are retrieved from the embedding
+        index, ``top_k`` per seed) must be provided.  The retrieved
+        map is resolved *before* journaling, so a journaled
+        retrieval-backed expand replays deterministically as a plain
+        candidate map.  Accepted edges are committed to the service
+        taxonomy (and journaled write-ahead when a journal is
+        attached).
+        """
+        if isinstance(candidates, ExpandRequest):
+            request = candidates
+            candidates = request.candidates
+            queries = request.queries
+            top_k = request.top_k
+        elif candidates is not None:
+            candidates = clean_candidates(candidates)
+        if (candidates is None) == (queries is None):
+            raise api_errors.invalid_request(
+                "exactly one of 'candidates' or 'queries' must be "
+                "provided", field="candidates")
+        if queries is not None:
+            candidates = self._retrieved_candidates(
+                [str(query) for query in queries], top_k)
+        result = self._expand_cleaned(candidates, journal_write=True)
         return {
             "attached_edges": [list(edge)
                                for edge in result.attached_edges],
@@ -223,6 +305,58 @@ class TaxonomyService:
             if result.attached_edges:
                 self._propagate_attachments(result.attached_edges)
         return result
+
+    def _get_retriever(self) -> CandidateRetriever:
+        """The candidate retriever, built lazily on first use.
+
+        The build embeds every live taxonomy node, so it runs outside
+        the taxonomy lock (concurrent ingest keeps flowing); nodes
+        attached *during* the build are topped up right after, and
+        every later attachment extends the published index via
+        :meth:`_propagate_attachments`.
+        """
+        retriever = self._retriever
+        if retriever is not None:
+            return retriever
+        with self._retriever_lock:
+            if self._retriever is None:
+                with self._taxonomy_lock:
+                    snapshot = sorted(self.expander.taxonomy.nodes)
+                built = self._build_retriever(self.bundle, snapshot)
+                # nodes attached while we were embedding
+                with self._taxonomy_lock:
+                    missed = sorted(self.expander.taxonomy.nodes)
+                built.extend(missed)
+                self._retriever = built
+                self._index_rebuilds += 1
+            return self._retriever
+
+    def _build_retriever(self, bundle: ArtifactBundle,
+                         concepts) -> CandidateRetriever:
+        """Embed ``concepts`` through ``bundle`` into a fresh retriever."""
+        detector = bundle.pipeline.detector
+        engine = detector.inference_engine if detector is not None else None
+        epoch = getattr(engine, "structural_epoch", None)
+        return CandidateRetriever(
+            bundle.pipeline.concept_embedding_matrix, concepts,
+            engine=engine, epoch=epoch)
+
+    def _retrieved_candidates(self, queries: list, top_k: int) -> dict:
+        """Resolve seed queries to retrieved candidate maps.
+
+        Each seed is a *new item to place*: the index retrieves its
+        top-``top_k`` nearest taxonomy nodes, and the returned map keys
+        those nodes to the seeds they might parent — so the expansion
+        scores ``top_k`` pairs per seed instead of pairing every seed
+        with every taxonomy node (the O(n·pairs) enumeration the index
+        exists to kill).
+        """
+        retriever = self._get_retriever()
+        resolved: dict = {}
+        for query in dict.fromkeys(queries):
+            for concept, _score in retriever.neighbors(query, top_k):
+                resolved.setdefault(concept, []).append(query)
+        return resolved
 
     def _propagate_attachments(self, edges: list) -> None:
         """Push freshly attached edges into every compiled engine.
@@ -271,6 +405,22 @@ class TaxonomyService:
             # failure): fall back to evicting the endpoints themselves.
             dirty = {concept for edge in edges for concept in edge}
         self.scorer.invalidate_pairs_touching(dirty)
+        retriever = self._retriever
+        if retriever is not None:
+            # Epoch-fenced freshness: just-attached concepts become
+            # retrievable without a rebuild.  Degrades loudly like the
+            # engine delta above — the taxonomy mutation has committed.
+            try:
+                epoch = (engine.structural_epoch
+                         if engine is not None else None)
+                retriever.extend(
+                    sorted({concept for edge in edges
+                            for concept in edge}), epoch=epoch)
+            except Exception as error:
+                warnings.warn(
+                    f"candidate-index refresh failed: {error!r} "
+                    f"(retrieval may lag until the next rebuild)",
+                    stacklevel=2)
 
     def ingest(self, records, provenance: dict | None = None,
                sync: bool = False) -> dict:
@@ -447,6 +597,16 @@ class TaxonomyService:
         old_bundle = self.bundle
         backend = (self.pool.score_pairs if self.pool is not None
                    else new_bundle.pipeline.score_pairs)
+        # Rebuild the candidate index against the incoming model's
+        # embedding space (only if one was ever built — retrieval stays
+        # lazy), and capture the hottest cached pairs before the swap
+        # clears them: they are replayed through the new engine below.
+        warm_pairs = self.scorer.recent_pairs(self.config.reload_warm_pairs)
+        new_retriever = None
+        if self._retriever is not None:
+            with self._taxonomy_lock:
+                snapshot = sorted(self.expander.taxonomy.nodes)
+            new_retriever = self._build_retriever(new_bundle, snapshot)
         # The swap happens under the taxonomy lock so it cannot
         # interleave with _propagate_attachments: deltas committed
         # during the load/smoke-test window (they went to the *old*
@@ -459,6 +619,14 @@ class TaxonomyService:
                 new_engine.apply_attachments(tail)
             self.scorer.swap_scorer(backend, clear_cache=True)
             self.bundle = new_bundle
+            if new_retriever is not None:
+                # Atomic alongside the scorer: suggest never mixes old
+                # embeddings with new probabilities.  Top up nodes
+                # attached during the build window (idempotent).
+                new_retriever.extend(
+                    sorted(self.expander.taxonomy.nodes))
+                self._retriever = new_retriever
+                self._index_rebuilds += 1
         old_detector = old_bundle.pipeline.detector
         old_engine = (old_detector.inference_engine
                       if old_detector is not None else None)
@@ -466,12 +634,20 @@ class TaxonomyService:
         if old_engine is not None and old_engine is not \
                 new_bundle.pipeline.detector.inference_engine:
             drained = old_engine.drain(timeout=30.0)
+        if warm_pairs:
+            # Cache warming: the pairs hot before the swap are exactly
+            # the ones the next requests will ask for — re-score them
+            # through the new engine so post-reload traffic starts on a
+            # warm cache instead of a latency cliff.
+            self.scorer.score_pairs(warm_pairs)
+            self._cache_warmed_pairs += len(warm_pairs)
         return {
             "reloaded": True,
             "directory": directory,
             "probe_pairs": len(probes),
             "pool_workers": workers,
             "old_engine_drained": drained,
+            "cache_warmed_pairs": len(warm_pairs),
         }
 
     def _probe_pairs(self, bundle: ArtifactBundle) -> list:
@@ -529,6 +705,12 @@ class TaxonomyService:
         }
         if self.journal is not None:
             payload["journal"] = self.journal.stats_snapshot().as_dict()
+        retriever = self._retriever
+        if retriever is not None:
+            stats = retriever.stats()
+            stats["suggest_requests"] = self._suggest_requests
+            stats["index_rebuilds"] = self._index_rebuilds
+            payload["retrieval"] = stats
         return payload
 
     def metrics_text(self) -> str:
@@ -576,6 +758,36 @@ class TaxonomyService:
                "Pair scores currently cached.", self.scorer.cache_len())
         metric("repro_reloads_total", "counter",
                "Successful artifact-bundle hot reloads.", self._reloads)
+        metric("repro_cache_warmed_pairs_total", "counter",
+               "Recently-hot pairs re-scored through the new engine "
+               "after hot reloads.", self._cache_warmed_pairs)
+        metric("repro_suggest_requests_total", "counter",
+               "Suggest (retrieve-then-rank) requests served.",
+               self._suggest_requests)
+        retriever = self._retriever
+        if retriever is not None:
+            retrieval = retriever.stats()
+            mode_label = f'{{mode="{retrieval["mode"]}"}}'
+            metric("repro_retrieval_index_size", "gauge",
+                   "Concepts in the candidate-retrieval index.",
+                   retrieval["size"], mode_label)
+            metric("repro_retrieval_index_rebuilds_total", "counter",
+                   "Full candidate-index (re)builds (lazy build + hot "
+                   "reloads).", self._index_rebuilds)
+            metric("repro_retrieval_searches_total", "counter",
+                   "Index search calls (suggest + retrieval-backed "
+                   "expand).", retrieval["searches"])
+            metric("repro_retrieval_partition_probes_total", "counter",
+                   "Partition cells visited by partitioned searches.",
+                   retrieval["partition_probes"])
+            metric("repro_retrieval_exact_fallbacks_total", "counter",
+                   "Searches served exact because partitions were "
+                   "unavailable or below the recall floor.",
+                   retrieval["exact_fallbacks"])
+            metric("repro_retrieval_synced_epoch", "gauge",
+                   "Engine structural epoch the index last synced at "
+                   "(lag vs repro_engine_structural_epoch = staleness).",
+                   retrieval["synced_epoch"])
         jobs = self.jobs.counts()
         metric("repro_jobs_submitted_total", "counter",
                "Async jobs accepted via /v1/jobs/...", jobs["submitted"])
@@ -688,4 +900,7 @@ class TaxonomyService:
                    "Node-embedding rows refreshed by frontier "
                    "recomputes (rows x hops).", stats.rows_recomputed,
                    label)
+            metric("repro_engine_norms_epoch", "gauge",
+                   "Structural epoch a retrieval index last cached row "
+                   "norms at (-1: never).", stats.norms_epoch, label)
         return "\n".join(lines) + "\n"

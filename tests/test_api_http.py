@@ -109,6 +109,30 @@ class TestV1RoundTrips:
                             "reports"}
         assert tax["stats"]["edges"] == body["taxonomy_edges"]
 
+    def test_suggest_round_trip(self, server, small_world):
+        query = sorted(small_world.new_concepts)[0]
+        status, _h, body = request(server, "POST", "/v1/suggest",
+                                   {"query": query, "k": 3})
+        assert status == 200
+        assert set(body) == {"query", "k", "candidates", "retrieval"}
+        assert body["query"] == query and body["k"] == 3
+        assert 0 < len(body["candidates"]) <= 3
+        for candidate in body["candidates"]:
+            assert set(candidate) == {"concept", "probability",
+                                      "similarity", "already_parent"}
+            assert 0.0 <= candidate["probability"] <= 1.0
+        probabilities = [c["probability"] for c in body["candidates"]]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert body["retrieval"]["mode"] in ("exact", "partitioned")
+        assert body["retrieval"]["retrieved"] >= len(body["candidates"])
+
+    def test_expand_via_retrieved_queries(self, server, small_world):
+        queries = sorted(small_world.new_concepts)[2:4]
+        status, _h, body = request(server, "POST", "/v1/expand",
+                                   {"queries": queries, "top_k": 5})
+        assert status == 200
+        assert body["scored_candidates"] > 0
+
     def test_ingest_sync_and_async(self, server):
         status, _h, sync = request(
             server, "POST", "/v1/ingest",
@@ -141,11 +165,16 @@ class TestV1RoundTrips:
             assert f"# TYPE {name}" in text
 
     def test_reload_same_directory(self, server, bundle_dir):
+        # Prior tests scored pairs, so the reload has cache entries to
+        # replay through the new engine (cache warming).
         status, _h, body = request(server, "POST", "/v1/admin/reload",
                                    {"artifacts": bundle_dir})
         assert status == 200
         assert body["reloaded"] is True
         assert body["directory"] == bundle_dir
+        assert body["cache_warmed_pairs"] > 0
+        _s, _h, text = request(server, "GET", "/v1/metrics")
+        assert "# TYPE repro_cache_warmed_pairs_total" in text
 
 
 #: (method, path, body, expected code) — every stable error code is
@@ -157,6 +186,17 @@ ERROR_CASES = [
     ("POST", "/v1/score", {"pairs": "nope"}, "invalid_request"),
     ("POST", "/v1/expand", {"candidates": [1]}, "invalid_request"),
     ("POST", "/v1/expand", {}, "invalid_request"),
+    ("POST", "/v1/expand",
+     {"candidates": {"a": ["b"]}, "queries": ["c"]}, "invalid_request"),
+    ("POST", "/v1/expand", {"queries": "apple"}, "invalid_request"),
+    ("POST", "/v1/suggest", {}, "invalid_request"),
+    ("POST", "/v1/suggest", {"query": "   "}, "invalid_request"),
+    ("POST", "/v1/suggest", {"query": "apple", "k": 0},
+     "invalid_request"),
+    ("POST", "/v1/suggest", {"query": "apple", "k": 101},
+     "invalid_request"),
+    ("POST", "/v1/suggest", {"query": "apple", "bogus": 1},
+     "invalid_request"),
     ("POST", "/v1/ingest", {"records": [["only-query"]]},
      "invalid_request"),
     ("POST", "/v1/ingest", {"records": [["q", "i", 0]]},

@@ -4,9 +4,9 @@
 Three contracts:
 
 * **docstring coverage** (pydocstyle-lite): every module under
-  ``repro.serving``, ``repro.infer`` and ``repro.api``, every exported
-  name, and every public method on exported classes carries a
-  non-empty docstring.
+  ``repro.serving``, ``repro.infer``, ``repro.api`` and
+  ``repro.retrieval``, every exported name, and every public method on
+  exported classes carries a non-empty docstring.
 * **markdown link integrity**: every intra-repo link in the README and
   the ``docs/`` site resolves to a real file.
 * **API contract**: the ``/v1`` routes documented in
@@ -25,7 +25,8 @@ import pytest
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: packages whose public surface must be fully documented
-DOCUMENTED_PACKAGES = ["repro.serving", "repro.infer", "repro.api"]
+DOCUMENTED_PACKAGES = ["repro.serving", "repro.infer", "repro.api",
+                       "repro.retrieval"]
 
 #: markdown files whose intra-repo links must resolve
 MARKDOWN_FILES = [
