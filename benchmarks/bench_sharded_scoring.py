@@ -24,6 +24,17 @@ JSON artifact records ``cpu_count`` so dashboards can gate accordingly,
 and ``--min-speedup`` turns the target into a hard exit code where the
 hardware supports it.
 
+It further measures the zero-copy shared-memory worker path (ISSUE 7):
+per-worker **incremental USS** (unique-set-size minus an import-only
+stub baseline — COW and shm-mapped pages are uncounted, so a private
+worker is billed its weight copy and a shared worker only its scratch)
+and **cold-respawn latency**
+(spawn-to-ready, parent-side clock) for a private-copy pool vs a
+shared-segment pool of the same size, asserting the two pools score
+bit-identically.  Shared workers map the parent's one weight copy, so
+their incremental memory is bounded by scratch buffers and their respawn
+skips the bundle load + engine compile entirely.
+
 Run standalone (JSON artifact for CI)::
 
     PYTHONPATH=src python benchmarks/bench_sharded_scoring.py \
@@ -34,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing as mp
 import os
 import tempfile
 import time
@@ -56,6 +68,9 @@ from repro.synthetic import (
 PROFILES = {
     "default": (4096, 512, 3),
     "tiny": (512, 128, 2),
+    # weights large enough that the model (not interpreter scratch)
+    # dominates per-worker memory — the honest profile for the shm bench
+    "large": (2048, 512, 2),
 }
 
 #: pool sizes measured, in order
@@ -68,6 +83,12 @@ def _world_config(profile: str) -> WorldConfig:
             domain="fruits", seed=7, num_categories=4,
             children_per_category=(3, 5), max_depth=3,
             headword_fraction=0.8, children_per_node=(0, 2),
+            holdout_fraction=0.2)
+    if profile == "large":
+        return WorldConfig(
+            domain="fruits", seed=7, num_categories=10,
+            children_per_category=(5, 8), max_depth=4,
+            headword_fraction=0.8, children_per_node=(0, 3),
             holdout_fraction=0.2)
     return WorldConfig(
         domain="fruits", seed=7, num_categories=8,
@@ -84,6 +105,17 @@ def _pipeline_config(profile: str) -> PipelineConfig:
                                     strategy="concept"),
             contrastive=ContrastiveConfig(steps=3),
             structural=StructuralConfig(hidden_dim=8, position_dim=2),
+            detector=DetectorConfig(epochs=1, batch_size=16))
+    if profile == "large":
+        # Minimal training, large weights: the shm comparison measures
+        # resident arrays, not model quality.
+        return PipelineConfig(
+            seed=0, bert_dim=128, bert_layers=4, bert_heads=4,
+            bert_ffn=512,
+            pretrain=PretrainConfig(steps=4, batch_size=8,
+                                    strategy="concept"),
+            contrastive=ContrastiveConfig(steps=2),
+            structural=StructuralConfig(hidden_dim=64, position_dim=8),
             detector=DetectorConfig(epochs=1, batch_size=16))
     # Standard architecture so per-pair cost matches serving reality.
     return PipelineConfig(
@@ -121,8 +153,138 @@ def _throughput(score, pairs: list, batch: int, reps: int) -> float:
     return len(pairs) / best
 
 
+def _uss_bytes(pid: int) -> int | None:
+    """Unique set size of ``pid`` in bytes (Linux; None elsewhere).
+
+    USS counts only pages private to the process: fork-COW pages the
+    worker never wrote stay shared (uncounted) and so do mapped
+    shared-memory segments — so a private worker is billed its own
+    weight copy while a shared worker is billed only its scratch.
+    That is exactly the "incremental memory per extra worker" a
+    capacity planner pays.
+    """
+    total = 0
+    try:
+        with open(f"/proc/{pid}/smaps_rollup", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith(("Private_Clean:", "Private_Dirty:")):
+                    total += int(line.split()[1]) * 1024
+    except OSError:
+        return None
+    return total
+
+
+def _stub_main(conn) -> None:
+    """Import-only worker: the memory floor every real worker pays."""
+    import numpy  # noqa: F401  (resident for the baseline measurement)
+    from repro.serving import artifacts  # noqa: F401
+    conn.send(os.getpid())
+    conn.recv()  # hold until the parent has measured us
+
+
+def _stub_uss(ctx) -> int | None:
+    """USS of a forked stub that imports serving code but loads nothing."""
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    process = ctx.Process(target=_stub_main, args=(child_conn,),
+                          daemon=True)
+    process.start()
+    child_conn.close()
+    parent_conn.recv()
+    time.sleep(0.1)  # let the allocator settle
+    baseline = _uss_bytes(process.pid)
+    parent_conn.send("done")
+    process.join(5.0)
+    return baseline
+
+
+def _measure_pool_memory(pool, warm_pairs: list) -> list[int]:
+    """USS of every live pool worker after a light scoring warm-up.
+
+    Warming with a few pairs exercises the full attach/load + scoring
+    path without inflating every worker with the workload's transient
+    GEMM scratch (identical in both modes, and returned to the
+    allocator — but allocator arenas stay dirty and would mask the
+    weight-copy difference this measurement exists to show).
+    """
+    pool.score_pairs(warm_pairs[:8])
+    time.sleep(0.2)  # let COW faults from scoring settle
+    readings = []
+    for worker in pool._workers:
+        uss = _uss_bytes(worker.process.pid)
+        if uss is not None:
+            readings.append(uss)
+    return readings
+
+
+def _measure_respawns(pool, kills: int) -> list[float]:
+    """Spawn-to-ready seconds across ``kills`` forced worker deaths."""
+    before = pool.respawn_stats()["count"]
+    for _ in range(kills):
+        worker = pool._workers[0]
+        worker.process.terminate()
+        worker.process.join(10.0)
+        deadline = time.monotonic() + 10.0
+        while worker.alive and time.monotonic() < deadline:
+            time.sleep(0.02)  # reader thread notices the EOF
+        pool._dispatch(0, "ping").wait(60.0)  # respawn inside dispatch
+    return pool.respawn_stats()["samples"][before:]
+
+
+def run_shm_bench(directory: str, unique: list, workers: int = 4,
+                  kills: int = 3) -> dict:
+    """Private-copy vs shared-segment pool: memory, respawn, parity."""
+    from repro.serving import ShardedScorerPool
+
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
+                         else "spawn")
+    stub = _stub_uss(ctx)
+    results: dict = {"workers": workers, "respawn_kills": kills,
+                     "stub_uss_bytes": stub}
+    scores: dict[str, np.ndarray] = {}
+    for mode, share in (("private", False), ("shared", True)):
+        with ShardedScorerPool(directory, num_workers=workers,
+                               share_memory=share,
+                               watchdog_interval=None) as pool:
+            readings = _measure_pool_memory(pool, unique)
+            scores[mode] = np.asarray(pool.score_pairs(unique))
+            incremental = ([max(1, uss - stub) for uss in readings]
+                           if stub is not None else [])
+            respawns = _measure_respawns(pool, kills)
+            entry = {
+                "worker_uss_bytes": readings,
+                "incremental_bytes": incremental,
+                "mean_incremental_bytes": (
+                    float(np.mean(incremental)) if incremental else None),
+                "respawn_seconds": respawns,
+                "mean_respawn_seconds": (
+                    float(np.mean(respawns)) if respawns else None),
+                "worker_modes": [w.mode for w in pool._workers],
+            }
+            if share:
+                shm = pool.shared_memory_stats()
+                entry["segments"] = shm["segments"]
+                entry["segment_bytes"] = shm["bytes"]
+                entry["attach_failures"] = shm["attach_failures"]
+            results[mode] = entry
+    private, shared = results["private"], results["shared"]
+    if private["mean_incremental_bytes"] and shared["mean_incremental_bytes"]:
+        results["rss_reduction"] = (private["mean_incremental_bytes"]
+                                    / shared["mean_incremental_bytes"])
+    else:
+        results["rss_reduction"] = None
+    if private["mean_respawn_seconds"] and shared["mean_respawn_seconds"]:
+        results["respawn_speedup"] = (private["mean_respawn_seconds"]
+                                      / shared["mean_respawn_seconds"])
+    else:
+        results["respawn_speedup"] = None
+    results["parity_bitwise"] = bool(
+        np.array_equal(scores["private"], scores["shared"]))
+    return results
+
+
 def run_bench(profile: str = "default",
-              worker_counts: tuple[int, ...] = WORKER_COUNTS) -> dict:
+              worker_counts: tuple[int, ...] = WORKER_COUNTS,
+              shm_workers: int = 4, shm_kills: int = 3) -> dict:
     total, batch, reps = PROFILES[profile]
     directory, unique = _export_bundle(profile)
     workload = (unique * (total // len(unique) + 1))[:total]
@@ -142,6 +304,10 @@ def run_bench(profile: str = "default",
             pool_pps[count] = _throughput(pool.score_pairs, workload,
                                           batch, reps)
 
+    shm = (run_shm_bench(directory, unique, workers=shm_workers,
+                         kills=shm_kills)
+           if shm_workers else None)
+
     lo, hi = min(pool_pps), max(pool_pps)
     return {
         "profile": profile,
@@ -159,6 +325,7 @@ def run_bench(profile: str = "default",
         "max_abs_score_delta": max_delta,
         "score_tolerance": SCORE_TOLERANCE,
         "parity_ok": max_delta < SCORE_TOLERANCE,
+        "shm": shm,
     }
 
 
@@ -177,6 +344,24 @@ def report(results: dict) -> None:
           f"{results['speedup_max_vs_baseline']:.2f}x")
     print(f"max |score delta|  : {results['max_abs_score_delta']:.2e} "
           f"(tolerance {results['score_tolerance']:.0e})")
+    shm = results.get("shm")
+    if shm:
+        workers = shm["workers"]
+        for mode in ("private", "shared"):
+            entry = shm[mode]
+            incr = entry["mean_incremental_bytes"]
+            respawn = entry["mean_respawn_seconds"]
+            incr_text = f"{incr / 1024:.0f} KiB" if incr else "n/a"
+            respawn_text = f"{respawn * 1e3:.1f} ms" if respawn else "n/a"
+            print(f"{mode:7} x{workers}         : {incr_text} "
+                  f"incremental USS/worker, respawn {respawn_text}")
+        reduction = shm["rss_reduction"]
+        speedup = shm["respawn_speedup"]
+        print(f"shm wins           : "
+              f"{f'{reduction:.1f}x' if reduction else 'n/a'} less "
+              f"memory/worker, "
+              f"{f'{speedup:.1f}x' if speedup else 'n/a'} faster respawn, "
+              f"bitwise parity {shm['parity_bitwise']}")
 
 
 def main() -> None:
@@ -192,12 +377,20 @@ def main() -> None:
                              "below this multiple of the 1-worker pool "
                              "(use on >= 4-core hosts; requires 1 in "
                              "the measured worker counts)")
+    parser.add_argument("--shm-workers", type=int, default=4,
+                        help="pool size for the shared-memory memory/"
+                             "respawn comparison (0 skips it)")
+    parser.add_argument("--shm-kills", type=int, default=3,
+                        help="forced worker deaths per mode for the "
+                             "respawn-latency sample")
     args = parser.parse_args()
     counts = tuple(args.workers) if args.workers else WORKER_COUNTS
     if args.min_speedup is not None and 1 not in counts:
         parser.error("--min-speedup needs a 1-worker baseline; "
                      "include 1 in --workers")
-    results = run_bench(args.profile, counts)
+    results = run_bench(args.profile, counts,
+                        shm_workers=args.shm_workers,
+                        shm_kills=args.shm_kills)
     report(results)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -206,6 +399,9 @@ def main() -> None:
     if not results["parity_ok"]:
         raise SystemExit("parity contract violated: pool scores diverged "
                          "from the single-process engine")
+    if results["shm"] and not results["shm"]["parity_bitwise"]:
+        raise SystemExit("parity contract violated: shared-view scores "
+                         "diverged from the private-copy pool")
     if args.min_speedup is not None and \
             results["speedup_max_vs_baseline"] < args.min_speedup:
         raise SystemExit(

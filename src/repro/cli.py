@@ -144,14 +144,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     # Fork scoring workers before any service thread exists (fork
-    # safety); each worker loads the bundle and compiles its own engine.
+    # safety).  With sharing on (the default) the parent publishes one
+    # copy of the weights into shared-memory segments and every worker
+    # attaches it zero-copy; --no-shm (or REPRO_SHM=0) reverts to a
+    # private bundle load + compile per worker.
     pool = None
     if args.workers > 1:
+        share = None if args.shm is None else args.shm
         pool = ShardedScorerPool(
             args.artifacts, num_workers=args.workers,
-            watchdog_interval=args.watchdog_interval)
+            watchdog_interval=args.watchdog_interval,
+            share_memory=share, bundle=bundle)
         pool.start()
-        print(f"scorer pool: {args.workers} workers ready")
+        shm_stats = pool.shared_memory_stats()
+        mode = (f"shared weights: {shm_stats['bytes']} bytes in "
+                f"{shm_stats['segments']} segments, "
+                f"{shm_stats['attached_workers']}/{args.workers} attached"
+                if shm_stats["enabled"] else "private weight copies")
+        print(f"scorer pool: {args.workers} workers ready ({mode})")
     journal = None
     if args.journal_dir:
         journal = IngestJournal(
@@ -358,6 +368,14 @@ def build_parser() -> argparse.ArgumentParser:
                               help="seconds between proactive pool "
                                    "liveness sweeps that respawn dead "
                                    "workers (0 disables the watchdog)")
+    serve_parser.add_argument("--shm", dest="shm", action="store_true",
+                              default=None,
+                              help="share one weight copy across pool "
+                                   "workers via shared memory (default: "
+                                   "on unless REPRO_SHM disables it)")
+    serve_parser.add_argument("--no-shm", dest="shm", action="store_false",
+                              help="give every pool worker a private "
+                                   "weight copy (disables shared memory)")
     serve_parser.add_argument("--journal-dir", default=None,
                               help="durable ingest-journal directory; "
                                    "replayed on startup to rebuild "

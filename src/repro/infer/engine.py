@@ -32,6 +32,7 @@ parameter update.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 from collections import OrderedDict
@@ -225,6 +226,10 @@ class InferenceEngine:
         self._structural_dim = 0
         self._graph = None
         self._structural_epoch = 0
+        # True only on engines built by attach_shared: structural buffers
+        # are read-only shared-memory views until the first mutation
+        # copies them private (_materialize_structural).
+        self._shared_structural = False
         self.node_dtype = (np.dtype(node_dtype) if node_dtype is not None
                            else default_node_dtype(self.dtype))
         self.stats.node_dtype = str(self.node_dtype)
@@ -580,6 +585,7 @@ class InferenceEngine:
         with self._lock:
             if self._graph is None:
                 return 0
+            self._materialize_structural()
             rows = np.arange(self._num_nodes, dtype=np.int64)
             total, _final = self._propagate_rows(rows)
             return total
@@ -651,6 +657,7 @@ class InferenceEngine:
                 return {"applied": True, "epoch": self._structural_epoch,
                         "new_nodes": [], "applied_edges": 0,
                         "rows_recomputed": 0, "dirty_concepts": []}
+            self._materialize_structural()
             features = self._new_node_features(new_nodes)
             self._ensure_node_capacity(self._num_nodes + len(new_nodes))
             for slot, concept in enumerate(new_nodes):
@@ -748,3 +755,198 @@ class InferenceEngine:
                                        dtype=np.float64),
                 "adjacency": self._graph.dense_adjacency(),
             }
+
+    # ------------------------------------------------------------------
+    # zero-copy shared-memory export / attach
+    # ------------------------------------------------------------------
+    def shared_state(self) -> tuple[dict, dict]:
+        """Flatten every read-only array into (picklable meta, array dict).
+
+        The arrays dict is what a :class:`~repro.serving.shm.SharedArtifactStore`
+        publishes into segments; :meth:`attach_shared` rebuilds an engine
+        over the attached views with zero copies.  Node names travel as a
+        JSON-encoded ``uint8`` array so the manifest itself stays tiny.
+        """
+        with self._lock:
+            arrays: dict[str, np.ndarray] = {}
+            meta: dict = {
+                "engine": {
+                    "dtype": self.dtype.str,
+                    "node_dtype": np.dtype(self.node_dtype).str,
+                    "max_batch": self.max_batch,
+                    "bucket_multiple": self.bucket_multiple,
+                    "concept_cache_size": self.concept_cache_size,
+                    "relational_dim": self._relational_dim,
+                    "structural_dim": self._structural_dim,
+                    "structural_epoch": self._structural_epoch,
+                },
+            }
+            if self.bert is not None:
+                bert_meta, bert_arrays = self.bert.export_arrays()
+                meta["bert"] = bert_meta
+                meta["engine"]["use_template"] = self._use_template
+                # Specials are re-prepended by WordTokenizer (mirrors the
+                # bundle manifest), making attach_shared self-contained —
+                # a worker attaches without touching the bundle on disk.
+                tok = self._tokenizer
+                meta["engine"]["tokenizer_vocab"] = [
+                    tok.id_to_token(i) for i in range(tok.vocab_size)
+                ][tok.num_special:]
+                for name, array in bert_arrays.items():
+                    arrays[f"bert.{name}"] = array
+            clf_meta, clf_arrays = self.classifier.export_arrays()
+            meta["classifier"] = clf_meta
+            for name, array in clf_arrays.items():
+                arrays[f"classifier.{name}"] = array
+            if self._graph is not None:
+                gnn_meta, gnn_arrays = self._gnn.export_arrays()
+                meta["gnn"] = gnn_meta
+                for name, array in gnn_arrays.items():
+                    arrays[f"gnn.{name}"] = array
+                count = self._num_nodes
+                meta["structural"] = {
+                    "num_nodes": count,
+                    "hidden_dim": self._hidden_dim,
+                    "use_position": self._position_parent is not None,
+                }
+                arrays["structural.features"] = self._features[:count]
+                for k, hidden in enumerate(self._hidden_layers):
+                    arrays[f"structural.hidden{k}"] = hidden[:count]
+                # Row `count` is the zero fallback for unknown concepts;
+                # exporting it keeps the attached gather path identical.
+                arrays["structural.node_matrix"] = \
+                    self._node_matrix[:count + 1]
+                for name, slab in self._graph.export_csr().items():
+                    arrays[f"graph.{name}"] = slab
+                arrays["graph.names"] = np.frombuffer(
+                    json.dumps(self._graph.names).encode("utf-8"),
+                    dtype=np.uint8)
+                if self._position_parent is not None:
+                    arrays["structural.position_parent"] = \
+                        self._position_parent
+                    arrays["structural.position_child"] = \
+                        self._position_child
+            return meta, arrays
+
+    @classmethod
+    def attach_shared(cls, meta: dict, arrays: dict,
+                      tokenizer=None) -> "InferenceEngine":
+        """Build an engine whose weights are views over shared buffers.
+
+        ``meta``/``arrays`` come from :meth:`shared_state` (the arrays
+        typically re-materialised as read-only shared-memory views by
+        :func:`repro.serving.shm.attach_manifest`).  No weight array is
+        copied; only per-engine scratch (workspaces, caches, locks) is
+        allocated.  Scores are bit-identical to an engine compiled from
+        the same bundle because the attached arrays *are* that engine's
+        arrays.  Structural buffers stay copy-on-write: the first
+        ``apply_attachments``/``recompute_structural`` copies them into
+        private memory before mutating.
+        """
+        def sub(prefix: str) -> dict:
+            return {name[len(prefix):]: array
+                    for name, array in arrays.items()
+                    if name.startswith(prefix)}
+
+        spec = meta["engine"]
+        engine = cls.__new__(cls)
+        engine.dtype = np.dtype(spec["dtype"])
+        engine.max_batch = int(spec["max_batch"])
+        engine.bucket_multiple = int(spec["bucket_multiple"])
+        engine.concept_cache_size = int(spec["concept_cache_size"])
+        engine.stats = EngineStats(dtype=str(engine.dtype))
+        engine.score_tolerance = SCORE_TOLERANCE
+        engine._lock = threading.RLock()
+
+        engine._relational_dim = int(spec["relational_dim"])
+        if "bert" in meta:
+            if tokenizer is None and "tokenizer_vocab" in spec:
+                from ..plm import WordTokenizer
+                tokenizer = WordTokenizer(spec["tokenizer_vocab"])
+            if tokenizer is None:
+                raise ValueError("a tokenizer is required to attach a "
+                                 "relational engine")
+            engine.bert = CompiledBert.from_arrays(meta["bert"],
+                                                   sub("bert."))
+            engine._tokenizer = tokenizer
+            engine._use_template = bool(spec["use_template"])
+            from ..plm.relational import TEMPLATE_WORDS
+            engine._infix = [tokenizer.token_to_id(w)
+                             for w in TEMPLATE_WORDS]
+            engine._cls_id = tokenizer.cls_id
+            engine._sep_id = tokenizer.sep_id
+            engine._pad_id = tokenizer.pad_id
+            engine._max_len = engine.bert.max_len
+            engine._token_cache = {}
+            engine._pair_cache = {}
+            engine._concept_cache = OrderedDict()
+        else:
+            engine.bert = None
+
+        engine._structural_dim = int(spec["structural_dim"])
+        engine._graph = None
+        engine._structural_epoch = int(spec["structural_epoch"])
+        engine._shared_structural = False
+        engine.node_dtype = np.dtype(spec["node_dtype"])
+        engine.stats.node_dtype = str(engine.node_dtype)
+        engine.stats.structural_epoch = engine._structural_epoch
+        if "structural" in meta:
+            structural = meta["structural"]
+            engine._gnn = CompiledPropagation.from_arrays(meta["gnn"],
+                                                          sub("gnn."))
+            names = json.loads(bytes(arrays["graph.names"])
+                               .decode("utf-8"))
+            engine._graph = DynamicGraph.from_csr(names, sub("graph."))
+            engine._num_nodes = int(structural["num_nodes"])
+            engine._hidden_dim = int(structural["hidden_dim"])
+            engine._features = arrays["structural.features"]
+            engine._hidden_layers = [
+                arrays[f"structural.hidden{k}"]
+                for k in range(engine._gnn.num_hops)]
+            engine._node_matrix = arrays["structural.node_matrix"]
+            engine._shared_structural = True
+            engine.stats.structural_nodes = engine._num_nodes
+            if structural["use_position"]:
+                engine._position_parent = \
+                    arrays["structural.position_parent"]
+                engine._position_child = \
+                    arrays["structural.position_child"]
+            else:
+                engine._position_parent = None
+                engine._position_child = None
+        else:
+            engine._node_matrix = None
+
+        engine.classifier = CompiledClassifier.from_arrays(
+            meta["classifier"], sub("classifier."))
+        engine.feature_dim = engine._relational_dim \
+            + engine._structural_dim
+        return engine
+
+    def _materialize_structural(self) -> None:
+        """Copy shared structural views into private, growable buffers.
+
+        Copy-on-write: an attached engine serves directly off the shared
+        segments until its first mutation (streamed attachment or full
+        recompute); this copies features, per-hop hidden states, and the
+        node matrix — with fresh growth slack and a zero fallback row —
+        so no write ever lands on a shared mapping.  The shared weight
+        arrays (BERT/classifier/GNN) are never mutated and stay shared
+        for the engine's lifetime.  Caller holds the engine lock.
+        """
+        if not self._shared_structural:
+            return
+        count = self._num_nodes
+        capacity = count + 1 + self._GROWTH_SLACK
+
+        def private(buffer: np.ndarray) -> np.ndarray:
+            replacement = np.zeros((capacity, buffer.shape[1]),
+                                   dtype=buffer.dtype)
+            replacement[:count] = buffer[:count]
+            return replacement
+
+        self._features = private(self._features)
+        self._hidden_layers = [private(hidden)
+                               for hidden in self._hidden_layers]
+        self._node_matrix = private(self._node_matrix)
+        self._shared_structural = False

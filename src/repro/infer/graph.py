@@ -179,6 +179,54 @@ class DynamicGraph:
         return np.unique(np.concatenate(parts))
 
     # ------------------------------------------------------------------
+    # flat CSR export / zero-copy attach
+    # ------------------------------------------------------------------
+    def export_csr(self) -> dict:
+        """Flatten the adjacency into contiguous CSR slabs.
+
+        Returns ``{"indptr", "cols", "weights", "degrees"}`` — the shape
+        published into shared memory so worker processes can rebuild the
+        graph with :meth:`from_csr` without touching the bundle on disk.
+        Self-loops stay implicit, exactly as stored.
+        """
+        size = self.num_nodes
+        indptr = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum([len(row) for row in self._neighbors], out=indptr[1:])
+        cols = (np.concatenate(self._neighbors) if size
+                else np.empty(0, dtype=np.int64)).astype(np.int64, copy=False)
+        weights = (np.concatenate(self._weights) if size
+                   else np.empty(0, dtype=np.float64)).astype(
+                       np.float64, copy=False)
+        return {
+            "indptr": indptr, "cols": cols, "weights": weights,
+            "degrees": np.asarray(self._degrees, dtype=np.float64),
+        }
+
+    @classmethod
+    def from_csr(cls, nodes: list[str], csr: dict) -> "DynamicGraph":
+        """Rebuild a graph whose per-node rows are *views* into CSR slabs.
+
+        The slabs may be read-only shared-memory segments: row arrays are
+        zero-copy slices, and the first :meth:`add_edge` touching a row
+        replaces that row's arrays with private copies (``np.append``
+        allocates), so growth never writes through the shared mapping.
+        """
+        graph = object.__new__(cls)
+        indptr = csr["indptr"]
+        cols = csr["cols"]
+        weights = csr["weights"]
+        graph._names = list(nodes)
+        graph._index = {node: row for row, node in enumerate(graph._names)}
+        if len(graph._index) != len(graph._names):
+            raise ValueError("duplicate node names in CSR export")
+        graph._neighbors = [cols[indptr[row]:indptr[row + 1]]
+                            for row in range(len(graph._names))]
+        graph._weights = [weights[indptr[row]:indptr[row + 1]]
+                          for row in range(len(graph._names))]
+        graph._degrees = [float(degree) for degree in csr["degrees"]]
+        return graph
+
+    # ------------------------------------------------------------------
     # export (parity oracle)
     # ------------------------------------------------------------------
     def dense_adjacency(self) -> np.ndarray:

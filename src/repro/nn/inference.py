@@ -262,6 +262,30 @@ class _CompiledEncoderLayer:
                  "w_ffn1", "b_ffn1", "w_ffn2", "b_ffn2",
                  "norm2_gamma", "norm2_beta", "norm2_eps")
 
+    #: array-valued slots, exported verbatim into shared-memory segments
+    ARRAY_FIELDS = ("w_qkv", "b_qkv", "w_attn_out", "b_attn_out",
+                    "norm1_gamma", "norm1_beta",
+                    "w_ffn1", "b_ffn1", "w_ffn2", "b_ffn2",
+                    "norm2_gamma", "norm2_beta")
+    #: scalar slots, carried in the (picklable) manifest meta instead
+    SCALAR_FIELDS = ("norm1_eps", "norm2_eps")
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "_CompiledEncoderLayer":
+        """Rebuild a layer over externally owned (e.g. shared) arrays."""
+        layer = object.__new__(cls)
+        for name in cls.ARRAY_FIELDS:
+            setattr(layer, name, arrays[name])
+        for name in cls.SCALAR_FIELDS:
+            setattr(layer, name, float(meta[name]))
+        return layer
+
+    def export_arrays(self) -> tuple[dict, dict]:
+        """Split the layer into (scalar meta, array fields)."""
+        meta = {name: getattr(self, name) for name in self.SCALAR_FIELDS}
+        arrays = {name: getattr(self, name) for name in self.ARRAY_FIELDS}
+        return meta, arrays
+
     def __init__(self, layer, dtype):
         attention = layer.attention
         # The 1/sqrt(head_dim) score scale is folded into the query
@@ -314,6 +338,55 @@ class CompiledBert:
         self.layers = [_CompiledEncoderLayer(layer, dtype)
                        for layer in model.encoder.layers]
         self.workspace = Workspace()
+
+    #: top-level embedding arrays exported for zero-copy attach
+    ARRAY_FIELDS = ("token_embedding", "position_embedding",
+                    "segment_embedding", "emb_gamma", "emb_beta")
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "CompiledBert":
+        """Rebuild an encoder over externally owned (e.g. shared) arrays.
+
+        ``meta``/``arrays`` are what :meth:`export_arrays` produced; the
+        arrays may be read-only shared-memory views — ``encode`` never
+        writes to weights, only to its private :class:`Workspace`.
+        """
+        model = object.__new__(cls)
+        model.dtype = np.dtype(meta["dtype"])
+        model.dim = int(meta["dim"])
+        model.num_heads = int(meta["num_heads"])
+        model.max_len = int(meta["max_len"])
+        model.emb_eps = float(meta["emb_eps"])
+        for name in cls.ARRAY_FIELDS:
+            setattr(model, name, arrays[name])
+        model.layers = [
+            _CompiledEncoderLayer.from_arrays(
+                layer_meta,
+                {name: arrays[f"layer{i}.{name}"]
+                 for name in _CompiledEncoderLayer.ARRAY_FIELDS})
+            for i, layer_meta in enumerate(meta["layers"])
+        ]
+        model.workspace = Workspace()
+        return model
+
+    def export_arrays(self) -> tuple[dict, dict]:
+        """Flatten the encoder into (picklable meta, flat array dict).
+
+        The inverse of :meth:`from_arrays`; per-layer arrays are keyed
+        ``layer{i}.{field}``.
+        """
+        meta = {
+            "dtype": self.dtype.str, "dim": self.dim,
+            "num_heads": self.num_heads, "max_len": self.max_len,
+            "emb_eps": self.emb_eps, "layers": [],
+        }
+        arrays = {name: getattr(self, name) for name in self.ARRAY_FIELDS}
+        for i, layer in enumerate(self.layers):
+            layer_meta, layer_arrays = layer.export_arrays()
+            meta["layers"].append(layer_meta)
+            for name, array in layer_arrays.items():
+                arrays[f"layer{i}.{name}"] = array
+        return meta, arrays
 
     # ------------------------------------------------------------------
     # forward
@@ -401,6 +474,24 @@ class CompiledClassifier:
         self.b_hidden = _flat(classifier.hidden.bias.data, dtype)
         self.w_out = _flat(classifier.output.weight.data, dtype)
         self.b_out = _flat(classifier.output.bias.data, dtype)
+
+    #: array fields exported for zero-copy attach
+    ARRAY_FIELDS = ("w_hidden", "b_hidden", "w_out", "b_out")
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "CompiledClassifier":
+        """Rebuild the head over externally owned (e.g. shared) arrays."""
+        head = object.__new__(cls)
+        head.dtype = np.dtype(meta["dtype"])
+        for name in cls.ARRAY_FIELDS:
+            setattr(head, name, arrays[name])
+        return head
+
+    def export_arrays(self) -> tuple[dict, dict]:
+        """Flatten the head into (picklable meta, array dict)."""
+        meta = {"dtype": self.dtype.str}
+        arrays = {name: getattr(self, name) for name in self.ARRAY_FIELDS}
+        return meta, arrays
 
     def logits(self, features: np.ndarray) -> np.ndarray:
         hidden = linear(features, self.w_hidden, self.b_hidden)
@@ -528,6 +619,36 @@ class _CompiledGNNLayer:
                  "w_neigh", "b_neigh", "attn_src", "attn_dst",
                  "negative_slope", "out_dim")
 
+    #: array-valued slots per layer kind, exported for zero-copy attach
+    KIND_ARRAYS = {
+        "gat": ("weight", "bias", "attn_src", "attn_dst"),
+        "sage": ("w_self", "b_self", "w_neigh", "b_neigh"),
+        "gcn": ("weight", "bias"),
+    }
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "_CompiledGNNLayer":
+        """Rebuild one hop over externally owned (e.g. shared) arrays."""
+        layer = object.__new__(cls)
+        layer.kind = meta["kind"]
+        layer.activation = meta["activation"]
+        for name in cls.KIND_ARRAYS[layer.kind]:
+            setattr(layer, name, arrays[name])
+        if layer.kind == "gat":
+            layer.negative_slope = float(meta["negative_slope"])
+        first = cls.KIND_ARRAYS[layer.kind][0]
+        layer.out_dim = getattr(layer, first).shape[1]
+        return layer
+
+    def export_arrays(self) -> tuple[dict, dict]:
+        """Split the hop into (scalar meta, array fields)."""
+        meta = {"kind": self.kind, "activation": self.activation}
+        if self.kind == "gat":
+            meta["negative_slope"] = self.negative_slope
+        arrays = {name: getattr(self, name)
+                  for name in self.KIND_ARRAYS[self.kind]}
+        return meta, arrays
+
     def __init__(self, layer, dtype):
         self.activation = layer.activation
         if hasattr(layer, "attn_src"):          # GATLayer
@@ -567,6 +688,40 @@ class CompiledPropagation:
         self.dtype = np.dtype(dtype)
         self.layers = [_CompiledGNNLayer(layer, self.dtype)
                        for layer in layers]
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "CompiledPropagation":
+        """Rebuild the stack over externally owned (e.g. shared) arrays.
+
+        ``meta``/``arrays`` are what :meth:`export_arrays` produced; the
+        arrays may be read-only shared-memory views — the propagation
+        kernels only read weights and allocate fresh outputs.
+        """
+        stack = object.__new__(cls)
+        stack.dtype = np.dtype(meta["dtype"])
+        stack.layers = [
+            _CompiledGNNLayer.from_arrays(
+                layer_meta,
+                {name: arrays[f"layer{i}.{name}"]
+                 for name in _CompiledGNNLayer.KIND_ARRAYS[layer_meta["kind"]]})
+            for i, layer_meta in enumerate(meta["layers"])
+        ]
+        return stack
+
+    def export_arrays(self) -> tuple[dict, dict]:
+        """Flatten the stack into (picklable meta, flat array dict).
+
+        The inverse of :meth:`from_arrays`; per-hop arrays are keyed
+        ``layer{i}.{field}``.
+        """
+        meta = {"dtype": self.dtype.str, "layers": []}
+        arrays: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            layer_meta, layer_arrays = layer.export_arrays()
+            meta["layers"].append(layer_meta)
+            for name, array in layer_arrays.items():
+                arrays[f"layer{i}.{name}"] = array
+        return meta, arrays
 
     @property
     def num_hops(self) -> int:

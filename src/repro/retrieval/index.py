@@ -191,6 +191,69 @@ class CandidateIndex:
             return replace(self._stats, size=self._count)
 
     # ------------------------------------------------------------------
+    # shared-memory slab export / zero-copy attach
+    # ------------------------------------------------------------------
+    def export_slab(self) -> tuple[dict, dict]:
+        """The index's resident state as ``(meta, arrays)``.
+
+        ``arrays`` holds the embedding matrix and cached row norms
+        (trimmed to the live row count, contiguous) — the shape
+        :meth:`repro.serving.shm.SharedArtifactStore.publish` copies
+        into segments under the ``"retrieval"`` label.  ``meta`` carries
+        the concept list and config so :meth:`from_slab` can rebuild a
+        search-identical index over attached views without touching the
+        source embeddings.
+        """
+        from dataclasses import asdict
+        with self._lock:
+            return (
+                {"concepts": list(self._concepts),
+                 "config": asdict(self.config)},
+                {"matrix": np.ascontiguousarray(
+                    self._matrix[:self._count]),
+                 "norms": np.ascontiguousarray(
+                     self._norms[:self._count])},
+            )
+
+    @classmethod
+    def from_slab(cls, meta: dict, arrays: dict) -> "CandidateIndex":
+        """Rebuild an index over (possibly shared, read-only) slab views.
+
+        The matrix and norm buffers are adopted zero-copy; search serves
+        straight from them and partitions are re-derived deterministically
+        (seeded k-means over identical rows).  The first :meth:`add`
+        reallocates into private memory — capacity equals the live count,
+        so growth never writes through a shared mapping.
+        """
+        config = IndexConfig(**dict(meta["config"]))
+        index = cls.__new__(cls)
+        index.config = config
+        index._lock = threading.RLock()
+        index._concepts = [str(concept) for concept in meta["concepts"]]
+        index._row_of = {concept: row for row, concept
+                         in enumerate(index._concepts)}
+        if len(index._row_of) != len(index._concepts):
+            raise ValueError("concepts must be unique")
+        index._count = len(index._concepts)
+        matrix = arrays["matrix"]
+        norms = arrays["norms"]
+        if matrix.shape[0] != index._count or norms.shape[0] != index._count:
+            raise ValueError(
+                f"slab rows ({matrix.shape[0]}) disagree with concept "
+                f"count ({index._count})")
+        index._matrix = matrix
+        index._norms = norms
+        index._stats = IndexStats(size=index._count)
+        index._centroids = None
+        index._centroid_norms = None
+        index._cells = []
+        index._cell_arrays = None
+        index._partitions_enabled = False
+        if index._count >= config.partition_min_rows:
+            index._build_partitions()
+        return index
+
+    # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------
     def search(self, queries: np.ndarray, k: int, *,

@@ -5,7 +5,9 @@ Train once, serve forever: :class:`ArtifactBundle` decouples the training
 process from the serving process; :class:`BatchingScorer` and
 :class:`StreamingIngestor` give the online path micro-batching, caching
 and backpressure; :class:`ShardedScorerPool` spreads scoring across
-worker processes (one compiled engine each); :class:`IngestJournal`
+worker processes that attach one shared-memory weight copy zero-copy
+(:class:`SharedArtifactStore` / :class:`SharedBundleView`, private-load
+fallback); :class:`IngestJournal`
 makes ingestion durable and replayable across restarts;
 :class:`TaxonomyService` plus :func:`make_server` expose it all over a
 stdlib JSON API (``repro serve`` on the command line), including
@@ -16,8 +18,10 @@ for the endpoint reference, and ``docs/operations.md`` for the runbook.
 """
 
 from .artifacts import (
-    ArtifactBundle, pipeline_config_from_dict, pipeline_config_to_dict,
+    ArtifactBundle, SharedBundleView, pipeline_config_from_dict,
+    pipeline_config_to_dict,
 )
+from .shm import SharedArtifactStore, SharedArrayView, attach_manifest
 from .scorer import BatchingScorer, ScorerStats
 from .ingest import (
     IngestTicket, StreamingIngestor, click_log_from_records,
@@ -26,7 +30,7 @@ from .ingest import (
 from .journal import (
     IngestJournal, JournalCorruptionWarning, JournalRecord, JournalStats,
 )
-from .cluster import PoolStats, ShardedScorerPool
+from .cluster import PoolStats, ShardedScorerPool, shared_memory_default
 from .service import ServiceConfig, TaxonomyService
 from .http import (
     TaxonomyHTTPServer, install_sighup_reload, make_server, serve,
@@ -39,7 +43,9 @@ __all__ = [
     "click_log_to_records",
     "IngestJournal", "JournalCorruptionWarning", "JournalRecord",
     "JournalStats",
-    "PoolStats", "ShardedScorerPool",
+    "PoolStats", "ShardedScorerPool", "shared_memory_default",
+    "SharedArtifactStore", "SharedArrayView", "SharedBundleView",
+    "attach_manifest",
     "ServiceConfig", "TaxonomyService",
     "TaxonomyHTTPServer", "install_sighup_reload", "make_server", "serve",
 ]

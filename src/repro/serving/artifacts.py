@@ -42,7 +42,7 @@ from ..taxonomy import (
     ConceptVocabulary, Taxonomy, load_taxonomy, save_taxonomy,
 )
 
-__all__ = ["ArtifactBundle", "pipeline_config_to_dict",
+__all__ = ["ArtifactBundle", "SharedBundleView", "pipeline_config_to_dict",
            "pipeline_config_from_dict"]
 
 FORMAT_VERSION = 1
@@ -229,3 +229,71 @@ class ArtifactBundle:
     def score_pairs(self, pairs: list[tuple[str, str]]) -> np.ndarray:
         """Positive-class probabilities from the bundled detector."""
         return self.pipeline.score_pairs(pairs)
+
+
+class _AttachedDetector:
+    """Duck-typed detector shim exposing an attached inference engine."""
+
+    __slots__ = ("inference_engine",)
+
+    def __init__(self, engine):
+        self.inference_engine = engine
+
+
+class _AttachedPipeline:
+    """Duck-typed pipeline shim over an attached inference engine."""
+
+    __slots__ = ("detector",)
+
+    def __init__(self, engine):
+        self.detector = _AttachedDetector(engine)
+
+
+class SharedBundleView:
+    """A worker-side bundle served entirely from shared-memory segments.
+
+    The zero-copy counterpart of :meth:`ArtifactBundle.load` for pool
+    workers: instead of re-reading weights from disk and compiling its own
+    engine, the worker attaches the parent's published segments
+    (:func:`repro.serving.shm.attach_manifest`) and rebuilds an
+    :class:`~repro.infer.InferenceEngine` whose weight arrays are read-only
+    views over the shared buffers — scores are bit-identical to a
+    privately loaded bundle because the views *are* the parent engine's
+    arrays.  Exposes the same ``score_pairs`` /
+    ``pipeline.detector.inference_engine`` surface the worker loop uses,
+    so the private :class:`ArtifactBundle` fallback stays a drop-in swap.
+    """
+
+    mode = "shared"
+
+    def __init__(self, engine, view, directory: str | None = None):
+        self.engine = engine
+        self.view = view
+        self.directory = directory
+        self.pipeline = _AttachedPipeline(engine)
+
+    @classmethod
+    def attach(cls, manifest: dict,
+               directory: str | None = None) -> "SharedBundleView":
+        """Attach a published manifest and build the view-backed engine.
+
+        Raises when any segment is missing or incompatible — the worker
+        loop treats that as "fall back to ``ArtifactBundle.load``".
+        """
+        from ..infer.engine import InferenceEngine
+        from .shm import attach_manifest
+        view = attach_manifest(manifest)
+        try:
+            engine = InferenceEngine.attach_shared(view.meta, view.arrays)
+        except BaseException:
+            view.close()
+            raise
+        return cls(engine, view, directory=directory)
+
+    def score_pairs(self, pairs: list[tuple[str, str]]) -> np.ndarray:
+        """Positive-class probabilities from the attached engine."""
+        return self.engine.score_pairs(pairs)
+
+    def close(self) -> None:
+        """Unmap the attached segments (best-effort, idempotent)."""
+        self.view.close()

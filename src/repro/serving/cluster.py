@@ -38,6 +38,18 @@ Design notes:
   respawns dead workers in the background instead of waiting for the
   next request to their shard, so a crashed worker's shard is usually
   healthy again before traffic notices.
+* **zero-copy shared weights** — by default (``REPRO_SHM`` unset or
+  truthy, fast inference mode) the parent publishes every read-only
+  engine array into :class:`~repro.serving.shm.SharedArtifactStore`
+  segments once; workers attach the segments and build view-backed
+  engines (:class:`~repro.serving.artifacts.SharedBundleView`) instead
+  of loading + compiling privately.  Memory stays O(1) in worker count,
+  respawn skips the bundle load entirely, and hot reload becomes a
+  two-phase segment swap (publish generation g+1, roll workers, retire
+  g).  Attach failure falls back to the private-copy path per worker
+  (``attach_failures`` counter) — scores are bit-identical either way
+  because attached views hold exactly the arrays a private compile
+  produces.
 
 Scores agree with the in-process engine within the documented float32
 tolerance (``repro.nn.SCORE_TOLERANCE``): sharding changes batch
@@ -50,17 +62,35 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import threading
+import time
+import warnings
 import zlib
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-__all__ = ["PoolStats", "ShardedScorerPool"]
+__all__ = ["PoolStats", "ShardedScorerPool", "shared_memory_default"]
 
 Pair = tuple[str, str]
 
 #: seconds a freshly spawned worker gets to load + compile its bundle
 READY_TIMEOUT = 120.0
+
+#: environment variable gating the shared-memory worker path
+SHM_ENV = "REPRO_SHM"
+
+#: bound on the retained respawn-duration samples (histogram source)
+_RESPAWN_SAMPLE_LIMIT = 512
+
+
+def shared_memory_default() -> bool:
+    """Whether ``REPRO_SHM`` enables zero-copy workers (default: on).
+
+    Any of ``0 / off / false / no`` disables sharing; unknown values
+    keep the default so serving never dies on a typo'd environment.
+    """
+    raw = os.environ.get(SHM_ENV, "").strip().lower()
+    return raw not in ("0", "off", "false", "no")
 
 
 @dataclass
@@ -75,6 +105,12 @@ class PoolStats:
     watchdog_restarts: int = 0
     reloads: int = 0
     delta_broadcasts: int = 0
+    #: workers that fell back to a private bundle load because attaching
+    #: the shared segments failed (spawn or reload)
+    attach_failures: int = 0
+    #: parent-side failures to publish shared segments (pool falls back
+    #: to all-private workers)
+    shm_publish_failures: int = 0
     worker_pairs: dict[int, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -88,17 +124,44 @@ class PoolStats:
             "watchdog_restarts": self.watchdog_restarts,
             "reloads": self.reloads,
             "delta_broadcasts": self.delta_broadcasts,
+            "attach_failures": self.attach_failures,
+            "shm_publish_failures": self.shm_publish_failures,
             "worker_pairs": dict(self.worker_pairs),
         }
 
 
-def _worker_main(conn, bundle_dir: str) -> None:
-    """Worker-process entry point: load the bundle, serve the pipe.
+def _load_worker_bundle(bundle_dir: str, shared_manifest: dict | None
+                        ) -> tuple[object, dict]:
+    """Attach the shared segments, falling back to a private load.
 
-    Messages are processed strictly in order, which is what makes
-    reload-behind-inflight draining work.  Per-message failures are
-    reported back as ``("err", req_id, repr)``; only a broken pipe (the
-    parent died) exits the loop.
+    Returns ``(bundle, info)`` where ``info`` reports the mode the
+    worker actually ended up in (``shared`` or ``private``) plus the
+    attach error, if any — the parent surfaces both through stats and
+    ``/metrics``.
+    """
+    from .artifacts import ArtifactBundle, SharedBundleView
+    info = {"mode": "private", "attach_error": None}
+    if shared_manifest is not None:
+        try:
+            bundle = SharedBundleView.attach(shared_manifest, bundle_dir)
+            info["mode"] = "shared"
+            return bundle, info
+        except BaseException as error:
+            info["attach_error"] = repr(error)
+    return ArtifactBundle.load(bundle_dir), info
+
+
+def _worker_main(conn, bundle_dir: str,
+                 shared_manifest: dict | None = None) -> None:
+    """Worker-process entry point: attach or load the bundle, serve the pipe.
+
+    With a ``shared_manifest`` the worker attaches the parent's
+    shared-memory segments zero-copy (falling back to a private
+    ``ArtifactBundle.load`` when attach fails); without one it loads
+    privately as before.  Messages are processed strictly in order,
+    which is what makes reload-behind-inflight draining work.
+    Per-message failures are reported back as ``("err", req_id, repr)``;
+    only a broken pipe (the parent died) exits the loop.
     """
     import signal
     # The parent coordinates shutdown over the pipe; a terminal Ctrl-C
@@ -106,15 +169,19 @@ def _worker_main(conn, bundle_dir: str) -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     if hasattr(signal, "SIGHUP"):
         signal.signal(signal.SIGHUP, signal.SIG_IGN)
+    # Forked workers inherit the parent's chained SIGTERM unlink handler
+    # (repro.serving.shm); only the owner may tear segments down, so
+    # restore the default disposition for a clean terminate().
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
 
-    from .artifacts import ArtifactBundle
+    from .artifacts import ArtifactBundle, SharedBundleView
     try:
-        bundle = ArtifactBundle.load(bundle_dir)
+        bundle, info = _load_worker_bundle(bundle_dir, shared_manifest)
     except BaseException as error:
         conn.send(("fatal", repr(error)))
         conn.close()
         return
-    conn.send(("ready", os.getpid()))
+    conn.send(("ready", os.getpid(), info))
     parent_pid = os.getppid()
 
     while True:
@@ -137,13 +204,19 @@ def _worker_main(conn, bundle_dir: str) -> None:
                 conn.send(("ok", req_id, np.asarray(scores,
                                                     dtype=np.float64)))
             elif kind == "reload":
-                new_bundle = ArtifactBundle.load(message[2])
+                directory = message[2]
+                manifest = message[3] if len(message) > 3 else None
+                new_bundle, outcome = _load_worker_bundle(directory,
+                                                          manifest)
+                outcome["directory"] = directory
                 old = bundle
                 bundle = new_bundle
                 engine = old.pipeline.detector.inference_engine
                 if engine is not None:
                     engine.drain(timeout=5.0)
-                conn.send(("ok", req_id, message[2]))
+                if isinstance(old, SharedBundleView):
+                    old.close()
+                conn.send(("ok", req_id, outcome))
             elif kind == "delta":
                 # Structural attachment delta: the worker's own engine
                 # merges the edges and recomputes the dirty frontier.
@@ -217,6 +290,8 @@ class _Worker:
         self.pending: dict[int, _ShardFuture] = {}
         self.pending_lock = threading.Lock()
         self.alive = False
+        #: "shared" when serving attached segments, else "private"
+        self.mode = "private"
 
 
 class ShardedScorerPool:
@@ -246,18 +321,37 @@ class ShardedScorerPool:
         Seconds between proactive liveness sweeps; the watchdog thread
         respawns dead workers in the background (``None`` or ``0``
         disables it, reverting to respawn-on-next-request only).
+    share_memory:
+        Publish the engine's read-only arrays into shared-memory
+        segments so workers attach zero-copy instead of loading the
+        bundle privately.  ``None`` (default) reads ``REPRO_SHM``
+        (enabled unless set to ``0/off/false/no``); sharing is skipped
+        automatically when the inference mode is not ``fast``.
+    bundle:
+        Optional parent-loaded :class:`~repro.serving.artifacts.ArtifactBundle`
+        for ``bundle_dir`` — reused for the initial segment publish so
+        the weights are not read from disk twice.
     """
 
     def __init__(self, bundle_dir: str, num_workers: int = 2,
                  mp_context: str | None = None,
                  request_timeout: float = 60.0,
-                 watchdog_interval: float | None = 5.0):
+                 watchdog_interval: float | None = 5.0,
+                 share_memory: bool | None = None,
+                 bundle=None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.bundle_dir = bundle_dir
         self.num_workers = num_workers
         self.request_timeout = request_timeout
         self.watchdog_interval = watchdog_interval or None
+        self._share_requested = (shared_memory_default()
+                                 if share_memory is None
+                                 else bool(share_memory))
+        self._seed_bundle = bundle
+        self._store = None
+        self._manifest: dict | None = None
+        self._respawn_seconds: list[float] = []
         if mp_context is None:
             mp_context = ("fork" if "fork" in mp.get_all_start_methods()
                           else "spawn")
@@ -283,9 +377,16 @@ class ShardedScorerPool:
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "ShardedScorerPool":
-        """Spawn every worker and wait until each has compiled; idempotent."""
+        """Spawn every worker and wait until each has compiled; idempotent.
+
+        When sharing is enabled the read-only engine arrays are
+        published into shared-memory segments first (one copy, created
+        before any fork) so every worker can attach them zero-copy.
+        """
         with self._lock:
             self._stopping = False
+            if self._share_requested and self._manifest is None:
+                self._publish_bundle(self.bundle_dir)
             for worker in self._workers:
                 if not worker.alive:
                     self._spawn(worker, restart=self._started)
@@ -301,7 +402,16 @@ class ShardedScorerPool:
         return self
 
     def stop(self, timeout: float | None = 10.0) -> None:
-        """Stop workers and reap processes; idempotent."""
+        """Stop workers, reap processes, and unlink shared segments.
+
+        Idempotent and signal-safe: segment teardown goes through
+        :meth:`SharedArtifactStore.unlink
+        <repro.serving.shm.SharedArtifactStore.unlink>`, which unlinks
+        each segment exactly once whether invoked here, from ``atexit``,
+        or from the chained ``SIGTERM`` handler — so the stdlib
+        ``resource_tracker`` never sees a leaked (or double-freed)
+        segment.
+        """
         self._watchdog_stop.set()
         watchdog = self._watchdog
         if watchdog is not None:
@@ -324,10 +434,15 @@ class ShardedScorerPool:
                     if process.is_alive():
                         process.terminate()
                         process.join(5.0)
+                    worker.process = None
                 worker.alive = False
                 if worker.conn is not None:
                     worker.conn.close()
                     worker.conn = None
+            store, self._store = self._store, None
+            self._manifest = None
+            if store is not None:
+                store.unlink()
 
     @property
     def running(self) -> bool:
@@ -412,25 +527,46 @@ class ShardedScorerPool:
                timeout: float | None = None) -> list[dict]:
         """Swap every worker onto a new bundle; returns per-worker results.
 
+        With sharing enabled this is a **two-phase segment swap**: the
+        parent publishes the new bundle's arrays as generation ``g+1``
+        segments first, then rolls the manifest out to workers — each
+        re-attaches zero-copy without re-reading the bundle from disk —
+        and finally retires the generation-``g`` segments once every
+        worker has swapped (POSIX keeps retired segments mapped until
+        the last straggler lets go, so mid-rollout scoring never tears).
+
         The reload message queues behind in-flight scoring on each pipe,
         so requests already dispatched finish on the old engine and the
         swap drops nothing.  Workers that fail to load the new bundle
         report an error but keep serving their old engine.
         """
         timeout = self.request_timeout if timeout is None else timeout
+        # A missing bundle directory is the workers' error to report (they
+        # keep serving the old engine); publishing it would only add a
+        # spurious publish-failure warning on top.
+        manifest = (self._publish_bundle(bundle_dir)
+                    if self._share_requested and os.path.isdir(bundle_dir)
+                    else None)
         futures = [(worker.index,
-                    self._dispatch(worker.index, "reload", bundle_dir))
+                    self._dispatch(worker.index, "reload", bundle_dir,
+                                   manifest))
                    for worker in self._workers]
         results = []
         for index, future in futures:
             try:
-                future.wait(timeout)
-                results.append({"worker": index, "ok": True})
+                payload = future.wait(timeout)
+                entry = {"worker": index, "ok": True}
+                if isinstance(payload, dict):
+                    entry.update(payload)
+                    self._note_worker_mode(index, payload, manifest)
+                results.append(entry)
             except BaseException as error:
                 results.append({"worker": index, "ok": False,
                                 "error": repr(error)})
         if all(result["ok"] for result in results):
             self.bundle_dir = bundle_dir
+            if manifest is not None and self._store is not None:
+                self._store.retire_before(manifest["generation"])
             # Freshly loaded bundles start from on-disk structural state;
             # re-apply the accumulated attachment deltas so every shard
             # keeps serving the live graph (idempotent per edge, so the
@@ -516,9 +652,129 @@ class ShardedScorerPool:
             snapshot.worker_pairs = dict(self._stats.worker_pairs)
             return snapshot
 
+    def shared_memory_stats(self) -> dict:
+        """Shared-segment state for ``/metrics`` and operators.
+
+        ``enabled`` reports whether a manifest is currently published
+        (i.e. workers can attach); ``attached_workers`` counts workers
+        actually serving from shared views right now.
+        """
+        store = self._store
+        segment = (store.segment_stats() if store is not None
+                   and not store.closed else {"segments": 0, "bytes": 0,
+                                              "generations": {}})
+        manifest = self._manifest
+        with self._stats_lock:
+            attach_failures = self._stats.attach_failures
+            publish_failures = self._stats.shm_publish_failures
+        return {
+            "requested": self._share_requested,
+            "enabled": manifest is not None,
+            "generation": (int(manifest["generation"])
+                           if manifest is not None else 0),
+            "segments": int(segment["segments"]),
+            "bytes": int(segment["bytes"]),
+            "attached_workers": sum(
+                1 for worker in self._workers
+                if worker.alive and worker.mode == "shared"),
+            "attach_failures": attach_failures,
+            "publish_failures": publish_failures,
+        }
+
+    def respawn_stats(self) -> dict:
+        """Spawn-to-ready latency summary (count / total / max seconds)."""
+        with self._stats_lock:
+            samples = list(self._respawn_seconds)
+        return {
+            "count": len(samples),
+            "total_seconds": float(sum(samples)),
+            "max_seconds": float(max(samples)) if samples else 0.0,
+            "samples": samples,
+        }
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _publish_bundle(self, directory: str) -> dict | None:
+        """Publish ``directory``'s engine arrays as a new shm generation.
+
+        Returns the new manifest, or ``None`` when sharing is skipped
+        (non-fast inference mode) or publishing fails — the pool then
+        runs all-private workers, bit-identical but with per-worker
+        copies.  Reuses the parent-loaded seed bundle when it matches,
+        so initial publish reads the weights from disk exactly once.
+        """
+        from ..infer import MODE_FAST, default_inference_mode
+        from .artifacts import ArtifactBundle
+        from .shm import SharedArtifactStore
+        try:
+            if default_inference_mode() != MODE_FAST:
+                self._manifest = None
+                return None
+            bundle = self._seed_bundle
+            if bundle is None or getattr(bundle, "directory",
+                                         None) != directory:
+                bundle = ArtifactBundle.load(directory)
+            engine = bundle.pipeline.detector.compile_inference()
+            meta, arrays = engine.shared_state()
+            if self._store is None or self._store.closed:
+                self._store = SharedArtifactStore()
+            self._manifest = self._store.publish(arrays, meta=meta)
+            return self._manifest
+        except BaseException as error:
+            self._manifest = None
+            with self._stats_lock:
+                self._stats.shm_publish_failures += 1
+            warnings.warn(
+                f"shared-memory publish failed, using private workers: "
+                f"{error!r}", RuntimeWarning, stacklevel=2)
+            return None
+
+    def publish_shared(self, arrays: dict, meta: dict | None = None,
+                       label: str = "retrieval") -> dict | None:
+        """Publish an auxiliary array family (e.g. the retrieval slab).
+
+        Reuses the pool's segment store under an independent ``label``
+        with its own generation counter; re-publishing supersedes the
+        previous generation (retired immediately — auxiliary slabs have
+        no mid-rollout attachers to drain).  Returns the manifest, or
+        ``None`` when sharing is off or publishing fails.
+        """
+        if not self._share_requested:
+            return None
+        from .shm import SharedArtifactStore
+        try:
+            with self._lock:
+                if self._store is None or self._store.closed:
+                    self._store = SharedArtifactStore()
+                manifest = self._store.publish(arrays, meta=meta,
+                                               label=label)
+                self._store.retire_before(manifest["generation"],
+                                          label=label)
+            return manifest
+        except BaseException as error:
+            with self._stats_lock:
+                self._stats.shm_publish_failures += 1
+            warnings.warn(
+                f"shared publish of {label!r} arrays failed: {error!r}",
+                RuntimeWarning, stacklevel=2)
+            return None
+
+    def _note_worker_mode(self, index: int, info: dict,
+                          manifest: dict | None) -> None:
+        """Record a worker's attach outcome (spawn or reload)."""
+        mode = info.get("mode", "private")
+        self._workers[index].mode = mode
+        if manifest is not None and mode != "shared":
+            with self._stats_lock:
+                self._stats.attach_failures += 1
+            error = info.get("attach_error")
+            if error:
+                warnings.warn(
+                    f"scorer worker {index} fell back to a private "
+                    f"bundle load: {error}", RuntimeWarning,
+                    stacklevel=2)
+
     def _next_req_id(self) -> int:
         with self._counter_lock:
             self._req_counter += 1
@@ -555,11 +811,18 @@ class ShardedScorerPool:
 
     def _spawn(self, worker: _Worker, restart: bool,
                supervised: bool = False) -> None:
-        """Fork one worker and wait for its ready message.  Lock held."""
+        """Fork one worker and wait for its ready message.  Lock held.
+
+        Spawn-to-ready latency is recorded (``respawn_seconds``): with
+        shared segments the worker skips the bundle load + compile, so
+        the sample distribution is the headline respawn win.
+        """
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
-            target=_worker_main, args=(child_conn, self.bundle_dir),
+            target=_worker_main,
+            args=(child_conn, self.bundle_dir, self._manifest),
             name=f"repro-scorer-{worker.index}", daemon=True)
+        started_at = time.perf_counter()
         process.start()
         child_conn.close()
         if not parent_conn.poll(READY_TIMEOUT):
@@ -573,6 +836,9 @@ class ShardedScorerPool:
             raise RuntimeError(
                 f"scorer worker {worker.index} failed to load bundle: "
                 f"{message[1]}")
+        elapsed = time.perf_counter() - started_at
+        info = message[2] if len(message) > 2 else {}
+        self._note_worker_mode(worker.index, info, self._manifest)
         worker.process = process
         worker.conn = parent_conn
         worker.pending = {}
@@ -582,8 +848,10 @@ class ShardedScorerPool:
             name=f"repro-pool-reader-{worker.index}", daemon=True)
         worker.reader.start()
         self._replay_deltas(worker)
-        if restart:
-            with self._stats_lock:
+        with self._stats_lock:
+            if len(self._respawn_seconds) < _RESPAWN_SAMPLE_LIMIT:
+                self._respawn_seconds.append(elapsed)
+            if restart:
                 self._stats.worker_restarts += 1
                 if supervised:
                     self._stats.watchdog_restarts += 1

@@ -329,7 +329,27 @@ class TaxonomyService:
                 built.extend(missed)
                 self._retriever = built
                 self._index_rebuilds += 1
+                self._publish_retrieval_slab(built)
             return self._retriever
+
+    def _publish_retrieval_slab(self, retriever: CandidateRetriever) -> None:
+        """Mirror the freshly built index's embedding slab into shared
+        memory (``"retrieval"`` label of the pool's segment store).
+
+        Best-effort: the in-process index keeps serving either way; the
+        shared copy makes the slab attachable zero-copy
+        (:meth:`~repro.retrieval.CandidateIndex.from_slab`) and counts
+        toward ``repro_shm_segment_bytes``.  No-op without a pool or
+        with sharing disabled.
+        """
+        pool = self.pool
+        if pool is None or not hasattr(pool, "publish_shared"):
+            return
+        try:
+            meta, arrays = retriever.index.export_slab()
+            pool.publish_shared(arrays, meta=meta, label="retrieval")
+        except Exception:
+            pass
 
     def _build_retriever(self, bundle: ArtifactBundle,
                          concepts) -> CandidateRetriever:
@@ -867,6 +887,44 @@ class TaxonomyService:
                 lines.append(
                     f'repro_pool_worker_pairs_total{{worker="{index}"}} '
                     f"{pairs}")
+            shm = self.pool.shared_memory_stats()
+            metric("repro_shm_segments", "gauge",
+                   "Live shared-memory segments published by the pool.",
+                   shm["segments"])
+            metric("repro_shm_segment_bytes", "gauge",
+                   "Total bytes of live shared-memory segments (the one "
+                   "weight copy all workers map).", shm["bytes"])
+            metric("repro_shm_generation", "gauge",
+                   "Current shared-segment generation (bumps per hot "
+                   "reload).", shm["generation"])
+            metric("repro_pool_shared_workers", "gauge",
+                   "Workers currently serving zero-copy shared views.",
+                   shm["attached_workers"])
+            metric("repro_pool_attach_failures_total", "counter",
+                   "Workers that fell back to a private bundle load.",
+                   shm["attach_failures"])
+            metric("repro_pool_shm_publish_failures_total", "counter",
+                   "Parent-side shared-segment publish failures.",
+                   shm["publish_failures"])
+            respawn = self.pool.respawn_stats()
+            lines.append("# HELP repro_pool_respawn_seconds Worker "
+                         "spawn-to-ready latency.")
+            lines.append("# TYPE repro_pool_respawn_seconds histogram")
+            buckets = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+            samples = respawn["samples"]
+            for bound in buckets:
+                count = sum(1 for value in samples if value <= bound)
+                lines.append(
+                    f'repro_pool_respawn_seconds_bucket{{le="{bound}"}} '
+                    f"{count}")
+            lines.append(
+                f'repro_pool_respawn_seconds_bucket{{le="+Inf"}} '
+                f"{len(samples)}")
+            lines.append(
+                f"repro_pool_respawn_seconds_sum "
+                f"{respawn['total_seconds']}")
+            lines.append(
+                f"repro_pool_respawn_seconds_count {respawn['count']}")
 
         detector = self.bundle.pipeline.detector
         engine = detector.inference_engine if detector is not None else None

@@ -1,0 +1,437 @@
+"""Shared-memory artifact store: one weight copy shared by every worker.
+
+The :class:`SharedArtifactStore` owns the lifecycle of a family of
+``multiprocessing.shared_memory`` segments.  The serving parent publishes
+every read-only model array (compiled BERT/classifier/GNN weights, the
+node-embedding matrix, graph CSR slabs, the retrieval embedding slab) into
+segments exactly once; pool workers attach the segments zero-copy and build
+numpy views over the mapped buffers instead of re-reading the bundle from
+disk.  Hot reload becomes a two-phase segment swap: the parent publishes a
+new *generation* of segments, broadcasts the new manifest, and retires the
+old generation once every worker has re-attached.
+
+Lifecycle guarantees:
+
+* Segments are unlinked exactly once — ``unlink`` is idempotent, guarded by
+  an owner-pid check so forked children never tear down the parent's
+  segments, and wired into ``atexit`` plus a chained ``SIGTERM`` handler so
+  crash paths do not leak ``/dev/shm`` entries.
+* Attachers running their *own* stdlib ``resource_tracker`` (spawned or
+  unrelated processes) immediately unregister their mapping (bpo-38119):
+  before Python 3.13 every attach is otherwise auto-registered and the
+  attacher's tracker would both warn about "leaked" segments and unlink
+  them behind the owner's back.  Same-process and forked attachers share
+  the owner's tracker and leave its registration alone — it doubles as a
+  crash-proof backstop.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import signal
+import threading
+import weakref
+
+import numpy as np
+
+from multiprocessing import resource_tracker, shared_memory
+
+__all__ = ["SharedArtifactStore", "SharedArrayView", "attach_manifest"]
+
+#: default manifest label for engine/model arrays
+DEFAULT_LABEL = "engine"
+
+# ---------------------------------------------------------------------------
+# Process-wide cleanup registry
+
+
+_REGISTRY_LOCK = threading.Lock()
+_LIVE_STORES: "weakref.WeakSet[SharedArtifactStore]" = weakref.WeakSet()
+_CLEANUP_INSTALLED = False
+_PREVIOUS_SIGTERM = None
+
+
+def _cleanup_all() -> None:
+    """Unlink every live store owned by this process (idempotent)."""
+    for store in list(_LIVE_STORES):
+        try:
+            store.unlink()
+        except Exception:  # pragma: no cover - cleanup must never raise
+            pass
+
+
+def _sigterm_cleanup(signum, frame):  # pragma: no cover - exercised in subprocess tests
+    """Chained SIGTERM handler: unlink segments, then defer to the old handler."""
+    _cleanup_all()
+    previous = _PREVIOUS_SIGTERM
+    if callable(previous):
+        previous(signum, frame)
+    else:
+        # Re-raise with the default disposition so the exit status still
+        # reports death-by-SIGTERM to the parent.
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+
+def _install_cleanup() -> None:
+    """Register the atexit hook and chain SIGTERM, once per process."""
+    global _CLEANUP_INSTALLED, _PREVIOUS_SIGTERM
+    with _REGISTRY_LOCK:
+        if _CLEANUP_INSTALLED:
+            return
+        atexit.register(_cleanup_all)
+        try:
+            current = signal.getsignal(signal.SIGTERM)
+            if current is not _sigterm_cleanup:
+                _PREVIOUS_SIGTERM = current
+                signal.signal(signal.SIGTERM, _sigterm_cleanup)
+        except (ValueError, OSError):
+            # Not the main thread (or signals unavailable): atexit plus the
+            # stdlib resource_tracker still cover the exit paths.
+            pass
+        _CLEANUP_INSTALLED = True
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Drop an attached segment from the stdlib resource_tracker.
+
+    Attaching registers the segment with the tracker on Python < 3.13
+    (bpo-38119), which makes the *attacher's* tracker unlink it on exit and
+    spam "leaked shared_memory" warnings.  Only the creating process should
+    keep a tracker registration.
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+# Whether this process inherited an already-running resource_tracker from
+# its parent.  Multiprocessing children — fork AND spawn alike — write to
+# the *parent's* tracker pipe (fork inherits the fd; ``spawn.prepare``
+# hands it over explicitly), so their attach-time auto-registration lands
+# in the shared set and *unregistering would strip the owner's entry* —
+# the owner's later unlink would then double-unregister and the tracker
+# would log KeyError tracebacks.  A genuinely unrelated process starts a
+# private tracker, which WOULD unlink the segments out from under the
+# owner at exit — it must unregister.  ``register_at_fork`` catches raw
+# ``os.fork`` children; ``_tracker_inherited`` adds the spawn case.
+_TRACKER_INHERITED = False
+
+
+def _note_fork() -> None:  # pragma: no cover - runs only inside fork children
+    global _TRACKER_INHERITED
+    tracker = getattr(resource_tracker, "_resource_tracker", None)
+    _TRACKER_INHERITED = getattr(tracker, "_fd", None) is not None
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_note_fork)
+
+
+def _tracker_inherited() -> bool:
+    """True when this process shares its parent's resource tracker."""
+    if _TRACKER_INHERITED:
+        return True
+    try:
+        import multiprocessing
+        return multiprocessing.parent_process() is not None
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Attach side
+
+
+class SharedArrayView:
+    """Read-only numpy views over an attached manifest's segments.
+
+    Holds the mapped :class:`~multiprocessing.shared_memory.SharedMemory`
+    handles alive for as long as the views are in use; ``close`` drops the
+    views and unmaps best-effort (an outstanding external reference to a
+    view keeps the mapping valid — POSIX keeps unlinked segments readable
+    until the last map goes away).
+    """
+
+    def __init__(self, manifest, segments, arrays):
+        self._segments = list(segments)
+        self._arrays = dict(arrays)
+        self.label = manifest.get("label", DEFAULT_LABEL)
+        self.generation = int(manifest.get("generation", 0))
+        self.meta = manifest.get("meta")
+        self._closed = False
+
+    @property
+    def arrays(self) -> dict:
+        """Mapping of logical array name to read-only shared view."""
+        return self._arrays
+
+    def array(self, name: str) -> np.ndarray:
+        """Return the read-only view registered under ``name``."""
+        return self._arrays[name]
+
+    def nbytes(self) -> int:
+        """Total bytes mapped by this view."""
+        return int(sum(arr.nbytes for arr in self._arrays.values()))
+
+    def close(self) -> None:
+        """Drop the views and unmap the segments (idempotent, best-effort)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._arrays = {}
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:
+                # A caller still holds a view; the mapping stays alive until
+                # that reference dies, which is exactly what we want.
+                pass
+            except Exception:  # pragma: no cover - close must never raise
+                pass
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def attach_manifest(manifest) -> SharedArrayView:
+    """Attach every segment named by ``manifest`` and return read-only views.
+
+    Raises if any segment is missing or its size no longer matches the
+    manifest — callers treat that as "fall back to a private bundle load".
+    """
+    segments = []
+    arrays = {}
+    # Same-process attach (tests, single-process fallback) and
+    # multiprocessing children share the creator's tracker registration
+    # set, so unregistering here would strip the creator's entry and its
+    # unlink would then double-unregister.  Only a process with its *own*
+    # tracker (an unrelated attacher) must drop its registration.
+    foreign = (os.getpid() != int(manifest.get("owner_pid", -1))
+               and not _tracker_inherited())
+    try:
+        for logical, spec in manifest["arrays"].items():
+            segment = shared_memory.SharedMemory(name=spec["segment"])
+            if foreign:
+                _untrack(segment)
+            segments.append(segment)
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(int(dim) for dim in spec["shape"])
+            expected = int(spec["nbytes"])
+            if segment.size < expected:
+                raise ValueError(
+                    f"segment {spec['segment']!r} holds {segment.size} bytes, "
+                    f"manifest expects {expected}"
+                )
+            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf[:expected])
+            view.flags.writeable = False
+            arrays[logical] = view
+    except BaseException:
+        for segment in segments:
+            try:
+                segment.close()
+            except Exception:
+                pass
+        raise
+    return SharedArrayView(manifest, segments, arrays)
+
+
+# ---------------------------------------------------------------------------
+# Owner side
+
+
+class SharedArtifactStore:
+    """Create, publish, and retire shared-memory segments for model arrays.
+
+    One store manages any number of *labels* (independent artifact families
+    such as ``"engine"`` and ``"retrieval"``); each ``publish`` under a label
+    creates a new *generation* of segments and returns a picklable manifest
+    that attachers pass to :func:`attach_manifest`.  Old generations stay
+    mapped by workers mid-rollout and are reclaimed with ``retire_before``
+    once every worker has re-attached.
+    """
+
+    def __init__(self, prefix: str | None = None):
+        if prefix is None:
+            prefix = f"rp{os.getpid():x}-{secrets.token_hex(3)}"
+        self.prefix = prefix
+        self._owner_pid = os.getpid()
+        # RLock: unlink may re-enter from a signal handler that interrupts a
+        # publish on the same (main) thread.
+        self._lock = threading.RLock()
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._by_label: dict[str, dict[int, list[str]]] = {}
+        self._manifests: dict[str, dict] = {}
+        self._generations: dict[str, int] = {}
+        self._views: dict[str, dict[str, np.ndarray]] = {}
+        self._closed = False
+        _LIVE_STORES.add(self)
+        _install_cleanup()
+
+    # -- publishing ---------------------------------------------------------
+
+    def publish(self, arrays, meta=None, label: str = DEFAULT_LABEL) -> dict:
+        """Copy ``arrays`` into a fresh generation of segments.
+
+        ``arrays`` maps logical names to numpy arrays; each is copied once
+        into its own segment.  Returns the manifest for the new generation
+        (also retrievable via :meth:`manifest`).  The previous generation is
+        *not* unlinked — call :meth:`retire_before` after the rollout.
+        """
+        if meta is None:
+            meta = {}
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SharedArtifactStore is closed")
+            generation = self._generations.get(label, 0) + 1
+            segment_names: list[str] = []
+            specs: dict[str, dict] = {}
+            views: dict[str, np.ndarray] = {}
+            try:
+                for index, (logical, array) in enumerate(arrays.items()):
+                    source = np.ascontiguousarray(array)
+                    name = f"{self.prefix}-{label[:4]}{generation}-{index}"
+                    segment = shared_memory.SharedMemory(
+                        create=True, name=name, size=max(1, source.nbytes)
+                    )
+                    self._segments[name] = segment
+                    segment_names.append(name)
+                    view = np.ndarray(
+                        source.shape, dtype=source.dtype,
+                        buffer=segment.buf[: source.nbytes],
+                    )
+                    view[...] = source
+                    view.flags.writeable = False
+                    views[logical] = view
+                    specs[logical] = {
+                        "segment": name,
+                        "dtype": source.dtype.str,
+                        "shape": [int(dim) for dim in source.shape],
+                        "nbytes": int(source.nbytes),
+                    }
+            except BaseException:
+                for name in segment_names:
+                    self._unlink_segment(name)
+                raise
+            manifest = {
+                "store": self.prefix,
+                "owner_pid": self._owner_pid,
+                "label": label,
+                "generation": generation,
+                "arrays": specs,
+                "meta": meta,
+            }
+            self._by_label.setdefault(label, {})[generation] = segment_names
+            self._manifests[label] = manifest
+            self._generations[label] = generation
+            self._views[label] = views
+            return manifest
+
+    def manifest(self, label: str = DEFAULT_LABEL) -> dict | None:
+        """Current manifest for ``label`` (None if nothing published)."""
+        with self._lock:
+            return self._manifests.get(label)
+
+    def generation(self, label: str = DEFAULT_LABEL) -> int:
+        """Current generation number for ``label`` (0 if never published)."""
+        with self._lock:
+            return self._generations.get(label, 0)
+
+    def views(self, label: str = DEFAULT_LABEL) -> dict:
+        """Owner-side read-only views over the current generation's arrays."""
+        with self._lock:
+            return dict(self._views.get(label, {}))
+
+    # -- retirement ---------------------------------------------------------
+
+    def retire_before(self, generation: int, label: str = DEFAULT_LABEL) -> int:
+        """Unlink every generation of ``label`` older than ``generation``.
+
+        Safe while workers still map the old segments: POSIX keeps an
+        unlinked segment readable until the last attacher unmaps it.
+        Returns the number of segments unlinked.
+        """
+        removed = 0
+        with self._lock:
+            generations = self._by_label.get(label, {})
+            for old in [g for g in generations if g < generation]:
+                for name in generations.pop(old):
+                    self._unlink_segment(name)
+                    removed += 1
+        return removed
+
+    # -- stats --------------------------------------------------------------
+
+    def segment_stats(self) -> dict:
+        """Snapshot of live segment count, total bytes, and generations."""
+        with self._lock:
+            total = sum(seg.size for seg in self._segments.values())
+            return {
+                "segments": len(self._segments),
+                "bytes": int(total),
+                "generations": dict(self._generations),
+            }
+
+    def live_segment_names(self) -> list[str]:
+        """Names of every segment this store still owns (for tests/metrics)."""
+        with self._lock:
+            return sorted(self._segments)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`unlink` has torn the store down."""
+        return self._closed
+
+    # -- teardown -----------------------------------------------------------
+
+    def _unlink_segment(self, name: str) -> None:
+        segment = self._segments.pop(name, None)
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except BufferError:
+            # Owner-side views still referenced; unlink works regardless and
+            # the mapping is reclaimed when the last view dies.
+            pass
+        except Exception:  # pragma: no cover
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:  # pragma: no cover
+            pass
+
+    def unlink(self) -> None:
+        """Unlink every segment exactly once (idempotent, owner-only).
+
+        A forked child that inherits the store object is a no-op here: only
+        the creating process may tear the segments down.
+        """
+        if os.getpid() != self._owner_pid:
+            return
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._views.clear()
+            self._manifests.clear()
+            self._by_label.clear()
+            for name in list(self._segments):
+                self._unlink_segment(name)
+
+    close = unlink
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.unlink()
+        except Exception:
+            pass
