@@ -33,6 +33,7 @@ __all__ = [
     "not_ready",
     "payload_too_large",
     "reload_failed",
+    "snapshot_failed",
 ]
 
 #: every stable error code and the HTTP status it maps to — the single
@@ -46,6 +47,7 @@ ERROR_CODES: dict[str, int] = {
     "backpressure": 429,
     "not_ready": 503,
     "reload_failed": 500,
+    "snapshot_failed": 500,
     "internal_error": 500,
 }
 
@@ -138,6 +140,12 @@ def not_ready(message: str, *, retry_after: float = 1.0) -> ApiError:
 def reload_failed(message: str) -> ApiError:
     """500 — a hot reload was rejected; the previous model keeps serving."""
     return ApiError("reload_failed", message)
+
+
+def snapshot_failed(message: str) -> ApiError:
+    """500 — a snapshot could not be captured; serving state is
+    untouched (the previous snapshot set keeps covering recovery)."""
+    return ApiError("snapshot_failed", message)
 
 
 def internal_error(error: Exception) -> ApiError:

@@ -108,6 +108,11 @@ ROUTES: tuple = (
               response_model=schemas.ReloadResponse,
               error_codes=("reload_failed", "not_ready"),
               legacy_alias="/admin/reload", tags=("admin",)),
+    RouteSpec("POST", "/v1/admin/snapshot", "snapshot",
+              "Snapshot live state and compact the journal + delta "
+              "log behind it.",
+              response_model=schemas.SnapshotResponse,
+              error_codes=("snapshot_failed",), tags=("admin",)),
     RouteSpec("POST", "/v1/jobs/expand", "job_expand",
               "Submit an async expansion job; poll /v1/jobs/{job_id}.",
               request_model=schemas.ExpandRequest,
@@ -117,6 +122,11 @@ ROUTES: tuple = (
     RouteSpec("POST", "/v1/jobs/reload", "job_reload",
               "Submit an async hot-reload job; poll /v1/jobs/{job_id}.",
               request_model=schemas.ReloadRequest,
+              response_model=schemas.JobResponse,
+              error_codes=("backpressure", "not_ready"),
+              success_status=202, tags=("jobs",)),
+    RouteSpec("POST", "/v1/jobs/snapshot", "job_snapshot",
+              "Submit an async snapshot job; poll /v1/jobs/{job_id}.",
               response_model=schemas.JobResponse,
               error_codes=("backpressure", "not_ready"),
               success_status=202, tags=("jobs",)),

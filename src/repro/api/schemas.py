@@ -34,6 +34,7 @@ __all__ = [
     "ExpandRequest", "ExpandResponse",
     "IngestRequest", "IngestResponse",
     "ReloadRequest", "ReloadResponse",
+    "SnapshotResponse",
     "TaxonomyResponse", "HealthResponse",
     "JobResponse", "JobListResponse",
     "clean_candidates", "clean_pairs", "clean_records",
@@ -547,6 +548,34 @@ class ReloadResponse(SchemaModel):
 
 @_check_model
 @dataclass(frozen=True)
+class SnapshotResponse(SchemaModel):
+    """Outcome of one successful snapshot + compaction pass."""
+
+    snapshot: str = ""
+    seq: int = -1
+    bytes: int = 0
+    compacted_segments: int = 0
+    pool: dict = None
+
+    FIELDS = (
+        Field("snapshot", "string", required=True,
+              doc="Basename of the snapshot file written."),
+        Field("seq", "integer", required=True,
+              doc="Highest journal sequence the snapshot covers (-1 "
+                  "when the service runs without a journal)."),
+        Field("bytes", "integer", required=True,
+              doc="Encoded snapshot size on disk."),
+        Field("compacted_segments", "integer", required=True,
+              doc="Journal segments deleted or archived because this "
+                  "snapshot covers them."),
+        Field("pool", "object", nullable=True,
+              doc="Delta-log fold outcome (generation, baseline_edges, "
+                  "covered) when a scorer pool is attached."),
+    )
+
+
+@_check_model
+@dataclass(frozen=True)
 class TaxonomyResponse(SchemaModel):
     """Live taxonomy snapshot plus accumulated traffic statistics."""
 
@@ -584,6 +613,7 @@ class HealthResponse(SchemaModel):
     scorer: dict = None
     jobs: dict = None
     journal: dict = None
+    snapshots: dict = None
     retrieval: dict = None
     taxonomy_edges: int = 0
 
@@ -607,6 +637,9 @@ class HealthResponse(SchemaModel):
         Field("journal", "object", nullable=True,
               doc="Ingest-journal statistics (journaled services "
                   "only)."),
+        Field("snapshots", "object", nullable=True,
+              doc="Snapshot/compaction state (services with a snapshot "
+                  "store only)."),
         Field("retrieval", "object", nullable=True,
               doc="Candidate-index statistics (null until the first "
                   "suggest/retrieval-backed expand builds it)."),
@@ -633,7 +666,7 @@ class JobResponse(SchemaModel):
         Field("id", "string", required=True,
               doc="Opaque job identifier (poll at /v1/jobs/{id})."),
         Field("kind", "string", required=True,
-              doc='"expand" or "reload".'),
+              doc='"expand", "reload" or "snapshot".'),
         Field("status", "string", required=True,
               doc='"pending", "running", "succeeded" or "failed".'),
         Field("submitted_at", "number", required=True,

@@ -134,7 +134,7 @@ def cmd_expand(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from .serving import (
         ArtifactBundle, IngestJournal, ServiceConfig, ShardedScorerPool,
-        TaxonomyService, serve,
+        SnapshotStore, TaxonomyService, serve,
     )
     try:
         bundle = ArtifactBundle.load(args.artifacts)
@@ -168,23 +168,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
             args.journal_dir,
             max_segment_bytes=args.journal_segment_mb * 1024 * 1024,
             fsync_every=args.journal_fsync)
+    snapshots = None
+    if args.snapshot_dir:
+        snapshots = SnapshotStore(args.snapshot_dir,
+                                  keep=args.snapshot_keep)
     service = TaxonomyService(
         bundle,
         ServiceConfig(
             max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
             cache_size=args.cache_size,
-            max_ingest_queue=args.max_ingest_queue),
-        pool=pool, journal=journal)
+            max_ingest_queue=args.max_ingest_queue,
+            snapshot_every_records=args.snapshot_every,
+            snapshot_interval_seconds=args.snapshot_interval),
+        pool=pool, journal=journal, snapshots=snapshots)
     print(f"loaded artifacts from {args.artifacts} "
           f"(taxonomy: {bundle.taxonomy.num_nodes} nodes / "
           f"{bundle.taxonomy.num_edges} edges)")
-    if journal is not None:
-        summary = service.replay_journal()
-        print(f"journal replay from {args.journal_dir}: "
-              f"{summary['ingest']} ingest / {summary['expand']} expand / "
-              f"{summary['reload']} reload record(s), "
-              f"{summary['skipped']} skipped -> "
-              f"{summary['taxonomy_edges']} taxonomy edges")
+    if journal is not None or snapshots is not None:
+        summary = service.recover()
+        if summary.get("snapshot"):
+            print(f"restored snapshot {summary['snapshot']} "
+                  f"(covers seq {summary['snapshot_seq']}, "
+                  f"{summary['restored_edges']} attachments)")
+        if journal is not None:
+            print(f"journal replay from {args.journal_dir}: "
+                  f"{summary['ingest']} ingest / "
+                  f"{summary['expand']} expand / "
+                  f"{summary['reload']} reload record(s), "
+                  f"{summary['skipped']} skipped -> "
+                  f"{summary['taxonomy_edges']} taxonomy edges")
     try:
         serve(service, host=args.host, port=args.port, quiet=args.quiet)
     finally:
@@ -385,6 +397,23 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(1 = every record, 0 = OS write-back)")
     serve_parser.add_argument("--journal-segment-mb", type=int, default=4,
                               help="journal segment rotation size in MiB")
+    serve_parser.add_argument("--snapshot-dir", default=None,
+                              help="snapshot directory; startup restores "
+                                   "the latest valid snapshot and replays "
+                                   "only the journal tail after it, and "
+                                   "each snapshot compacts covered "
+                                   "journal segments")
+    serve_parser.add_argument("--snapshot-every", type=int, default=0,
+                              help="snapshot after this many journaled "
+                                   "records accumulate past the last one "
+                                   "(0 disables count-based scheduling)")
+    serve_parser.add_argument("--snapshot-interval", type=float,
+                              default=0.0,
+                              help="snapshot every N seconds "
+                                   "(0 disables time-based scheduling)")
+    serve_parser.add_argument("--snapshot-keep", type=int, default=2,
+                              help="snapshots retained on disk (>= 1; "
+                                   "older ones are pruned)")
     serve_parser.add_argument("--quiet", action="store_true",
                               help="suppress per-request access logs")
     serve_parser.set_defaults(func=cmd_serve)

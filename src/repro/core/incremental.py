@@ -62,6 +62,44 @@ class IncrementalExpander:
         """
         return self._accumulated
 
+    def export_state(self) -> dict:
+        """JSON-serialisable incremental state for snapshot capture.
+
+        Covers everything :meth:`ingest` accumulates *besides* the
+        taxonomy itself: the merged click counts with provenance, the
+        seen-candidate dedup set, and the batch counter.  Encodings are
+        sorted so identical state always serialises identically (stable
+        snapshot CRCs).  The taxonomy is deliberately excluded — the
+        serving layer snapshots it separately alongside the engine state.
+        """
+        return {
+            "batches": self._batches,
+            "counts": [[query, item, int(count)] for (query, item), count
+                       in sorted(self._accumulated.counts.items())],
+            "provenance": dict(sorted(
+                self._accumulated.provenance.items())),
+            "seen_candidates": [list(pair) for pair
+                                in sorted(self._seen_candidates)],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace accumulated state with an :meth:`export_state` dict.
+
+        After restoring, subsequent ingests dedupe and report exactly as
+        if the original batches had streamed through this instance.
+        """
+        log = ClickLog()
+        for query, item, count in state.get("counts", []):
+            log.counts[(str(query), str(item))] += int(count)
+        for item, concept in (state.get("provenance") or {}).items():
+            log.provenance.setdefault(
+                str(item), None if concept is None else str(concept))
+        self._accumulated = log
+        self._seen_candidates = {
+            (str(query), str(item))
+            for query, item in state.get("seen_candidates", [])}
+        self._batches = int(state.get("batches", 0))
+
     def ingest(self, batch: ClickLog) -> IngestReport:
         """Merge one log batch and expand over its *new* candidates.
 

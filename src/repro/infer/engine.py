@@ -533,6 +533,46 @@ class InferenceEngine:
         with self._lock:
             return self._structural_epoch
 
+    def restore_structural_epoch(self, epoch: int) -> int:
+        """Pin the epoch fence after a snapshot restore; returns it.
+
+        A restore applies the whole attachment log as *one* batch, so
+        the epoch would land lower than the uninterrupted run's (which
+        bumped once per batch).  Raising the fence to the recorded value
+        keeps epoch-tagged consumers (shared-memory delta protocol,
+        metrics, parity tests) consistent across restarts.  Never lowers
+        the fence.
+        """
+        with self._lock:
+            if int(epoch) > self._structural_epoch:
+                self._structural_epoch = int(epoch)
+                self.stats.structural_epoch = self._structural_epoch
+            return self._structural_epoch
+
+    def structural_csr(self) -> dict | None:
+        """JSON-friendly export of the live structural graph.
+
+        Snapshot capture uses this to persist the engine's
+        :class:`~repro.infer.graph.DynamicGraph` exactly — node order,
+        CSR topology, weights, and the epoch fence — so recovery can
+        verify that replaying the attachment log reproduced the
+        pre-crash graph bit-for-bit.  Returns ``None`` when the engine
+        has no structural graph (no GNN in the compiled model).
+        """
+        with self._lock:
+            if self._graph is None:
+                return None
+            csr = self._graph.export_csr()
+            return {
+                "epoch": int(self._structural_epoch),
+                "num_nodes": int(self._num_nodes),
+                "names": list(self._graph.names),
+                "indptr": [int(v) for v in csr["indptr"]],
+                "cols": [int(v) for v in csr["cols"]],
+                "weights": [float(v) for v in csr["weights"]],
+                "degrees": [float(v) for v in csr["degrees"]],
+            }
+
     def _pair_rows(self, pairs: list[tuple[str, str]]
                    ) -> tuple[np.ndarray, np.ndarray]:
         """Row indices of each pair's nodes in the *live* engine graph.

@@ -8,7 +8,10 @@ and backpressure; :class:`ShardedScorerPool` spreads scoring across
 worker processes that attach one shared-memory weight copy zero-copy
 (:class:`SharedArtifactStore` / :class:`SharedBundleView`, private-load
 fallback); :class:`IngestJournal`
-makes ingestion durable and replayable across restarts;
+makes ingestion durable and replayable across restarts, and
+:class:`SnapshotStore` caps the replay tail — recovery loads the latest
+valid snapshot and replays only the journal records after it, with
+covered segments compacted away;
 :class:`TaxonomyService` plus :func:`make_server` expose it all over a
 stdlib JSON API (``repro serve`` on the command line), including
 zero-downtime artifact hot-reload via ``POST /admin/reload`` or SIGHUP.
@@ -30,6 +33,9 @@ from .ingest import (
 from .journal import (
     IngestJournal, JournalCorruptionWarning, JournalRecord, JournalStats,
 )
+from .snapshot import (
+    SnapshotCorruptionWarning, SnapshotInfo, SnapshotStats, SnapshotStore,
+)
 from .cluster import PoolStats, ShardedScorerPool, shared_memory_default
 from .service import ServiceConfig, TaxonomyService
 from .http import (
@@ -43,6 +49,8 @@ __all__ = [
     "click_log_to_records",
     "IngestJournal", "JournalCorruptionWarning", "JournalRecord",
     "JournalStats",
+    "SnapshotCorruptionWarning", "SnapshotInfo", "SnapshotStats",
+    "SnapshotStore",
     "PoolStats", "ShardedScorerPool", "shared_memory_default",
     "SharedArtifactStore", "SharedArrayView", "SharedBundleView",
     "attach_manifest",

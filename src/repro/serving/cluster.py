@@ -111,6 +111,12 @@ class PoolStats:
     #: parent-side failures to publish shared segments (pool falls back
     #: to all-private workers)
     shm_publish_failures: int = 0
+    #: snapshot-driven delta-log folds (see ``compact_deltas``)
+    delta_compactions: int = 0
+    #: backlog replays into freshly (re)spawned workers
+    delta_replays: int = 0
+    #: attachment edges queued across all backlog replays
+    delta_replayed_edges: int = 0
     worker_pairs: dict[int, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -126,6 +132,9 @@ class PoolStats:
             "delta_broadcasts": self.delta_broadcasts,
             "attach_failures": self.attach_failures,
             "shm_publish_failures": self.shm_publish_failures,
+            "delta_compactions": self.delta_compactions,
+            "delta_replays": self.delta_replays,
+            "delta_replayed_edges": self.delta_replayed_edges,
             "worker_pairs": dict(self.worker_pairs),
         }
 
@@ -368,7 +377,14 @@ class ShardedScorerPool:
         # Cumulative structural-delta log: replayed to every respawned
         # or freshly reloaded worker so all shards serve the same live
         # graph (apply_attachments is idempotent, so replay is safe).
+        # ``compact_deltas`` folds the log into ``_delta_baseline`` and,
+        # when the folded state was republished as a new shared-memory
+        # generation, records it in ``_covered_generation`` — a shared
+        # worker attaching that generation already has the baseline in
+        # its arrays and replays only the post-compaction tail.
         self._delta_log: list[list[Pair]] = []
+        self._delta_baseline: list[Pair] = []
+        self._covered_generation: int | None = None
         self._delta_lock = threading.Lock()
         self._watchdog: threading.Thread | None = None
         self._watchdog_stop = threading.Event()
@@ -720,9 +736,15 @@ class ShardedScorerPool:
             if self._store is None or self._store.closed:
                 self._store = SharedArtifactStore()
             self._manifest = self._store.publish(arrays, meta=meta)
+            # From-disk arrays predate every broadcast attachment, so no
+            # published generation covers the folded baseline any more.
+            with self._delta_lock:
+                self._covered_generation = None
             return self._manifest
         except BaseException as error:
             self._manifest = None
+            with self._delta_lock:
+                self._covered_generation = None
             with self._stats_lock:
                 self._stats.shm_publish_failures += 1
             warnings.warn(
@@ -856,8 +878,77 @@ class ShardedScorerPool:
                 if supervised:
                     self._stats.watchdog_restarts += 1
 
+    def compact_deltas(self, engine=None) -> dict:
+        """Fold the delta log into the published state (snapshot hook).
+
+        When shared memory is live and the parent's post-attachment
+        ``engine`` is supplied, its current arrays (which already embed
+        every applied delta) are republished as a new generation and the
+        old generations retire — a respawned worker then attaches
+        post-snapshot state directly.  The accumulated batches are
+        folded into one deduplicated *baseline*: workers that attached
+        the covering generation skip it entirely on respawn and replay
+        only the post-compaction tail, while private loaders and
+        post-reload workers (whose arrays come from disk) still replay
+        baseline + tail.  Live workers receive nothing — they applied
+        every delta when it was broadcast.
+
+        Returns ``{"generation", "baseline_edges", "covered"}``.
+        """
+        generation: int | None = None
+        if (engine is not None and self._manifest is not None
+                and self._store is not None and not self._store.closed):
+            try:
+                meta, arrays = engine.shared_state()
+                with self._lock:
+                    self._manifest = self._store.republish(arrays,
+                                                           meta=meta)
+                generation = int(self._manifest["generation"])
+            except BaseException as error:
+                with self._stats_lock:
+                    self._stats.shm_publish_failures += 1
+                warnings.warn(
+                    f"post-snapshot shared republish failed: {error!r}; "
+                    f"respawned workers will replay the full delta "
+                    f"backlog", RuntimeWarning, stacklevel=2)
+                generation = None
+        with self._delta_lock:
+            folded_tail = bool(self._delta_log)
+            merged: dict[Pair, None] = {}
+            for edge in self._delta_baseline:
+                merged.setdefault(edge, None)
+            for batch in self._delta_log:
+                for edge in batch:
+                    merged.setdefault(edge, None)
+            self._delta_baseline = list(merged)
+            self._delta_log = []
+            if generation is not None:
+                self._covered_generation = generation
+            elif folded_tail:
+                # The baseline grew past what any published generation
+                # embeds, so coverage no longer holds.
+                self._covered_generation = None
+            covered = self._covered_generation is not None
+            baseline_edges = len(self._delta_baseline)
+        with self._stats_lock:
+            self._stats.delta_compactions += 1
+        return {"generation": generation,
+                "baseline_edges": baseline_edges,
+                "covered": covered}
+
+    def delta_backlog_stats(self) -> dict:
+        """Baseline/tail sizes and coverage for ``/metrics``."""
+        with self._delta_lock:
+            tail_edges = sum(len(batch) for batch in self._delta_log)
+            return {
+                "baseline_edges": len(self._delta_baseline),
+                "tail_batches": len(self._delta_log),
+                "tail_edges": tail_edges,
+                "covered_generation": self._covered_generation,
+            }
+
     def _compacted_delta_log(self) -> list[Pair]:
-        """The cumulative delta log as one deduplicated edge list.
+        """Baseline + tail as one deduplicated edge list.
 
         ``apply_attachments`` is idempotent and a single cumulative
         batch converges to the same graph (and the same propagated
@@ -867,13 +958,22 @@ class ShardedScorerPool:
         """
         with self._delta_lock:
             merged: dict[Pair, None] = {}
+            for edge in self._delta_baseline:
+                merged.setdefault(edge, None)
             for batch in self._delta_log:
                 for edge in batch:
                     merged.setdefault(edge, None)
         return list(merged)
 
     def _replay_deltas(self, worker: _Worker) -> None:
-        """Queue the compacted delta log on a fresh worker's pipe.
+        """Queue the delta backlog on a fresh worker's pipe.
+
+        A shared-mode worker that attached the generation recorded by
+        :meth:`compact_deltas` already holds the folded baseline in its
+        arrays, so only the post-compaction tail is replayed — respawn
+        cost tracks the tail, not total ingest history.  Any other
+        worker (private load, pre-coverage generation) gets baseline +
+        tail.
 
         Holding ``send_lock`` keeps the delta ahead of any scoring
         message another thread might dispatch the moment the worker is
@@ -881,7 +981,22 @@ class ShardedScorerPool:
         nothing waits on it (a worker that dies mid-replay is respawned
         — and replayed — again).
         """
-        backlog = self._compacted_delta_log()
+        manifest = self._manifest
+        attached_generation = (int(manifest["generation"])
+                               if manifest is not None else None)
+        with self._delta_lock:
+            covered = self._covered_generation
+            tail_only = (worker.mode == "shared"
+                         and covered is not None
+                         and attached_generation == covered)
+            merged: dict[Pair, None] = {}
+            if not tail_only:
+                for edge in self._delta_baseline:
+                    merged.setdefault(edge, None)
+            for batch in self._delta_log:
+                for edge in batch:
+                    merged.setdefault(edge, None)
+        backlog = list(merged)
         if not backlog:
             return
         with worker.send_lock:
@@ -893,6 +1008,9 @@ class ShardedScorerPool:
                 worker.conn.send(("delta", req_id, backlog))
             except (BrokenPipeError, OSError):
                 return  # next dispatch notices the death
+        with self._stats_lock:
+            self._stats.delta_replays += 1
+            self._stats.delta_replayed_edges += len(backlog)
 
     def _watchdog_loop(self) -> None:
         """Background liveness sweep: respawn dead workers proactively.

@@ -125,6 +125,35 @@ def _handle_reload(service, body, params):
         result, allow_extra=True).as_payload()
 
 
+def _handle_snapshot(service, body, params):
+    try:
+        result = service.snapshot()
+    except ApiError:
+        raise
+    except Exception as error:
+        # Stable code whether the store is missing or the capture
+        # failed; serving state is untouched either way.
+        raise api_errors.snapshot_failed(repr(error)) from error
+    return 200, schemas.SnapshotResponse.parse(
+        result, allow_extra=True).as_payload()
+
+
+def _handle_job_snapshot(service, body, params):
+    _require_started(service)
+
+    def run():
+        try:
+            return service.snapshot()
+        except ApiError:
+            raise
+        except Exception as error:
+            raise api_errors.snapshot_failed(repr(error)) from error
+
+    snapshot = service.jobs.submit("snapshot", run)
+    return 202, schemas.JobResponse.parse(
+        snapshot, allow_extra=True).as_payload()
+
+
 def _handle_job_expand(service, body, params):
     request = schemas.ExpandRequest.parse(body)
     _require_started(service)
@@ -204,8 +233,10 @@ _V1_HANDLERS = {
     "expand": _handle_expand,
     "ingest": _handle_ingest,
     "reload": _handle_reload,
+    "snapshot": _handle_snapshot,
     "job_expand": _handle_job_expand,
     "job_reload": _handle_job_reload,
+    "job_snapshot": _handle_job_snapshot,
     "job_list": _handle_job_list,
     "job_get": _handle_job_get,
     # "metrics" is text/plain and handled inline by the transport
@@ -438,9 +469,9 @@ def serve(service: TaxonomyService, host: str = "127.0.0.1",
         install_sighup_reload(service)
     print(f"repro serving on http://{bound_host}:{bound_port} "
           f"(/v1 API: /v1/healthz /v1/metrics /v1/taxonomy /v1/score "
-          f"/v1/suggest /v1/expand /v1/ingest /v1/admin/reload /v1/jobs "
-          f"/v1/openapi.json; legacy unversioned aliases remain with a "
-          f"Deprecation header)")
+          f"/v1/suggest /v1/expand /v1/ingest /v1/admin/reload "
+          f"/v1/admin/snapshot /v1/jobs /v1/openapi.json; legacy "
+          f"unversioned aliases remain with a Deprecation header)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

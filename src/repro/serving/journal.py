@@ -38,6 +38,15 @@ Durability and corruption policy:
   be ordered) and replay continues with the next segment; empty segment
   files are skipped with a warning.  Corruption never raises out of
   :meth:`replay`.
+* **snapshot-aware replay and retention** — a ``journal-index.json``
+  sidecar records each sealed segment's ``[first_seq, last_seq]`` span
+  plus a ``compacted_through_seq`` high-water mark.  ``replay(after_seq=S)``
+  skips any segment whose span ends at or before ``S`` *without opening
+  it*, and :meth:`compact` deletes (or archives) sealed segments once a
+  snapshot covers them.  The index is advisory: a missing or stale entry
+  just means the segment is scanned the slow way, never that records are
+  lost.  Sequence numbers stay monotonic across full compaction because
+  recovery seeds ``next_seq`` from the marker.
 """
 
 from __future__ import annotations
@@ -57,6 +66,10 @@ __all__ = [
 
 SEGMENT_PREFIX = "journal-"
 SEGMENT_SUFFIX = ".jsonl"
+#: sidecar with per-segment seq spans + the compaction high-water mark
+#: (suffix deliberately not ``.jsonl`` so segment listing ignores it)
+INDEX_NAME = "journal-index.json"
+INDEX_FORMAT_VERSION = 1
 
 
 class JournalCorruptionWarning(UserWarning):
@@ -120,6 +133,8 @@ class JournalStats:
     replayed: int = 0
     corrupt_records: int = 0
     truncated_bytes: int = 0
+    compacted_segments: int = 0
+    skipped_segments: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """JSON/metrics-friendly snapshot."""
@@ -130,6 +145,8 @@ class JournalStats:
             "replayed": self.replayed,
             "corrupt_records": self.corrupt_records,
             "truncated_bytes": self.truncated_bytes,
+            "compacted_segments": self.compacted_segments,
+            "skipped_segments": self.skipped_segments,
         }
 
 
@@ -172,8 +189,15 @@ class IngestJournal:
         # Recovery and replay both scan segments; a given corruption must
         # be warned about and counted once per instance, not per scan.
         self._seen_corruptions: set[tuple[str, int]] = set()
+        # basename -> (first_seq, last_seq) for every segment with at
+        # least one valid record; the active segment's entry is updated
+        # in memory on each append and persisted when the segment seals.
+        self._ranges: dict[str, tuple[int, int]] = {}
+        self._compacted_through = -1
         os.makedirs(directory, exist_ok=True)
         self._next_seq, self._segment_index = self._recover()
+        with self._lock:
+            self._persist_index()
 
     # ------------------------------------------------------------------
     # writing
@@ -192,6 +216,9 @@ class IngestJournal:
             handle = self._active_handle()
             handle.write(record.encode())
             handle.flush()
+            name = os.path.basename(self._segment_path(self._segment_index))
+            first = self._ranges.get(name, (record.seq, record.seq))[0]
+            self._ranges[name] = (first, record.seq)
             self._next_seq += 1
             self.stats.appended += 1
             self._pending_sync += 1
@@ -212,6 +239,7 @@ class IngestJournal:
     def close(self) -> None:
         """Flush, fsync, and release the active segment; idempotent."""
         with self._lock:
+            already_closed = self._closed
             self._closed = True
             if self._handle is not None and not self._handle.closed:
                 self._handle.flush()
@@ -219,6 +247,8 @@ class IngestJournal:
                     self._fsync()
                 self._handle.close()
             self._handle = None
+            if not already_closed:
+                self._persist_index()
 
     def __enter__(self) -> "IngestJournal":
         return self
@@ -237,25 +267,107 @@ class IngestJournal:
             and name.endswith(SEGMENT_SUFFIX))
         return [os.path.join(self.directory, name) for name in names]
 
-    def replay(self):
-        """Yield every valid :class:`JournalRecord`, oldest first.
+    def replay(self, after_seq: int = -1):
+        """Yield every valid :class:`JournalRecord` with ``seq > after_seq``,
+        oldest first.
 
         Reads straight from disk, so it reflects records appended by a
         previous process.  Corruption warns (see
         :class:`JournalCorruptionWarning`) and stops the affected
         segment at its last good record instead of raising; empty
         segments are skipped with a warning.
+
+        ``after_seq`` is the snapshot hook: a segment whose indexed span
+        ends at or before it is skipped *without being opened* (counted
+        in ``stats.skipped_segments``), so startup replay cost is bounded
+        by the tail written since the covering snapshot, not by total
+        ingest history.
         """
         for path in self.segments():
+            with self._lock:
+                span = self._ranges.get(os.path.basename(path))
+                if span is not None and span[1] <= after_seq:
+                    self.stats.skipped_segments += 1
+                    continue
             if os.path.getsize(path) == 0:
                 warnings.warn(
                     f"empty journal segment {os.path.basename(path)}; "
                     f"skipping", JournalCorruptionWarning, stacklevel=2)
                 continue
             for record, _offset in self._scan_segment(path):
+                if record.seq <= after_seq:
+                    continue
                 with self._lock:
                     self.stats.replayed += 1
                 yield record
+
+    def compact(self, up_to_seq: int,
+                archive_dir: str | None = None) -> dict:
+        """Drop (or archive) sealed segments fully covered by a snapshot.
+
+        A segment is removed only when it is **sealed** (not the active
+        write target) and its indexed span proves every record in it has
+        ``seq <= up_to_seq``; a segment with no known span — empty, fully
+        corrupt, or unindexed — is never deleted.  With ``archive_dir``
+        set, covered segments are moved there instead of unlinked.
+
+        Returns ``{"removed": [names], "archived": bool,
+        "compacted_through": seq}`` and advances the persisted
+        ``compacted_through_seq`` marker, which recovery uses both to
+        keep sequence numbers monotonic and to detect (loudly) a
+        snapshot older than the surviving journal tail.
+        """
+        removed: list[str] = []
+        with self._lock:
+            active = os.path.basename(self._segment_path(self._segment_index))
+            for path in self.segments():
+                name = os.path.basename(path)
+                if name == active:
+                    continue
+                span = self._ranges.get(name)
+                if span is None or span[1] > up_to_seq:
+                    continue
+                if archive_dir is not None:
+                    os.makedirs(archive_dir, exist_ok=True)
+                    os.replace(path, os.path.join(archive_dir, name))
+                else:
+                    os.remove(path)
+                self._ranges.pop(name, None)
+                self._compacted_through = max(self._compacted_through,
+                                              span[1])
+                self.stats.compacted_segments += 1
+                removed.append(name)
+            if removed:
+                self._persist_index()
+            return {"removed": removed,
+                    "archived": archive_dir is not None,
+                    "compacted_through": self._compacted_through}
+
+    def first_seq_on_disk(self) -> int | None:
+        """Lowest sequence number still present in any segment (``None``
+        when no segment holds a valid record)."""
+        with self._lock:
+            names = {os.path.basename(p) for p in self.segments()}
+            spans = [span for name, span in self._ranges.items()
+                     if name in names]
+        return min(span[0] for span in spans) if spans else None
+
+    @property
+    def compacted_through(self) -> int:
+        """Highest sequence number removed by :meth:`compact` across the
+        journal's lifetime (``-1`` if compaction never ran)."""
+        with self._lock:
+            return self._compacted_through
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all segments (scheduling input)."""
+        total = 0
+        for path in self.segments():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                continue
+        return total
 
     def stats_snapshot(self) -> JournalStats:
         """An atomic copy of the activity counters."""
@@ -313,14 +425,33 @@ class IngestJournal:
         segment is repaired — a corrupt record there is the expected
         shape of a crash mid-write.  Earlier-segment corruption is left
         untouched (replay warns and stops there).
+
+        Sealed segments with a persisted index entry are trusted without
+        being re-scanned (the cold-start win); the final segment is
+        always scanned because it may hold a torn tail.  ``next_seq``
+        additionally respects the compaction marker so sequence numbers
+        never repeat after every covered segment has been dropped.
         """
+        indexed, self._compacted_through = self._load_index()
         paths = self.segments()
-        last_seq = -1
+        last_seq = self._compacted_through
         for path in paths:
+            name = os.path.basename(path)
+            if path != paths[-1] and name in indexed:
+                self._ranges[name] = indexed[name]
+                last_seq = max(last_seq, indexed[name][1])
+                continue
             valid_end = 0
+            first: int | None = None
+            last = -1
             for record, end in self._scan_segment(path):
+                if first is None:
+                    first = record.seq
+                last = max(last, record.seq)
                 last_seq = max(last_seq, record.seq)
                 valid_end = end
+            if first is not None:
+                self._ranges[name] = (first, last)
             if path == paths[-1]:
                 size = os.path.getsize(path)
                 if size > valid_end:
@@ -336,6 +467,50 @@ class IngestJournal:
         if paths:
             index = self._segment_number(paths[-1])
         return last_seq + 1, index
+
+    def _load_index(self) -> tuple[dict[str, tuple[int, int]], int]:
+        """Parse the sidecar index; any defect degrades to 'no index'."""
+        path = os.path.join(self.directory, INDEX_NAME)
+        try:
+            with open(path, "rb") as handle:
+                payload = json.loads(handle.read().decode("utf-8"))
+            if payload.get("format_version") != INDEX_FORMAT_VERSION:
+                return {}, -1
+            segments = {
+                str(name): (int(span[0]), int(span[1]))
+                for name, span in payload.get("segments", {}).items()}
+            return segments, int(payload.get("compacted_through_seq", -1))
+        except (OSError, ValueError, KeyError, TypeError, IndexError,
+                AttributeError):
+            return {}, -1
+
+    def _persist_index(self) -> None:
+        """Atomically write the sidecar index.  Lock held.
+
+        Best-effort: an index write failure only costs the next open a
+        full scan, so it must never take the journal down with it.
+        """
+        payload = {
+            "format_version": INDEX_FORMAT_VERSION,
+            "compacted_through_seq": self._compacted_through,
+            "segments": {name: list(span) for name, span
+                         in sorted(self._ranges.items())},
+        }
+        path = os.path.join(self.directory, INDEX_NAME)
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(json.dumps(
+                    payload, ensure_ascii=False,
+                    separators=(",", ":")).encode("utf-8"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError as error:
+            warnings.warn(
+                f"failed to persist journal index: {error}; the next "
+                f"recovery will scan all segments",
+                JournalCorruptionWarning, stacklevel=2)
 
     @staticmethod
     def _segment_number(path: str) -> int:
@@ -354,13 +529,18 @@ class IngestJournal:
         return self._handle
 
     def _rotate(self) -> None:
-        """Seal the active segment and start the next one.  Lock held."""
+        """Seal the active segment and start the next one.  Lock held.
+
+        Sealing persists the index so the sealed segment's span survives
+        a crash — recovery then trusts it instead of re-scanning.
+        """
         if self._pending_sync:
             self._fsync()
         self._handle.close()
         self._handle = None
         self._segment_index += 1
         self.stats.rotations += 1
+        self._persist_index()
 
     def _fsync(self) -> None:
         """fsync the active handle.  Lock held, handle open."""

@@ -14,7 +14,16 @@
 * zero-downtime hot reload (:meth:`TaxonomyService.reload`): a new
   bundle is loaded in the background, smoke-tested, and atomically
   swapped into the scorer (and every pool worker) while in-flight
-  batches drain on the old engine.
+  batches drain on the old engine,
+* snapshot + compaction (:meth:`TaxonomyService.snapshot` /
+  :meth:`TaxonomyService.recover`): the full recovered state —
+  taxonomy, expander accumulation, attachment log, engine CSR — is
+  periodically captured into an atomic
+  :class:`~repro.serving.SnapshotStore` file keyed by journal sequence;
+  startup loads the latest valid snapshot and replays only the journal
+  tail after it, journal segments a snapshot covers are compacted away,
+  and the pool folds its delta log at the same point so worker respawn
+  replays only the post-snapshot tail.
 
 Every public method takes and returns JSON-friendly values, so the HTTP
 layer (:mod:`repro.serving.http`) is a thin router over this class and the
@@ -23,6 +32,7 @@ same operations are directly scriptable in-process.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import warnings
@@ -39,7 +49,7 @@ from ..api.schemas import (
 from ..core.expansion import expand_taxonomy
 from ..core.incremental import IncrementalExpander, IngestReport
 from ..retrieval import CandidateRetriever
-from ..taxonomy import taxonomy_to_dict
+from ..taxonomy import taxonomy_from_dict, taxonomy_to_dict
 from .artifacts import ArtifactBundle
 from .ingest import StreamingIngestor, click_log_from_records
 from .scorer import BatchingScorer
@@ -68,6 +78,15 @@ class ServiceConfig:
     #: recently-hot pairs re-scored through the new engine after a hot
     #: reload so the post-swap cache is warm (0 disables warming)
     reload_warm_pairs: int = 128
+    #: take a snapshot once this many journal records accumulate past
+    #: the last one (0 disables count-based scheduling)
+    snapshot_every_records: int = 0
+    #: take a snapshot once the journal's on-disk segments exceed this
+    #: many bytes (0 disables size-based scheduling)
+    snapshot_every_bytes: int = 0
+    #: take a snapshot once this many seconds pass since the last one
+    #: (0 disables time-based scheduling)
+    snapshot_interval_seconds: float = 0.0
 
 
 def _report_to_dict(report: IngestReport) -> dict:
@@ -100,11 +119,19 @@ class TaxonomyService:
         ``reload`` events) is journaled write-ahead, and
         :meth:`replay_journal` rebuilds state from it on startup.  The
         caller keeps ownership (close it after :meth:`stop`).
+    snapshots:
+        Optional :class:`~repro.serving.SnapshotStore`; :meth:`snapshot`
+        captures the full live state into it (and compacts the journal
+        + pool delta log behind it), and :meth:`recover` restores from
+        the latest valid snapshot before replaying the journal tail.
+        Scheduling runs automatically once :meth:`start` is called and
+        any ``snapshot_every_*`` / ``snapshot_interval_seconds`` knob is
+        set.  The caller keeps ownership.
     """
 
     def __init__(self, bundle: ArtifactBundle,
                  config: ServiceConfig | None = None,
-                 pool=None, journal=None):
+                 pool=None, journal=None, snapshots=None):
         if bundle.pipeline.detector is None:
             raise ValueError("bundle holds an unfitted pipeline")
         self.bundle = bundle
@@ -145,6 +172,20 @@ class TaxonomyService:
         # Serialises hot reloads; scoring keeps flowing around it.
         self._reload_lock = threading.Lock()
         self._reloads = 0
+        # Snapshot + compaction state.  _snapshot_lock serialises
+        # capture/compaction; the scheduler thread polls the cheap
+        # threshold checks and triggers snapshots off the request path.
+        self.snapshots = snapshots
+        self._snapshot_lock = threading.Lock()
+        self._snapshots_taken = 0
+        self._last_snapshot_seq = -1
+        self._last_snapshot_bytes = 0
+        self._last_snapshot_at: float | None = None
+        self._replay_tail_records = 0
+        self._recovered_snapshot: str | None = None
+        self._snapshot_failures = 0
+        self._snapshot_stop = threading.Event()
+        self._snapshot_thread: threading.Thread | None = None
         self._started_at = time.monotonic()
         self._started = False
         # Async-job executor behind POST /v1/jobs/... — one ordered
@@ -157,10 +198,25 @@ class TaxonomyService:
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "TaxonomyService":
-        """Start the scoring, ingestion and job workers; idempotent."""
+        """Start the scoring, ingestion and job workers; idempotent.
+
+        Also starts the snapshot scheduler when a snapshot store is
+        attached and any scheduling knob is set.
+        """
         self.scorer.start()
         self.ingestor.start()
         self.jobs.start()
+        config = self.config
+        scheduled = (config.snapshot_every_records
+                     or config.snapshot_every_bytes
+                     or config.snapshot_interval_seconds)
+        if (self.snapshots is not None and scheduled
+                and self._snapshot_thread is None):
+            self._snapshot_stop.clear()
+            self._snapshot_thread = threading.Thread(
+                target=self._snapshot_loop, name="repro-snapshot",
+                daemon=True)
+            self._snapshot_thread.start()
         self._started = True
         return self
 
@@ -171,6 +227,10 @@ class TaxonomyService:
         attached pool running — both belong to whoever created them.
         """
         self._started = False
+        self._snapshot_stop.set()
+        if self._snapshot_thread is not None:
+            self._snapshot_thread.join(timeout=10.0)
+            self._snapshot_thread = None
         self.jobs.stop()
         self.ingestor.stop()
         self.scorer.stop()
@@ -474,7 +534,7 @@ class TaxonomyService:
     # ------------------------------------------------------------------
     # durability and hot reload
     # ------------------------------------------------------------------
-    def replay_journal(self) -> dict:
+    def replay_journal(self, after_seq: int = -1) -> dict:
         """Rebuild incremental-expansion state from the attached journal.
 
         Call once on startup, *before* :meth:`start`: every journaled
@@ -485,11 +545,17 @@ class TaxonomyService:
         model).  Scores are recomputed by the (deterministic) engine, so
         replay converges on exactly the pre-crash attachments.  Nothing
         is re-journaled during replay.
+
+        ``after_seq`` is the snapshot hook used by :meth:`recover`: only
+        records with ``seq > after_seq`` are applied, and segments fully
+        covered by the snapshot are never opened.
         """
         if self.journal is None:
             raise RuntimeError("service has no journal attached")
         counts = {"ingest": 0, "expand": 0, "reload": 0, "skipped": 0}
-        for record in self.journal.replay():
+        replayed = 0
+        for record in self.journal.replay(after_seq=after_seq):
+            replayed += 1
             try:
                 if record.type == "ingest":
                     batch = click_log_from_records(
@@ -520,7 +586,230 @@ class TaxonomyService:
                     f"failed to replay: {error!r}; continuing",
                     stacklevel=2)
         counts["taxonomy_edges"] = self.expander.taxonomy.num_edges
+        self._replay_tail_records = replayed
         return counts
+
+    def snapshot(self, *, compact: bool = True) -> dict:
+        """Capture the full live state and compact history behind it.
+
+        The capture runs under the reload lock then the taxonomy lock
+        (the same order every other writer uses), so the recorded state
+        and its covering journal sequence are one consistent cut.  The
+        snapshot holds everything :meth:`recover` needs *without*
+        re-scoring a single candidate: the live taxonomy, the expander's
+        accumulated click log + dedup set, the ordered attachment log,
+        the engine's structural CSR + epoch, and the serving bundle's
+        directory.
+
+        With ``compact=True`` (the default) the write is followed by
+        journal segment compaction up to the covered sequence and, when
+        a pool is attached, a delta-log fold
+        (:meth:`ShardedScorerPool.compact_deltas
+        <repro.serving.ShardedScorerPool.compact_deltas>`) that
+        republishes the post-snapshot shared-memory generation so
+        respawned workers replay only the post-snapshot tail.
+        """
+        if self.snapshots is None:
+            raise RuntimeError("service has no snapshot store attached")
+        with self._snapshot_lock:
+            with self._reload_lock:
+                seq, state = self._capture_state()
+            info = self.snapshots.write(seq, state)
+            self._snapshots_taken += 1
+            self._last_snapshot_seq = seq
+            self._last_snapshot_bytes = info.nbytes
+            self._last_snapshot_at = time.monotonic()
+            compacted: list[str] = []
+            if compact and self.journal is not None:
+                compacted = self.journal.compact(seq)["removed"]
+            pool_outcome = None
+            if (compact and self.pool is not None
+                    and hasattr(self.pool, "compact_deltas")):
+                detector = self.bundle.pipeline.detector
+                engine = (detector.inference_engine
+                          if detector is not None else None)
+                pool_outcome = self.pool.compact_deltas(engine)
+            return {
+                "snapshot": os.path.basename(info.path),
+                "seq": seq,
+                "bytes": info.nbytes,
+                "compacted_segments": len(compacted),
+                "pool": pool_outcome,
+            }
+
+    def recover(self) -> dict:
+        """Snapshot-aware startup recovery.
+
+        Call once *before* :meth:`start`: loads the latest valid
+        snapshot (corrupt or torn snapshots are skipped with a warning,
+        falling back to older ones), restores the captured state
+        directly — no candidate is re-scored — and then replays only the
+        journal records past the snapshot's covered sequence.
+
+        Fails loudly (``RuntimeError``) when the surviving journal tail
+        does not reach back to the snapshot being restored — e.g. the
+        newest snapshot was corrupted *and* compaction already deleted
+        the segments the older snapshot would need.  That gap is real
+        data loss and must not be papered over silently.
+        """
+        summary: dict = {"snapshot": None, "snapshot_seq": -1,
+                         "restored_edges": 0}
+        after_seq = -1
+        if self.snapshots is not None:
+            loaded = self.snapshots.load_latest()
+            if loaded is not None:
+                state, info = loaded
+                summary["restored_edges"] = self._restore_state(state)
+                after_seq = info.seq
+                summary["snapshot"] = os.path.basename(info.path)
+                summary["snapshot_seq"] = info.seq
+                self._recovered_snapshot = summary["snapshot"]
+                self._last_snapshot_seq = info.seq
+                self._last_snapshot_bytes = info.nbytes
+                self._last_snapshot_at = time.monotonic()
+        if self.journal is not None:
+            compacted_through = self.journal.compacted_through
+            if compacted_through > after_seq:
+                raise RuntimeError(
+                    f"journal records through seq {compacted_through} "
+                    f"were compacted away but the newest loadable "
+                    f"snapshot covers only seq {after_seq}; the tail in "
+                    f"between is lost — restore a snapshot or journal "
+                    f"backup before serving")
+            first = self.journal.first_seq_on_disk()
+            if first is not None and first > after_seq + 1:
+                raise RuntimeError(
+                    f"journal tail starts at seq {first} but the newest "
+                    f"loadable snapshot covers only seq {after_seq}; "
+                    f"records {after_seq + 1}..{first - 1} are missing — "
+                    f"restore a snapshot or journal backup before "
+                    f"serving")
+            summary.update(self.replay_journal(after_seq=after_seq))
+        return summary
+
+    def maybe_snapshot(self) -> dict | None:
+        """Take a snapshot if any scheduling threshold has tripped.
+
+        Cheap when nothing is due (integer compares); returns the
+        :meth:`snapshot` summary when one ran, else ``None``.  A
+        snapshot failure is counted and warned about, never raised —
+        the scheduler must not take serving down.
+        """
+        if self.snapshots is None:
+            return None
+        config = self.config
+        due = False
+        if self.journal is not None:
+            if config.snapshot_every_records:
+                pending = (self.journal.next_seq - 1
+                           - self._last_snapshot_seq)
+                due = pending >= config.snapshot_every_records
+            if not due and config.snapshot_every_bytes:
+                due = (self.journal.size_bytes()
+                       >= config.snapshot_every_bytes)
+        if not due and config.snapshot_interval_seconds:
+            last = self._last_snapshot_at
+            reference = last if last is not None else self._started_at
+            due = (time.monotonic() - reference
+                   >= config.snapshot_interval_seconds)
+        if not due:
+            return None
+        try:
+            return self.snapshot()
+        except Exception as error:
+            self._snapshot_failures += 1
+            warnings.warn(f"scheduled snapshot failed: {error!r}",
+                          stacklevel=2)
+            return None
+
+    def _snapshot_loop(self) -> None:
+        """Scheduler thread body: poll :meth:`maybe_snapshot` until
+        :meth:`stop`."""
+        while not self._snapshot_stop.wait(0.2):
+            self.maybe_snapshot()
+
+    def _capture_state(self) -> tuple[int, dict]:
+        """One consistent ``(covered_seq, state)`` cut.
+
+        Caller holds the reload lock; the taxonomy lock is taken here.
+        Every journal writer appends under one of those two locks, so
+        ``journal.next_seq - 1`` is exactly the last sequence the
+        captured state includes.
+        """
+        detector = self.bundle.pipeline.detector
+        engine = detector.inference_engine if detector is not None else None
+        with self._taxonomy_lock:
+            seq = (self.journal.next_seq - 1
+                   if self.journal is not None else -1)
+            state = {
+                "bundle_directory": self.bundle.directory,
+                "taxonomy": taxonomy_to_dict(self.expander.taxonomy),
+                "expander": self.expander.export_state(),
+                "attached_edges": [list(edge)
+                                   for edge in self._attached_edges],
+                "engine": (engine.structural_csr()
+                           if engine is not None else None),
+            }
+        return seq, state
+
+    def _restore_state(self, state: dict) -> int:
+        """Apply one captured state dict; returns attachments restored.
+
+        The restore path is what makes snapshot recovery fast: the
+        taxonomy and expander accumulation come back verbatim (zero
+        re-scoring), and the attachment log is applied to the engine as
+        a single idempotent batch — which converges bit-for-bit with the
+        original batch sequence.  The recorded structural epoch is then
+        pinned (one batch would otherwise leave the fence lower than the
+        uninterrupted run's) and the recorded CSR is verified against
+        the rebuilt graph, failing loudly on any mismatch.
+        """
+        directory = state.get("bundle_directory")
+        if directory and directory != self.bundle.directory:
+            try:
+                self._swap_bundle(directory)
+            except Exception as error:
+                warnings.warn(
+                    f"snapshot-recorded bundle {directory!r} failed to "
+                    f"load: {error!r}; recovering onto the current "
+                    f"bundle", stacklevel=2)
+        taxonomy = taxonomy_from_dict(state["taxonomy"])
+        edges = [(str(parent), str(child))
+                 for parent, child in state.get("attached_edges", [])]
+        with self._taxonomy_lock:
+            self.expander.taxonomy = taxonomy
+            self.expander.restore_state(state.get("expander") or {})
+            self._attached_edges = []
+            if edges:
+                self._propagate_attachments(edges)
+            detector = self.bundle.pipeline.detector
+            engine = (detector.inference_engine
+                      if detector is not None else None)
+            recorded = state.get("engine")
+            if engine is not None and recorded:
+                engine.restore_structural_epoch(
+                    int(recorded.get("epoch", 0)))
+                self._verify_restored_graph(engine, recorded)
+        return len(edges)
+
+    @staticmethod
+    def _verify_restored_graph(engine, recorded: dict) -> None:
+        """Exact-parity check: rebuilt engine graph vs the recorded CSR.
+
+        A CRC-valid snapshot whose replay diverges means the serving
+        bundle does not match the one the snapshot was taken against
+        (or a determinism bug) — serving silently-wrong structural
+        scores is worse than refusing to start.
+        """
+        live = engine.structural_csr()
+        if live is None:
+            return
+        for key in ("names", "indptr", "cols", "degrees"):
+            if list(live[key]) != list(recorded.get(key, [])):
+                raise RuntimeError(
+                    f"snapshot restore parity failure: engine graph "
+                    f"{key!r} diverges from the recorded CSR — the "
+                    f"snapshot does not match this bundle")
 
     def reload(self, directory: str | None = None, *,
                wait: bool = True) -> dict:
@@ -725,6 +1014,19 @@ class TaxonomyService:
         }
         if self.journal is not None:
             payload["journal"] = self.journal.stats_snapshot().as_dict()
+        if self.snapshots is not None:
+            last_at = self._last_snapshot_at
+            payload["snapshots"] = {
+                "taken": self._snapshots_taken,
+                "failures": self._snapshot_failures,
+                "last_seq": self._last_snapshot_seq,
+                "last_bytes": self._last_snapshot_bytes,
+                "age_seconds": (round(time.monotonic() - last_at, 3)
+                                if last_at is not None else None),
+                "recovered_from": self._recovered_snapshot,
+                "replay_tail_records": self._replay_tail_records,
+                "store": self.snapshots.stats.as_dict(),
+            }
         retriever = self._retriever
         if retriever is not None:
             stats = retriever.stats()
@@ -857,6 +1159,38 @@ class TaxonomyService:
             metric("repro_journal_segments", "gauge",
                    "Journal segment files on disk.",
                    len(self.journal.segments()))
+            metric("repro_journal_compacted_segments_total", "counter",
+                   "Journal segments deleted or archived because a "
+                   "snapshot covers them.", journal.compacted_segments)
+            metric("repro_journal_skipped_segments_total", "counter",
+                   "Segments skipped unopened by snapshot-aware replay.",
+                   journal.skipped_segments)
+
+        if self.snapshots is not None:
+            last_at = self._last_snapshot_at
+            store = self.snapshots.stats
+            metric("repro_snapshots_total", "counter",
+                   "Snapshots written by this service instance.",
+                   self._snapshots_taken)
+            metric("repro_snapshot_failures_total", "counter",
+                   "Scheduled snapshots that raised.",
+                   self._snapshot_failures)
+            metric("repro_snapshot_seq", "gauge",
+                   "Journal sequence covered by the latest snapshot "
+                   "(-1: none).", self._last_snapshot_seq)
+            metric("repro_snapshot_bytes", "gauge",
+                   "Encoded size of the latest snapshot.",
+                   self._last_snapshot_bytes)
+            metric("repro_snapshot_age_seconds", "gauge",
+                   "Seconds since the latest snapshot (-1: none yet).",
+                   (round(time.monotonic() - last_at, 3)
+                    if last_at is not None else -1))
+            metric("repro_snapshot_corrupt_skipped_total", "counter",
+                   "Snapshots skipped as unusable during recovery.",
+                   store.corrupt_skipped)
+            metric("repro_recovery_replay_tail_records", "gauge",
+                   "Journal records replayed after the snapshot at the "
+                   "last recovery.", self._replay_tail_records)
 
         if self.pool is not None:
             pool = self.pool.stats_snapshot()
@@ -880,6 +1214,24 @@ class TaxonomyService:
             metric("repro_pool_delta_broadcasts_total", "counter",
                    "Structural attachment deltas broadcast to workers.",
                    pool.delta_broadcasts)
+            metric("repro_pool_delta_compactions_total", "counter",
+                   "Snapshot-driven delta-log folds.",
+                   pool.delta_compactions)
+            metric("repro_pool_delta_replays_total", "counter",
+                   "Backlog replays into (re)spawned workers.",
+                   pool.delta_replays)
+            metric("repro_pool_delta_replayed_edges_total", "counter",
+                   "Attachment edges queued across backlog replays.",
+                   pool.delta_replayed_edges)
+            if hasattr(self.pool, "delta_backlog_stats"):
+                backlog = self.pool.delta_backlog_stats()
+                metric("repro_pool_delta_baseline_edges", "gauge",
+                       "Folded baseline edges (skipped by respawns that "
+                       "attach the covering shm generation).",
+                       backlog["baseline_edges"])
+                metric("repro_pool_delta_tail_edges", "gauge",
+                       "Post-compaction delta-tail edges a respawned "
+                       "worker replays.", backlog["tail_edges"])
             lines.append("# HELP repro_pool_worker_pairs_total Pairs "
                          "routed to one worker (shard balance).")
             lines.append("# TYPE repro_pool_worker_pairs_total counter")

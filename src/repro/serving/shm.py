@@ -334,6 +334,20 @@ class SharedArtifactStore:
             self._views[label] = views
             return manifest
 
+    def republish(self, arrays, meta=None, label: str = DEFAULT_LABEL) -> dict:
+        """Publish a new generation and immediately retire every older one.
+
+        The single-step generation swap used when no mid-rollout
+        attacher needs draining — e.g. republishing the parent engine's
+        post-snapshot state so future worker respawns attach current
+        arrays instead of replaying a long delta log.  Live workers are
+        unaffected: POSIX keeps their retired mappings readable until
+        the last attacher unmaps them.  Returns the new manifest.
+        """
+        manifest = self.publish(arrays, meta=meta, label=label)
+        self.retire_before(int(manifest["generation"]), label=label)
+        return manifest
+
     def manifest(self, label: str = DEFAULT_LABEL) -> dict | None:
         """Current manifest for ``label`` (None if nothing published)."""
         with self._lock:

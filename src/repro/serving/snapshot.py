@@ -1,0 +1,275 @@
+"""Snapshot + compaction layer over the ingest journal.
+
+The write-ahead journal makes ingest durable, but full-history replay
+makes restart cost grow without bound: every journaled click batch is
+re-scored through the model on startup.  A **snapshot** caps that tail.
+:class:`SnapshotStore` persists the service's complete recovered state —
+the live taxonomy, the incremental expander's accumulated click log and
+dedup set, the ordered attachment log, and the inference engine's
+:class:`~repro.infer.graph.DynamicGraph` CSR — keyed by the journal
+sequence number it covers.  Startup recovery becomes *load latest valid
+snapshot + replay only the journal tail after its sequence*, and
+:meth:`IngestJournal.compact <repro.serving.journal.IngestJournal.compact>`
+drops the segments the snapshot covers.
+
+File format — one JSON document per snapshot::
+
+    snapshot-0000000000000042.json
+    {"format_version": 1, "seq": 41, "state": {...}, "crc": "89abcdef"}
+
+The filename embeds ``seq + 1`` zero-padded so lexicographic order is
+recovery order.  ``crc`` is the CRC-32 of the canonical JSON encoding of
+``{format_version, seq, state}`` (sorted keys, compact separators), so a
+truncated or bit-flipped snapshot is detected before anything trusts it.
+
+Durability and corruption policy:
+
+* **atomic writes** — the document is written to a ``.tmp`` sibling,
+  fsynced, and ``os.replace``'d into place (the directory is fsynced
+  too), so a crash mid-write leaves either the previous snapshot set
+  intact or the new file complete — never a half-written live snapshot.
+* **fallback on load** — :meth:`load_latest` walks newest-first and
+  skips any snapshot that is truncated, CRC-corrupt, or from an unknown
+  format version with a :class:`SnapshotCorruptionWarning`; an older
+  valid snapshot (plus a longer journal tail) then takes over.
+* **retention** — :meth:`prune` keeps the newest ``keep`` snapshots so
+  one bad write never destroys the only recovery point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+import zlib
+from dataclasses import dataclass
+
+__all__ = [
+    "SnapshotCorruptionWarning", "SnapshotInfo", "SnapshotStats",
+    "SnapshotStore",
+]
+
+SNAPSHOT_PREFIX = "snapshot-"
+SNAPSHOT_SUFFIX = ".json"
+FORMAT_VERSION = 1
+
+
+class SnapshotCorruptionWarning(UserWarning):
+    """Raised as a *warning* whenever a snapshot on disk cannot be
+    trusted (truncated, CRC mismatch, undecodable, unknown version).
+
+    Like the journal's corruption policy, a bad snapshot never crashes
+    recovery by itself — :meth:`SnapshotStore.load_latest` falls back to
+    the next older valid snapshot and the operator learns about the
+    defect from this warning (and the ``corrupt_skipped`` counter).
+    """
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """Metadata for one snapshot file on disk."""
+
+    #: absolute path of the snapshot document
+    path: str
+    #: highest journal sequence number the snapshot covers (``-1`` when
+    #: the service ran without a journal)
+    seq: int
+    #: size of the encoded document in bytes
+    nbytes: int
+    #: file modification time (``os.path.getmtime``, epoch seconds)
+    created: float
+    #: on-disk format version of the document
+    format_version: int
+
+
+@dataclass
+class SnapshotStats:
+    """Counters describing snapshot-store activity since construction."""
+
+    written: int = 0
+    pruned: int = 0
+    corrupt_skipped: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON/metrics-friendly snapshot of the counters."""
+        return {
+            "written": self.written,
+            "pruned": self.pruned,
+            "corrupt_skipped": self.corrupt_skipped,
+        }
+
+
+def _snapshot_crc(format_version: int, seq: int, state: dict) -> str:
+    """CRC-32 over the canonical encoding of the protected fields."""
+    canonical = json.dumps(
+        {"format_version": format_version, "seq": seq, "state": state},
+        ensure_ascii=False, sort_keys=True, separators=(",", ":"))
+    return format(zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+class SnapshotStore:
+    """Atomically-written, CRC'd, versioned snapshot files with keep-N
+    retention.
+
+    Parameters
+    ----------
+    directory:
+        Snapshot directory (created if missing).  Files are named
+        ``snapshot-NNNNNNNNNNNNNNNN.json`` where ``N`` encodes
+        ``seq + 1``, so name order is sequence order.
+    keep:
+        How many snapshots :meth:`prune` retains (newest first).  Must
+        be >= 1: the latest valid snapshot is never at risk, and keeping
+        at least one older generation means a single corrupted write
+        still leaves a recovery point.
+
+    The store is deliberately state-light: every read lists the
+    directory, so multiple processes (a service and an offline
+    inspection tool) can share one snapshot directory safely.
+    """
+
+    def __init__(self, directory: str, keep: int = 2):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = directory
+        self.keep = keep
+        self.stats = SnapshotStats()
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def write(self, seq: int, state: dict) -> SnapshotInfo:
+        """Persist ``state`` as the snapshot covering journal ``seq``.
+
+        The write is atomic (tmp + fsync + rename + directory fsync) and
+        prunes older snapshots beyond the ``keep`` budget before
+        returning.  ``state`` must be JSON-serialisable.
+        """
+        seq = int(seq)
+        payload = {"format_version": FORMAT_VERSION, "seq": seq,
+                   "state": state,
+                   "crc": _snapshot_crc(FORMAT_VERSION, seq, state)}
+        blob = json.dumps(payload, ensure_ascii=False,
+                          separators=(",", ":")).encode("utf-8")
+        path = os.path.join(
+            self.directory,
+            f"{SNAPSHOT_PREFIX}{seq + 1:016d}{SNAPSHOT_SUFFIX}")
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self._fsync_directory()
+        self.stats.written += 1
+        self.prune()
+        return SnapshotInfo(path=path, seq=seq, nbytes=len(blob),
+                            created=os.path.getmtime(path),
+                            format_version=FORMAT_VERSION)
+
+    def prune(self, keep: int | None = None) -> list[str]:
+        """Remove all but the newest ``keep`` snapshots; returns the
+        basenames removed.  Leftover ``.tmp`` files (a crash mid-write)
+        are always cleaned up."""
+        budget = self.keep if keep is None else int(keep)
+        if budget < 1:
+            raise ValueError("keep must be >= 1")
+        removed: list[str] = []
+        for name in os.listdir(self.directory):
+            if name.startswith(SNAPSHOT_PREFIX) and name.endswith(".tmp"):
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+        paths = self.snapshots()
+        for path in paths[:-budget] if len(paths) > budget else []:
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            removed.append(os.path.basename(path))
+            self.stats.pruned += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def snapshots(self) -> list[str]:
+        """Absolute snapshot paths, oldest first (name order == seq
+        order)."""
+        names = sorted(
+            name for name in os.listdir(self.directory)
+            if name.startswith(SNAPSHOT_PREFIX)
+            and name.endswith(SNAPSHOT_SUFFIX))
+        return [os.path.join(self.directory, name) for name in names]
+
+    def load_latest(self) -> tuple[dict, SnapshotInfo] | None:
+        """The newest valid ``(state, info)`` pair, or ``None``.
+
+        Walks snapshots newest-first, skipping any defective file with a
+        :class:`SnapshotCorruptionWarning` — recovery then runs from an
+        older snapshot with a longer journal tail rather than failing.
+        """
+        for path in reversed(self.snapshots()):
+            loaded = self._load(path)
+            if loaded is not None:
+                return loaded
+        return None
+
+    def latest_seq(self) -> int | None:
+        """Sequence covered by the newest *valid* snapshot, or ``None``."""
+        loaded = self.load_latest()
+        return loaded[1].seq if loaded is not None else None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _load(self, path: str) -> tuple[dict, SnapshotInfo] | None:
+        """Decode and verify one snapshot file; warn + ``None`` on any
+        defect."""
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            payload = json.loads(blob.decode("utf-8"))
+            version = payload["format_version"]
+            seq = int(payload["seq"])
+            state = payload["state"]
+            crc = payload["crc"]
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError,
+                KeyError, TypeError, ValueError) as error:
+            self._warn_corrupt(path, f"undecodable snapshot: {error}")
+            return None
+        if version != FORMAT_VERSION:
+            self._warn_corrupt(path, f"unknown format version {version!r}")
+            return None
+        if crc != _snapshot_crc(version, seq, state):
+            self._warn_corrupt(path, "CRC mismatch")
+            return None
+        if not isinstance(state, dict):
+            self._warn_corrupt(path, "state is not an object")
+            return None
+        info = SnapshotInfo(path=path, seq=seq, nbytes=len(blob),
+                            created=os.path.getmtime(path),
+                            format_version=version)
+        return state, info
+
+    def _warn_corrupt(self, path: str, reason: str) -> None:
+        self.stats.corrupt_skipped += 1
+        warnings.warn(
+            f"snapshot {os.path.basename(path)} is unusable ({reason}); "
+            f"falling back to an older snapshot + longer journal tail",
+            SnapshotCorruptionWarning, stacklevel=3)
+
+    def _fsync_directory(self) -> None:
+        """fsync the snapshot directory so the rename itself is durable."""
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)

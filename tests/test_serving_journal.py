@@ -312,3 +312,81 @@ class TestKillDashNine:
         assert restored["stats"] == snapshot["stats"]
         assert {tuple(e) for e in restored["edges"]} == \
             {tuple(e) for e in snapshot["edges"]}
+
+
+class TestSnapshotAwareReplay:
+    """``replay(after_seq=...)`` must bound work by the tail, not by
+    total history — covered segments are skipped without being opened."""
+
+    def _filled_journal(self, tmp_path, count=12):
+        journal = IngestJournal(str(tmp_path), max_segment_bytes=150)
+        for i in range(count):
+            journal.append("ingest", record_data(i))
+        journal.close()
+        return journal
+
+    def test_after_seq_yields_exact_tail(self, tmp_path):
+        self._filled_journal(tmp_path)
+        journal = IngestJournal(str(tmp_path))
+        assert [r.seq for r in journal.replay(after_seq=7)] == [8, 9, 10, 11]
+        assert [r.seq for r in journal.replay(after_seq=11)] == []
+        assert [r.seq for r in journal.replay(after_seq=-1)] == \
+            list(range(12))
+        journal.close()
+
+    def test_covered_segments_are_never_opened(self, tmp_path,
+                                               monkeypatch):
+        import warnings as warnings_module
+        self._filled_journal(tmp_path)
+        journal = IngestJournal(str(tmp_path))
+        segments = journal.segments()
+        assert len(segments) >= 3
+        # Vandalise every pre-tail segment: if replay so much as parsed
+        # one of them it would raise (warnings promoted to errors below).
+        cut = max(r.seq for r, _ in journal._scan_segment(segments[-2]))
+        for path in segments[:-2]:
+            with open(path, "wb") as handle:
+                handle.write(b"\x00 this segment must never be read \x00")
+        opened = []
+        original = journal._scan_segment
+
+        def counting_scan(path):
+            opened.append(os.path.basename(path))
+            return original(path)
+
+        monkeypatch.setattr(journal, "_scan_segment", counting_scan)
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error",
+                                         JournalCorruptionWarning)
+            tail = [r.seq for r in journal.replay(after_seq=cut)]
+        assert tail == list(range(cut + 1, 12))
+        assert opened == [os.path.basename(p) for p in segments[-1:]]
+        assert journal.stats_snapshot().skipped_segments >= \
+            len(segments) - 1
+        journal.close()
+
+    def test_reopen_after_compaction_keeps_sequences_monotonic(
+            self, tmp_path):
+        """The sidecar index persists the compaction high-water mark, so
+        sequence numbers stay monotonic across restarts — even when the
+        compacted history can no longer be rescanned."""
+        self._filled_journal(tmp_path)
+        journal = IngestJournal(str(tmp_path))
+        # Covers everything, but the active (final) segment is spared.
+        journal.compact(journal.next_seq - 1)
+        compacted_through = journal.compacted_through
+        journal.close()
+        reopened = IngestJournal(str(tmp_path))
+        assert reopened.compacted_through == compacted_through
+        assert reopened.first_seq_on_disk() == compacted_through + 1
+        record = reopened.append("ingest", record_data(99))
+        assert record.seq == 12  # continues after the compacted history
+        reopened.close()
+        # Extreme case: every segment gone, only the index survives —
+        # the next sequence is still seeded past the compacted history.
+        for path in reopened.segments():
+            os.remove(path)
+        bare = IngestJournal(str(tmp_path))
+        assert bare.append("ingest", record_data(0)).seq == \
+            compacted_through + 1
+        bare.close()

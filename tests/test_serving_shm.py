@@ -472,3 +472,100 @@ class TestExitHygiene:
         assert "leaked shared_memory" not in result.stderr
         prefix = result.stdout.split("PREFIX", 1)[1].strip()
         assert not _dev_shm_entries(prefix)
+
+
+# ---------------------------------------------------------------------------
+# respawn after snapshot-driven delta compaction
+
+
+def _start_methods():
+    import multiprocessing
+    return [m for m in ("fork", "spawn")
+            if m in multiprocessing.get_all_start_methods()]
+
+
+@pytest.mark.parametrize("mp_context", _start_methods())
+class TestRespawnAfterCompaction:
+    def test_killed_worker_replays_only_post_snapshot_tail(
+            self, bundle_dir, scoring_pairs, mp_context):
+        bundle = ArtifactBundle.load(bundle_dir)
+        engine = bundle.pipeline.detector.inference_engine
+        parent = scoring_pairs[0][0]
+        pre = [[(parent, "pre snapshot node a"),
+                (parent, "pre snapshot node b")],
+               [(parent, "pre snapshot node c")]]
+        tail = [(parent, "post snapshot node d"),
+                (parent, "post snapshot node e")]
+        probes = scoring_pairs[:10] + [
+            (parent, "pre snapshot node a"),
+            (parent, "post snapshot node d")]
+
+        with ShardedScorerPool(bundle_dir, num_workers=2,
+                               share_memory=True, mp_context=mp_context,
+                               watchdog_interval=None) as pool:
+            assert [w.mode for w in pool._workers] == ["shared", "shared"]
+            # Pre-snapshot history: broadcast to workers and mirror on
+            # the parent engine (the service keeps both in step).
+            for batch in pre:
+                engine.apply_attachments(list(batch))
+                assert all(r["ok"]
+                           for r in pool.broadcast_attachments(batch))
+            # The snapshot moment: fold the delta log and republish the
+            # parent engine's post-snapshot state as a new generation.
+            outcome = pool.compact_deltas(engine)
+            assert outcome["covered"] is True
+            assert outcome["baseline_edges"] == 3
+            backlog = pool.delta_backlog_stats()
+            assert backlog["covered_generation"] == outcome["generation"]
+            assert backlog["tail_edges"] == 0
+            # Post-snapshot tail, delivered live to current workers.
+            engine.apply_attachments(list(tail))
+            assert all(r["ok"] for r in pool.broadcast_attachments(tail))
+            assert pool.delta_backlog_stats()["tail_edges"] == len(tail)
+
+            before = pool.score_pairs(probes)
+            stats0 = pool.stats_snapshot()
+
+            victim = pool._workers[0]
+            victim.process.kill()
+            victim.process.join()
+            try:
+                after = pool.score_pairs(probes)
+            except RuntimeError:
+                after = pool.score_pairs(probes)
+
+            # Bitwise parity: the respawned worker attached the
+            # republished (baseline-inclusive) generation and converged
+            # on the same structural state via the tail alone.
+            assert np.array_equal(after, before)
+            stats = pool.stats_snapshot()
+            assert stats.worker_restarts == stats0.worker_restarts + 1
+            assert stats.delta_replays == stats0.delta_replays + 1
+            # Only the post-snapshot tail was replayed — not the three
+            # baseline edges folded into the republished generation.
+            assert stats.delta_replayed_edges == \
+                stats0.delta_replayed_edges + len(tail)
+
+    def test_respawn_without_compaction_replays_everything(
+            self, bundle_dir, scoring_pairs, mp_context):
+        parent = scoring_pairs[0][0]
+        batches = [[(parent, "delta node a"), (parent, "delta node b")],
+                   [(parent, "delta node c")]]
+        with ShardedScorerPool(bundle_dir, num_workers=1,
+                               share_memory=True, mp_context=mp_context,
+                               watchdog_interval=None) as pool:
+            for batch in batches:
+                assert all(r["ok"]
+                           for r in pool.broadcast_attachments(batch))
+            stats0 = pool.stats_snapshot()
+            victim = pool._workers[0]
+            victim.process.kill()
+            victim.process.join()
+            try:
+                pool.score_pairs(scoring_pairs[:4])
+            except RuntimeError:
+                pool.score_pairs(scoring_pairs[:4])
+            stats = pool.stats_snapshot()
+            # No covering generation: the full cumulative log replays.
+            assert stats.delta_replayed_edges == \
+                stats0.delta_replayed_edges + 3
