@@ -23,8 +23,20 @@ validation + response models + error envelope).  With the score cache
 hot, model time is ~0 and the delta isolates per-request envelope and
 validation cost; the target is < 5% overhead vs raw.
 
+``--concurrency N`` mode (ISSUE 9) compares the two HTTP transports
+under N simultaneous keep-alive connections hammering a hot-cache
+``/v1/score``: the asyncio front end (hand-rolled parser, single-write
+responses, admission control) vs the threaded
+``BaseHTTPRequestHandler`` server, with exact per-request score parity
+asserted between them.  A second phase saturates the async transport
+behind a tiny admission budget and asserts the load-shedding contract:
+shed requests get 429 + ``Retry-After`` and admitted-request p99 stays
+bounded instead of growing an unbounded queue.
+
 Run:  PYTHONPATH=src python benchmarks/bench_serving_throughput.py \\
           --client [--output out.json] [--max-overhead 5]
+      PYTHONPATH=src python benchmarks/bench_serving_throughput.py \\
+          --concurrency 32 [--duration 2] [--min-speedup 3]
 """
 
 import time
@@ -172,8 +184,220 @@ def run_client_overhead() -> dict:
     }
 
 
+def _percentile(sorted_values: list, fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (ms)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(fraction * len(sorted_values)) - 1))
+    return sorted_values[index]
+
+
+def _hammer(host: str, port: int, body: bytes, stop_at: float) -> dict:
+    """One keep-alive client loop: POST /v1/score until the deadline.
+
+    Returns local tallies (merged by the caller, so no shared-state
+    locking distorts the measurement): latencies per status class and
+    whether every 429 carried a ``Retry-After`` header.
+    """
+    import http.client
+
+    ok_latencies: list = []
+    shed_latencies: list = []
+    errors = 0
+    shed_missing_retry_after = 0
+    headers = {"Content-Type": "application/json"}
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    while time.perf_counter() < stop_at:
+        begin = time.perf_counter()
+        try:
+            connection.request("POST", "/v1/score", body=body,
+                               headers=headers)
+            response = connection.getresponse()
+            response.read()
+            status = response.status
+            retry_after = response.getheader("Retry-After")
+        except Exception:
+            connection.close()
+            connection = http.client.HTTPConnection(host, port,
+                                                    timeout=30)
+            errors += 1
+            continue
+        elapsed_ms = 1000.0 * (time.perf_counter() - begin)
+        if status == 200:
+            ok_latencies.append(elapsed_ms)
+        elif status == 429:
+            shed_latencies.append(elapsed_ms)
+            if retry_after is None:
+                shed_missing_retry_after += 1
+            connection.close()  # server closes error responses
+            connection = http.client.HTTPConnection(host, port,
+                                                    timeout=30)
+        else:
+            errors += 1
+            connection.close()
+            connection = http.client.HTTPConnection(host, port,
+                                                    timeout=30)
+    connection.close()
+    return {"ok": ok_latencies, "shed": shed_latencies,
+            "errors": errors,
+            "shed_missing_retry_after": shed_missing_retry_after}
+
+
+def _run_phase(host: str, port: int, body: bytes, connections: int,
+               duration: float) -> dict:
+    """Drive N concurrent keep-alive clients; merge their tallies."""
+    import concurrent.futures
+
+    stop_at = time.perf_counter() + duration
+    with concurrent.futures.ThreadPoolExecutor(
+            max_workers=connections) as executor:
+        futures = [executor.submit(_hammer, host, port, body, stop_at)
+                   for _ in range(connections)]
+        tallies = [future.result() for future in futures]
+    ok = sorted(lat for t in tallies for lat in t["ok"])
+    shed = [lat for t in tallies for lat in t["shed"]]
+    return {
+        "requests_ok": len(ok),
+        "requests_shed": len(shed),
+        "errors": sum(t["errors"] for t in tallies),
+        "shed_missing_retry_after": sum(
+            t["shed_missing_retry_after"] for t in tallies),
+        "rps": len(ok) / duration,
+        "p50_ms": _percentile(ok, 0.50),
+        "p99_ms": _percentile(ok, 0.99),
+    }
+
+
+def run_concurrency(connections: int = 32, duration: float = 2.0) -> dict:
+    """Concurrent many-connection mode: async vs threaded transport.
+
+    Phase 1 (hot cache): one fitted pipeline is served by each
+    transport in turn with a fully warmed score cache, and N keep-alive
+    clients hammer ``POST /v1/score`` with an identical candidate set
+    for ``duration`` seconds.  Model time is ~0 on every request, so
+    requests/sec isolates pure transport cost (parsing, dispatch,
+    response assembly, connection handling); per-request score parity
+    across transports is asserted exactly.
+
+    Phase 2 (saturation, async only): a cold-cache service behind a
+    deliberately tiny admission budget takes the same client storm.
+    Asserts the load-shedding contract — some requests shed, every 429
+    carries ``Retry-After``, and p99 latency of *admitted* requests
+    stays bounded (shedding keeps the queue short; an unbounded queue
+    would push admitted p99 toward the full bench duration).
+    """
+    import json as _json
+    import tempfile
+    import threading
+
+    from repro.serving import (
+        ArtifactBundle, AsyncServerThread, ServiceConfig,
+        TaxonomyService, make_server,
+    )
+
+    pipeline, pairs = _serving_pipeline()
+    candidate_set = [list(pair) for pair in pairs[:8]]
+    body = _json.dumps({"pairs": candidate_set}).encode("utf-8")
+    directory = tempfile.mkdtemp(prefix="bench_concurrency_")
+    ArtifactBundle.export(pipeline, directory)
+    bundle = ArtifactBundle.load(directory)
+    results: dict = {"connections": connections, "duration": duration}
+    parity: dict = {}
+
+    def hot_service() -> TaxonomyService:
+        service = TaxonomyService(
+            bundle, ServiceConfig(max_wait_ms=0.5, cache_size=65536))
+        service.start()
+        service.score(candidate_set)  # warm the cache fully
+        return service
+
+    # --- phase 1a: threaded transport, hot cache ---------------------
+    service = hot_service()
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        parity["threaded"] = service.score(candidate_set)["probabilities"]
+        results["threaded"] = _run_phase(host, port, body, connections,
+                                         duration)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+    # --- phase 1b: async transport, hot cache ------------------------
+    service = hot_service()
+    async_server = AsyncServerThread(
+        service, port=0, max_inflight=max(64, connections),
+        max_connections=4 * connections)
+    host, port = async_server.start()
+    try:
+        parity["async"] = service.score(candidate_set)["probabilities"]
+        results["async"] = _run_phase(host, port, body, connections,
+                                      duration)
+    finally:
+        async_server.stop()
+        service.stop()
+
+    assert parity["async"] == parity["threaded"], (
+        "transports must score identically: "
+        f"{parity['async']} != {parity['threaded']}")
+    results["score_parity"] = True
+    threaded_rps = max(results["threaded"]["rps"], 1e-9)
+    results["speedup"] = results["async"]["rps"] / threaded_rps
+
+    # --- phase 2: async transport under saturation -------------------
+    service = TaxonomyService(
+        bundle, ServiceConfig(max_wait_ms=0.5, cache_size=0))
+    service.start()
+    async_server = AsyncServerThread(
+        service, port=0, max_inflight=2, heavy_workers=2,
+        max_connections=4 * connections)
+    host, port = async_server.start()
+    try:
+        saturation = _run_phase(host, port, body, connections, duration)
+    finally:
+        async_server.stop()
+        service.stop()
+    results["saturation"] = saturation
+    admitted_p99_bound_ms = 1000.0 * max(2.0, duration)
+    assert saturation["requests_shed"] > 0, (
+        "saturation phase must shed load (0 requests got 429) — "
+        "admission control is not engaging")
+    assert saturation["shed_missing_retry_after"] == 0, (
+        f"{saturation['shed_missing_retry_after']} shed responses "
+        f"arrived without a Retry-After header")
+    assert saturation["p99_ms"] <= admitted_p99_bound_ms, (
+        f"admitted-request p99 {saturation['p99_ms']:.0f}ms exceeds "
+        f"{admitted_p99_bound_ms:.0f}ms — the server is queueing "
+        f"instead of shedding")
+    return results
+
+
+def _print_concurrency(results: dict) -> None:
+    rows = []
+    for transport in ("threaded", "async"):
+        phase = results[transport]
+        rows.append([transport, fmt(phase["rps"], 1),
+                     str(phase["requests_ok"]),
+                     fmt(phase["p50_ms"], 2), fmt(phase["p99_ms"], 2)])
+    print_table(
+        f"Concurrent transport throughput "
+        f"({results['connections']} keep-alive connections, "
+        f"hot cache, {results['duration']}s)",
+        ["Transport", "Req/sec", "Requests", "p50 ms", "p99 ms"], rows)
+    print(f"async speedup   : {results['speedup']:.2f}x")
+    saturation = results["saturation"]
+    print(f"saturation      : {saturation['requests_ok']} admitted / "
+          f"{saturation['requests_shed']} shed (429+Retry-After), "
+          f"admitted p99 {saturation['p99_ms']:.1f}ms")
+
+
 def main(argv=None) -> int:
-    """CLI entry: ``--client`` measures SDK/envelope overhead."""
+    """CLI entry: ``--client`` measures SDK/envelope overhead,
+    ``--concurrency N`` runs the many-connection transport comparison."""
     import argparse
     import json as _json
     import sys
@@ -183,12 +407,37 @@ def main(argv=None) -> int:
                         help="measure TaxonomyClient (/v1 typed path) "
                              "overhead vs raw urllib on the legacy "
                              "alias")
+    parser.add_argument("--concurrency", type=int, default=None,
+                        metavar="N",
+                        help="run the concurrent transport comparison "
+                             "with N keep-alive connections (async vs "
+                             "threaded + saturation/load-shed phase)")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="seconds per concurrency phase")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail (exit 1) when async rps is below "
+                             "this multiple of threaded rps")
     parser.add_argument("--output", default=None,
                         help="write the result JSON here")
     parser.add_argument("--max-overhead", type=float, default=None,
                         help="fail (exit 1) when SDK overhead exceeds "
                              "this percentage")
     args = parser.parse_args(argv)
+
+    if args.concurrency:
+        results = run_concurrency(connections=args.concurrency,
+                                  duration=args.duration)
+        _print_concurrency(results)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                _json.dump(results, handle, indent=1)
+            print(f"wrote {args.output}")
+        if args.min_speedup is not None and \
+                results["speedup"] < args.min_speedup:
+            print(f"FAIL: async speedup {results['speedup']:.2f}x is "
+                  f"below {args.min_speedup}x", file=sys.stderr)
+            return 1
+        return 0
 
     if args.client:
         results = run_client_overhead()

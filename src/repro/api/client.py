@@ -16,17 +16,29 @@ Failures surface as :class:`TaxonomyApiError` carrying the server's
 stable ``code``, HTTP ``status`` and ``request_id`` (parsed from the
 canonical error envelope).  Transient server rejections — ``429
 backpressure`` and ``503 not_ready``, which the server answers *before*
-applying any side effect — are retried with exponential backoff on any
-method, honouring the server's ``Retry-After`` header when present.
-Transport failures (connection reset, timeout) are retried only for
-``GET`` requests: a lost response to a non-idempotent ``POST`` (ingest,
-expand) may have been applied server-side, and re-sending it would
-double-apply the data.
+applying any side effect — are retried with *full-jitter* exponential
+backoff on any method: each delay is drawn uniformly from ``[0,
+min(backoff * 2^attempt, max_backoff)]`` so a fleet of load-shed
+clients spreads its retries instead of stampeding back in lockstep,
+and a server ``Retry-After`` header acts as the floor of the drawn
+delay.  Transport failures (connection reset, timeout) are retried
+only for ``GET`` requests: a lost response to a non-idempotent
+``POST`` (ingest, expand) may have been applied server-side, and
+re-sending it would double-apply the data.
+
+Against the asyncio transport the SDK also upgrades itself from the
+``capabilities`` object in ``/v1/healthz``: :meth:`wait_for_job` holds
+a server-side long-poll (``GET /v1/jobs/{id}?wait=...``) instead of
+busy-polling, and :meth:`score_stream` / :meth:`expand_stream` /
+:meth:`job_events` consume NDJSON and SSE streams.  Every upgrade
+degrades transparently to the buffered/polling behaviour against the
+threaded transport.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -79,19 +91,27 @@ class TaxonomyClient:
     retries:
         Extra attempts for retryable failures (429/503/transport).
     backoff:
-        Initial retry delay in seconds; doubles per attempt.  A server
-        ``Retry-After`` header overrides the computed delay (capped at
-        ``max_backoff``).
+        Backoff window seed in seconds: attempt ``n`` draws its delay
+        uniformly from ``[0, min(backoff * 2^n, max_backoff)]`` (full
+        jitter).  A server ``Retry-After`` header raises the floor of
+        the drawn delay (the server's minimum is respected, the jitter
+        only ever waits *longer*), capped at ``max_backoff``.
+    rng:
+        Source of jitter randomness (``random.Random``-compatible);
+        injectable for deterministic tests.
     """
 
     def __init__(self, base_url: str, *, timeout: float = 30.0,
                  retries: int = 2, backoff: float = 0.2,
-                 max_backoff: float = 5.0):
+                 max_backoff: float = 5.0,
+                 rng: random.Random | None = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.max_backoff = max_backoff
+        self._rng = rng if rng is not None else random.Random()
+        self._capabilities: dict | None = None
 
     # ------------------------------------------------------------------
     # transport
@@ -133,14 +153,29 @@ class TaxonomyClient:
                 raise last_error
             if not last_error.retryable or attempt >= self.retries:
                 raise last_error
-            delay = min(self.backoff * (2 ** attempt), self.max_backoff)
-            if retry_after:
-                try:
-                    delay = min(float(retry_after), self.max_backoff)
-                except ValueError:
-                    pass
-            time.sleep(delay)
+            time.sleep(self._retry_delay(attempt, retry_after))
         raise last_error  # pragma: no cover - loop always raises above
+
+    def _retry_delay(self, attempt: int, retry_after) -> float:
+        """Full-jitter backoff delay for retry number ``attempt``.
+
+        Uniform over ``[0, min(backoff * 2^attempt, max_backoff)]`` —
+        a synchronized burst of load-shed clients decorrelates instead
+        of retrying in lockstep and re-creating the spike that got it
+        shed.  A parseable ``Retry-After`` is the *floor*: the server's
+        requested minimum is honoured, jitter only adds to it (both
+        capped at ``max_backoff``).
+        """
+        window = min(self.backoff * (2 ** attempt), self.max_backoff)
+        delay = self._rng.uniform(0.0, window)
+        if retry_after:
+            try:
+                floor = min(float(retry_after), self.max_backoff)
+            except ValueError:
+                pass
+            else:
+                delay = max(delay, floor)
+        return delay
 
     @staticmethod
     def _parse_http_error(error: urllib.error.HTTPError) \
@@ -184,6 +219,102 @@ class TaxonomyClient:
         """``POST /v1/score`` for explicit (parent, child) pairs."""
         return self._request("POST", "/v1/score",
                              {"pairs": [list(pair) for pair in pairs]})
+
+    def capabilities(self) -> dict:
+        """Transport capabilities advertised in ``/v1/healthz``.
+
+        ``{}`` against servers that advertise nothing (the threaded
+        transport) or when the probe fails — absence of a capability
+        just means the polling/buffered fallback is used.  Cached for
+        the client's lifetime after the first successful probe.
+        """
+        if self._capabilities is None:
+            try:
+                health = self.health()
+            except TaxonomyApiError:
+                return {}  # transient failure: stay unprobed, retry later
+            found = (health or {}).get("capabilities")
+            self._capabilities = dict(found) if isinstance(found, dict) \
+                else {}
+        return self._capabilities
+
+    def _stream_lines(self, path: str, payload: dict, accept: str):
+        """POST and yield decoded NDJSON lines (internal helper).
+
+        Falls back to yielding the single buffered JSON body when the
+        server answers ``application/json`` — the threaded transport
+        ignores the ``Accept`` upgrade, so callers see one whole-batch
+        chunk instead of micro-batches, same content either way.  A
+        terminal ``{"error": ...}`` line (mid-stream failure) raises
+        :class:`TaxonomyApiError` after the preceding chunks were
+        yielded.
+        """
+        url = f"{self.base_url}{path}"
+        request = urllib.request.Request(
+            url, data=json.dumps(payload).encode("utf-8"),
+            method="POST",
+            headers={"Content-Type": "application/json",
+                     "Accept": accept})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                if response.headers.get_content_type() == \
+                        "application/json":
+                    body = response.read()
+                    yield json.loads(body) if body else {}
+                    return
+                for raw_line in response:
+                    line = raw_line.strip()
+                    if not line:
+                        continue
+                    item = json.loads(line)
+                    if isinstance(item, dict) and set(item) == {"error"}:
+                        error = item["error"]
+                        raise TaxonomyApiError(
+                            error.get("code", "internal_error"),
+                            error.get("message", "stream failed"),
+                            detail=error.get("detail"),
+                            request_id=error.get("request_id"))
+                    yield item
+        except urllib.error.HTTPError as error:
+            raise self._parse_http_error(error) from None
+        except (urllib.error.URLError, ConnectionError,
+                TimeoutError) as error:
+            raise TaxonomyApiError(
+                "transport_error",
+                f"stream from {url} failed: {error}") from None
+
+    def score_stream(self, pairs):
+        """``POST /v1/score`` with NDJSON streaming; yields per chunk.
+
+        Each yielded dict is a ``/v1/score``-shaped micro-batch
+        (``pairs`` + ``probabilities``) in request order; concatenating
+        them reproduces :meth:`score` of the full batch.  Against
+        servers without NDJSON support the whole response arrives as
+        one chunk.
+        """
+        yield from self._stream_lines(
+            "/v1/score", {"pairs": [list(pair) for pair in pairs]},
+            "application/x-ndjson")
+
+    def expand_stream(self, candidates: dict | None = None, *,
+                      queries=None, top_k: int | None = None):
+        """``POST /v1/expand`` with NDJSON streaming; yields per chunk.
+
+        Accepts the same ``candidates`` / ``queries`` + ``top_k``
+        alternatives as :meth:`expand`; each yielded dict is one
+        journaled sub-expansion (``attached_edges`` etc.), and the last
+        chunk's ``taxonomy_edges`` matches the final taxonomy size.
+        """
+        payload: dict = {}
+        if candidates is not None:
+            payload["candidates"] = candidates
+        if queries is not None:
+            payload["queries"] = [str(query) for query in queries]
+        if top_k is not None:
+            payload["top_k"] = int(top_k)
+        yield from self._stream_lines("/v1/expand", payload,
+                                      "application/x-ndjson")
 
     def score_batched(self, pairs, batch_size: int = 512) -> list:
         """Score arbitrarily many pairs in bounded requests.
@@ -287,18 +418,73 @@ class TaxonomyClient:
         """``GET /v1/jobs`` — retained job snapshots, newest first."""
         return self._request("GET", "/v1/jobs")
 
+    def job_events(self, job_id: str):
+        """``GET /v1/jobs/{id}`` as SSE; yields snapshots until terminal.
+
+        Each yielded dict is one job snapshot (the ``data:`` payload of
+        a ``status`` event); the stream ends after the terminal
+        snapshot.  Against servers without SSE support (the threaded
+        transport ignores the ``Accept`` upgrade) the single buffered
+        snapshot is yielded and the generator ends — callers that need
+        a terminal state should use :meth:`wait_for_job`.
+        """
+        url = f"{self.base_url}/v1/jobs/{job_id}"
+        request = urllib.request.Request(
+            url, method="GET", headers={"Accept": "text/event-stream"})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                if response.headers.get_content_type() != \
+                        "text/event-stream":
+                    body = response.read()
+                    yield json.loads(body) if body else {}
+                    return
+                data_lines: list = []
+                for raw_line in response:
+                    line = raw_line.decode("utf-8").rstrip("\r\n")
+                    if line.startswith("data:"):
+                        data_lines.append(line[5:].strip())
+                    elif not line and data_lines:
+                        yield json.loads("\n".join(data_lines))
+                        data_lines = []
+        except urllib.error.HTTPError as error:
+            raise self._parse_http_error(error) from None
+        except (urllib.error.URLError, ConnectionError,
+                TimeoutError) as error:
+            raise TaxonomyApiError(
+                "transport_error",
+                f"stream from {url} failed: {error}") from None
+
     def wait_for_job(self, job_id: str, timeout: float = 60.0,
                      poll_interval: float = 0.05) -> dict:
-        """Poll until the job finishes; return its terminal snapshot.
+        """Wait until the job finishes; return its terminal snapshot.
+
+        Against a server advertising the ``job_wait`` capability (the
+        asyncio transport) each round trip is a server-side long-poll
+        — ``GET /v1/jobs/{id}?wait=<seconds>`` parks on the job
+        manager's completion signal and answers the moment the job
+        turns terminal — so the client issues a handful of held
+        requests instead of hammering ``poll_interval``-spaced polls.
+        Servers without the capability (or where the probe fails) get
+        the classic polling loop, transparently.
 
         Raises :class:`TaxonomyApiError` with the job's stored error
-        code if the job failed, or ``code="timeout"``-free
-        ``TimeoutError`` if it does not finish within ``timeout``
-        seconds.
+        code if the job failed, or ``TimeoutError`` if it does not
+        finish within ``timeout`` seconds.
         """
         deadline = time.monotonic() + timeout
+        long_poll = bool(self.capabilities().get("job_wait"))
         while True:
-            snapshot = self.job(job_id)
+            remaining = deadline - time.monotonic()
+            if long_poll and remaining > 0:
+                # hold well under the socket timeout so a parked wait
+                # cannot be mistaken for a dead server
+                hold = min(remaining, 10.0,
+                           max(0.1, self.timeout * 0.5))
+                snapshot = self._request(
+                    "GET", f"/v1/jobs/{job_id}?wait={hold:.3f}")
+            else:
+                snapshot = self.job(job_id)
             if snapshot["status"] == "succeeded":
                 return snapshot
             if snapshot["status"] == "failed":
@@ -311,4 +497,5 @@ class TaxonomyClient:
                 raise TimeoutError(
                     f"job {job_id} still {snapshot['status']!r} after "
                     f"{timeout}s")
-            time.sleep(poll_interval)
+            if not long_poll:
+                time.sleep(poll_interval)

@@ -33,6 +33,7 @@ __all__ = [
     "not_ready",
     "payload_too_large",
     "reload_failed",
+    "request_timeout",
     "snapshot_failed",
 ]
 
@@ -43,6 +44,7 @@ ERROR_CODES: dict[str, int] = {
     "invalid_request": 400,
     "not_found": 404,
     "job_not_found": 404,
+    "request_timeout": 408,
     "payload_too_large": 413,
     "backpressure": 429,
     "not_ready": 503,
@@ -115,6 +117,16 @@ def job_not_found(job_id: str) -> ApiError:
     """404 — no job with this id exists (or it aged out of retention)."""
     return ApiError("job_not_found", f"no such job {job_id!r}",
                     detail={"job_id": job_id})
+
+
+def request_timeout(message: str) -> ApiError:
+    """408 — the client sent its request too slowly (read timeout).
+
+    Deliberately *not* retryable: a well-formed client never trickles a
+    request over many seconds, so inviting a retry would just re-admit
+    the same slow-loris behaviour the timeout exists to shed.
+    """
+    return ApiError("request_timeout", message)
 
 
 def payload_too_large(length: int, limit: int) -> ApiError:

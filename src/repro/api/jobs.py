@@ -108,6 +108,7 @@ class JobManager:
         self._lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._sentinel_pending = False
+        self._listeners: list = []
         self.stats = JobStats()
 
     # ------------------------------------------------------------------
@@ -198,6 +199,27 @@ class JobManager:
                     reversed(list(self._jobs.values()))]
         return jobs[:max(0, limit)]
 
+    def add_listener(self, fn) -> None:
+        """Register ``fn(job_snapshot)`` for terminal transitions.
+
+        Called from the worker thread right after a job reaches
+        ``succeeded`` or ``failed`` (outside the manager lock, so a
+        listener may call back into the manager).  Long-poll and SSE
+        waiters use this to wake the moment a job finishes instead of
+        re-polling; listeners must be fast and must not raise — any
+        exception is swallowed so one bad listener cannot wedge the
+        worker.
+        """
+        with self._lock:
+            if fn not in self._listeners:
+                self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        """Unregister a listener added with :meth:`add_listener`."""
+        with self._lock:
+            if fn in self._listeners:
+                self._listeners.remove(fn)
+
     def counts(self) -> dict:
         """Gauges + counters for ``/metrics`` and ``/healthz``."""
         with self._lock:
@@ -257,3 +279,10 @@ class JobManager:
                 else:
                     self.stats.failed += 1
                 self._evict_locked()
+                listeners = tuple(self._listeners)
+                snapshot = job.as_dict()
+            for listener in listeners:
+                try:
+                    listener(snapshot)
+                except Exception:
+                    pass  # a bad listener must not kill the worker

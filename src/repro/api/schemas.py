@@ -616,6 +616,7 @@ class HealthResponse(SchemaModel):
     snapshots: dict = None
     retrieval: dict = None
     taxonomy_edges: int = 0
+    capabilities: dict = None
 
     FIELDS = (
         Field("status", "string", required=True,
@@ -645,6 +646,11 @@ class HealthResponse(SchemaModel):
                   "suggest/retrieval-backed expand builds it)."),
         Field("taxonomy_edges", "integer", required=True,
               doc="Live taxonomy edge count."),
+        Field("capabilities", "object", nullable=True,
+              doc="Optional transport capabilities (e.g. job_wait, "
+                  "ndjson, sse); absent on transports without them. "
+                  "The SDK upgrades to long-poll/SSE job waits only "
+                  "when advertised here."),
     )
 
 

@@ -1,8 +1,12 @@
-"""Stdlib HTTP transport for :class:`~repro.serving.TaxonomyService`.
+"""Threaded stdlib HTTP transport for :class:`~repro.serving.TaxonomyService`.
 
 No web framework — a :class:`http.server.ThreadingHTTPServer` dispatches
 the declarative route table from :data:`repro.api.ROUTES` onto the
-service facade.  The transport owns *no* parsing logic of its own:
+service facade.  The transport owns *no* parsing logic of its own: the
+handlers, route index and body-size cap live in
+:mod:`repro.serving.routes` and are shared verbatim with the asyncio
+transport (:mod:`repro.serving.async_http`), so the two servers expose a
+byte-identical contract:
 
 * request bodies are validated by the typed models in
   :mod:`repro.api.schemas` (one ``Model.parse`` per route),
@@ -21,7 +25,9 @@ keep their historical semantics (permissive defaults, raw service
 response shapes, 503 on ingest backpressure) and emit ``Deprecation``
 and ``Link: rel="successor-version"`` headers.  ``repro serve``
 additionally installs a SIGHUP handler that triggers the same reload as
-``POST /v1/admin/reload`` with no body (see :func:`serve`).
+``POST /v1/admin/reload`` with no body, and a SIGTERM handler that
+drains gracefully — stop accepting, finish in-flight requests up to a
+deadline, then close (see :func:`serve`).
 """
 
 from __future__ import annotations
@@ -29,269 +35,28 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..api import errors as api_errors
-from ..api import schemas
 from ..api.errors import ApiError
-from ..api.openapi import ROUTES, build_openapi
+from .routes import (LEGACY_HANDLERS, MAX_BODY_BYTES, V1_HANDLERS,
+                     resolve_route)
 from .service import TaxonomyService
 
-__all__ = ["MAX_BODY_BYTES", "TaxonomyHTTPServer",
-           "install_sighup_reload", "make_server", "serve"]
-
-MAX_BODY_BYTES = 16 * 1024 * 1024
-
-
-# ----------------------------------------------------------------------
-# /v1 handlers — named by RouteSpec.handler; each takes
-# (service, body, params) and returns (status, payload) with payload
-# already validated/normalised through the route's response model.
-# ----------------------------------------------------------------------
-def _require_started(service: TaxonomyService) -> None:
-    if not service.started:
-        raise api_errors.not_ready(
-            "service workers are not running yet; retry shortly")
-
-
-def _handle_health(service, body, params):
-    payload = schemas.HealthResponse.parse(
-        service.health(), allow_extra=True).as_payload()
-    return 200, payload
-
-
-def _handle_taxonomy(service, body, params):
-    payload = schemas.TaxonomyResponse.parse(
-        service.taxonomy_state(), allow_extra=True).as_payload()
-    return 200, payload
-
-
-#: the document is static for the life of the process (ROUTES and the
-#: schema models are module constants), so build it once at import
-_OPENAPI_DOC = build_openapi()
-
-
-def _handle_openapi(service, body, params):
-    return 200, _OPENAPI_DOC
-
-
-def _handle_score(service, body, params):
-    request = schemas.ScoreRequest.parse(body)
-    _require_started(service)
-    return 200, schemas.ScoreResponse.parse(
-        service.score(request), allow_extra=True).as_payload()
-
-
-def _handle_suggest(service, body, params):
-    request = schemas.SuggestRequest.parse(body)
-    _require_started(service)
-    return 200, schemas.SuggestResponse.parse(
-        service.suggest(request), allow_extra=True).as_payload()
-
-
-def _handle_expand(service, body, params):
-    request = schemas.ExpandRequest.parse(body)
-    _require_started(service)
-    return 200, schemas.ExpandResponse.parse(
-        service.expand(request), allow_extra=True).as_payload()
-
-
-def _handle_ingest(service, body, params):
-    request = schemas.IngestRequest.parse(body)
-    _require_started(service)
-    result = service.ingest(request)
-    if not result.get("accepted"):
-        # Bounded-queue rejection is backpressure (retryable), not an
-        # outage: 429 + Retry-After, distinct from 503 not_ready.
-        raise api_errors.backpressure(
-            "ingest queue is full; retry after the worker drains it",
-            retry_after=1.0,
-            detail={"pending_batches": result.get("pending_batches")})
-    return 202, schemas.IngestResponse.parse(
-        result, allow_extra=True).as_payload()
-
-
-def _handle_reload(service, body, params):
-    request = schemas.ReloadRequest.parse(body)
-    try:
-        result = service.reload(request.artifacts, wait=False)
-    except ApiError:
-        raise
-    except Exception as error:
-        # Stable code for any rejected swap (missing bundle, smoke-test
-        # or pool-parity failure); the previous model keeps serving.
-        raise api_errors.reload_failed(repr(error)) from error
-    return 200, schemas.ReloadResponse.parse(
-        result, allow_extra=True).as_payload()
-
-
-def _handle_snapshot(service, body, params):
-    try:
-        result = service.snapshot()
-    except ApiError:
-        raise
-    except Exception as error:
-        # Stable code whether the store is missing or the capture
-        # failed; serving state is untouched either way.
-        raise api_errors.snapshot_failed(repr(error)) from error
-    return 200, schemas.SnapshotResponse.parse(
-        result, allow_extra=True).as_payload()
-
-
-def _handle_job_snapshot(service, body, params):
-    _require_started(service)
-
-    def run():
-        try:
-            return service.snapshot()
-        except ApiError:
-            raise
-        except Exception as error:
-            raise api_errors.snapshot_failed(repr(error)) from error
-
-    snapshot = service.jobs.submit("snapshot", run)
-    return 202, schemas.JobResponse.parse(
-        snapshot, allow_extra=True).as_payload()
-
-
-def _handle_job_expand(service, body, params):
-    request = schemas.ExpandRequest.parse(body)
-    _require_started(service)
-    snapshot = service.jobs.submit(
-        "expand", lambda: service.expand(request))
-    return 202, schemas.JobResponse.parse(
-        snapshot, allow_extra=True).as_payload()
-
-
-def _handle_job_reload(service, body, params):
-    request = schemas.ReloadRequest.parse(body)
-    _require_started(service)
-
-    def run():
-        try:
-            return service.reload(request.artifacts)
-        except ApiError:
-            raise
-        except Exception as error:
-            raise api_errors.reload_failed(repr(error)) from error
-
-    snapshot = service.jobs.submit("reload", run)
-    return 202, schemas.JobResponse.parse(
-        snapshot, allow_extra=True).as_payload()
-
-
-def _handle_job_list(service, body, params):
-    return 200, schemas.JobListResponse.parse(
-        {"jobs": service.jobs.list()}).as_payload()
-
-
-def _handle_job_get(service, body, params):
-    snapshot = service.jobs.get(params["job_id"])
-    return 200, schemas.JobResponse.parse(
-        snapshot, allow_extra=True).as_payload()
-
-
-# ----------------------------------------------------------------------
-# legacy alias handlers — historical permissive semantics, raw service
-# response shapes.  Deliberately thin: new behaviour goes to /v1 only.
-# ----------------------------------------------------------------------
-def _legacy_health(service, body, params):
-    # raw shape: no schema normalisation (e.g. "journal" stays absent
-    # without a journal, as pre-/v1 monitoring expects)
-    return 200, service.health()
-
-
-def _legacy_taxonomy(service, body, params):
-    return 200, service.taxonomy_state()
-
-
-def _legacy_score(service, body, params):
-    return 200, service.score(body.get("pairs", []))
-
-
-def _legacy_expand(service, body, params):
-    return 200, service.expand(body.get("candidates", {}))
-
-
-def _legacy_ingest(service, body, params):
-    result = service.ingest(body.get("records", []),
-                            body.get("provenance"),
-                            sync=bool(body.get("sync", False)))
-    return (202 if result["accepted"] else 503), result
-
-
-def _legacy_reload(service, body, params):
-    return 200, service.reload(body.get("artifacts"))
-
-
-_V1_HANDLERS = {
-    "health": _handle_health,
-    "taxonomy": _handle_taxonomy,
-    "openapi": _handle_openapi,
-    "score": _handle_score,
-    "suggest": _handle_suggest,
-    "expand": _handle_expand,
-    "ingest": _handle_ingest,
-    "reload": _handle_reload,
-    "snapshot": _handle_snapshot,
-    "job_expand": _handle_job_expand,
-    "job_reload": _handle_job_reload,
-    "job_snapshot": _handle_job_snapshot,
-    "job_list": _handle_job_list,
-    "job_get": _handle_job_get,
-    # "metrics" is text/plain and handled inline by the transport
-}
-
-_LEGACY_HANDLERS = {
-    "health": _legacy_health,
-    "taxonomy": _legacy_taxonomy,
-    "score": _legacy_score,
-    "expand": _legacy_expand,
-    "ingest": _legacy_ingest,
-    "reload": _legacy_reload,
-}
-
-
-class _BoundRoute:
-    """One dispatchable (method, path template) -> handler binding."""
-
-    __slots__ = ("spec", "segments", "legacy")
-
-    def __init__(self, spec, path: str, legacy: bool):
-        self.spec = spec
-        self.segments = tuple(path.strip("/").split("/"))
-        self.legacy = legacy
-
-    def match(self, segments: tuple) -> dict | None:
-        """Path params when ``segments`` matches this template."""
-        if len(segments) != len(self.segments):
-            return None
-        params = {}
-        for template, actual in zip(self.segments, segments):
-            if template.startswith("{") and template.endswith("}"):
-                params[template[1:-1]] = actual
-            elif template != actual:
-                return None
-        return params
-
-
-def _build_route_index() -> dict:
-    """``{method: [_BoundRoute, ...]}`` from the declarative table."""
-    index: dict[str, list] = {}
-    for spec in ROUTES:
-        index.setdefault(spec.method, []).append(
-            _BoundRoute(spec, spec.path, legacy=False))
-        if spec.legacy_alias:
-            index.setdefault(spec.method, []).append(
-                _BoundRoute(spec, spec.legacy_alias, legacy=True))
-    return index
-
-
-_ROUTE_INDEX = _build_route_index()
+__all__ = ["MAX_BODY_BYTES", "TaxonomyHTTPServer", "install_sighup_reload",
+           "install_sigterm_drain", "make_server", "serve"]
 
 
 class TaxonomyHTTPServer(ThreadingHTTPServer):
-    """HTTP server bound to one :class:`TaxonomyService`."""
+    """HTTP server bound to one :class:`TaxonomyService`.
+
+    Tracks in-flight requests so shutdown can drain instead of cutting
+    responses mid-write: :meth:`drain` stops the accept loop, waits for
+    the in-flight count to reach zero (bounded by a timeout), and flags
+    every handler to close its keep-alive connection after the response
+    in progress.
+    """
 
     daemon_threads = True
 
@@ -300,6 +65,49 @@ class TaxonomyHTTPServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.service = service
         self.quiet = quiet
+        self.draining = False
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+
+    def request_began(self) -> None:
+        """Count one request entering dispatch (called by the handler)."""
+        with self._inflight_cond:
+            self._inflight += 1
+
+    def request_ended(self) -> None:
+        """Count one request leaving dispatch (called by the handler)."""
+        with self._inflight_cond:
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        """Number of requests currently inside dispatch."""
+        with self._inflight_cond:
+            return self._inflight
+
+    def wait_idle(self, timeout: float = 10.0) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._inflight_cond:
+            while self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cond.wait(remaining)
+        return True
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight work.
+
+        Returns True when every in-flight request completed within
+        ``timeout``, False when the deadline forced the close.  Must be
+        called from a thread other than the one running
+        ``serve_forever`` (``shutdown`` would deadlock otherwise).
+        """
+        self.draining = True
+        self.shutdown()
+        return self.wait_idle(timeout)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -330,10 +138,11 @@ class _Handler(BaseHTTPRequestHandler):
         if retry_after is not None:
             self.send_header("Retry-After",
                              str(max(1, round(retry_after))))
-        if status >= 400:
+        if status >= 400 or self.server.draining:
             # Error paths may leave the request body unread; under
             # HTTP/1.1 keep-alive those bytes would be parsed as the
-            # next request, so drop the connection instead.
+            # next request, so drop the connection instead.  A draining
+            # server likewise closes after the in-flight response.
             self.send_header("Connection", "close")
             self.close_connection = True
         self.end_headers()
@@ -377,15 +186,16 @@ class _Handler(BaseHTTPRequestHandler):
         self._route("POST")
 
     def _route(self, method: str) -> None:
+        self.server.request_began()
+        try:
+            self._route_inner(method)
+        finally:
+            self.server.request_ended()
+
+    def _route_inner(self, method: str) -> None:
         request_id = api_errors.new_request_id()
         path = self.path.split("?", 1)[0]
-        segments = tuple(path.strip("/").split("/"))
-        bound, params = None, None
-        for candidate in _ROUTE_INDEX.get(method, ()):
-            params = candidate.match(segments)
-            if params is not None:
-                bound = candidate
-                break
+        bound, params = resolve_route(method, path)
         if bound is None:
             self._send_error(api_errors.not_found(path), request_id)
             return
@@ -399,8 +209,8 @@ class _Handler(BaseHTTPRequestHandler):
                            **legacy_kwargs)
                 return
             body = self._read_json() if method == "POST" else {}
-            handler = (_LEGACY_HANDLERS if bound.legacy
-                       else _V1_HANDLERS)[bound.spec.handler]
+            handler = (LEGACY_HANDLERS if bound.legacy
+                       else V1_HANDLERS)[bound.spec.handler]
             status, payload = handler(self.server.service, body, params)
         except ApiError as error:
             self._send_error(error, request_id, **legacy_kwargs)
@@ -454,19 +264,45 @@ def install_sighup_reload(service: TaxonomyService) -> bool:
     return True
 
 
+def install_sigterm_drain(server: TaxonomyHTTPServer) -> bool:
+    """Make SIGTERM stop the accept loop so :func:`serve` can drain.
+
+    The handler only calls ``server.shutdown()`` (on a helper thread,
+    since shutdown blocks until ``serve_forever`` exits and signal
+    handlers run on the main thread that *is* running it); the
+    wait-for-in-flight half of the drain happens in :func:`serve`'s
+    shutdown path, shared with Ctrl-C.  Returns False off the main
+    thread, where ``signal.signal`` is unavailable.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return False
+
+    def handler(_signum, _frame):
+        server.draining = True
+        threading.Thread(target=server.shutdown, name="sigterm-drain",
+                         daemon=True).start()
+
+    signal.signal(signal.SIGTERM, handler)
+    return True
+
+
 def serve(service: TaxonomyService, host: str = "127.0.0.1",
           port: int = 8631, quiet: bool = False,
-          sighup_reload: bool = True) -> None:
+          sighup_reload: bool = True,
+          drain_timeout: float = 10.0) -> None:
     """Start the service workers and serve until interrupted.
 
     With ``sighup_reload`` (default), ``kill -HUP <pid>`` hot-swaps the
-    artifact bundle exactly like ``POST /v1/admin/reload``.
+    artifact bundle exactly like ``POST /v1/admin/reload``.  SIGTERM
+    (and Ctrl-C) trigger a graceful drain: stop accepting, finish
+    in-flight requests up to ``drain_timeout`` seconds, then close.
     """
     server = make_server(service, host, port, quiet=quiet)
     bound_host, bound_port = server.server_address[:2]
     service.start()
     if sighup_reload:
         install_sighup_reload(service)
+    install_sigterm_drain(server)
     print(f"repro serving on http://{bound_host}:{bound_port} "
           f"(/v1 API: /v1/healthz /v1/metrics /v1/taxonomy /v1/score "
           f"/v1/suggest /v1/expand /v1/ingest /v1/admin/reload "
@@ -477,5 +313,9 @@ def serve(service: TaxonomyService, host: str = "127.0.0.1",
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        server.draining = True
+        if not server.wait_idle(drain_timeout):
+            print(f"drain timeout ({drain_timeout:.0f}s) reached with "
+                  f"{server.inflight} request(s) still in flight")
         server.server_close()
         service.stop()

@@ -267,6 +267,70 @@ class TaxonomyService:
             "probabilities": [float(p) for p in probs],
         }
 
+    def score_chunks(self, pairs, chunk_size: int = 64):
+        """Yield :meth:`score`-shaped results per micro-batch of pairs.
+
+        Input validation matches :meth:`score` exactly (same cleaner,
+        same :class:`~repro.api.ApiError` on violations, raised before
+        the first chunk is yielded).  Each yielded dict covers the next
+        ``chunk_size`` pairs in request order and is scored through the
+        same batching scorer — concatenating the chunks reproduces the
+        unchunked response element-for-element.  Streaming transports
+        flush one NDJSON line per chunk so large batches produce
+        incremental output instead of one buffered body.
+        """
+        cleaned = list(pairs.pairs if isinstance(pairs, ScoreRequest)
+                       else clean_pairs(pairs))
+        chunk_size = max(1, int(chunk_size))
+        for start in range(0, len(cleaned), chunk_size):
+            chunk = cleaned[start:start + chunk_size]
+            probs = self.scorer.score_pairs(list(chunk))
+            yield {
+                "pairs": [list(pair) for pair in chunk],
+                "probabilities": [float(p) for p in probs],
+            }
+
+    def expand_chunks(self, candidates=None, *, queries=None,
+                      top_k: int = 20, chunk_size: int = 8):
+        """Yield :meth:`expand`-shaped results per micro-batch of queries.
+
+        Argument handling matches :meth:`expand` (exactly one of
+        ``candidates``/``queries``; retrieval-backed maps are resolved
+        up front).  The candidate map is then split into sub-maps of
+        ``chunk_size`` query concepts and each sub-map runs through the
+        normal journaled expansion — byte-identical on the journal to a
+        client issuing one ``/v1/expand`` call per sub-map, so replay
+        determinism is preserved.  Later chunks see the taxonomy edges
+        attached by earlier ones, exactly as sequential calls would.
+        """
+        if isinstance(candidates, ExpandRequest):
+            request = candidates
+            candidates = request.candidates
+            queries = request.queries
+            top_k = request.top_k
+        elif candidates is not None:
+            candidates = clean_candidates(candidates)
+        if (candidates is None) == (queries is None):
+            raise api_errors.invalid_request(
+                "exactly one of 'candidates' or 'queries' must be "
+                "provided", field="candidates")
+        if queries is not None:
+            candidates = self._retrieved_candidates(
+                [str(query) for query in queries], top_k)
+        keys = list(candidates)
+        chunk_size = max(1, int(chunk_size))
+        for start in range(0, len(keys), chunk_size):
+            sub_map = {key: candidates[key]
+                       for key in keys[start:start + chunk_size]}
+            result = self._expand_cleaned(sub_map, journal_write=True)
+            yield {
+                "attached_edges": [list(edge)
+                                   for edge in result.attached_edges],
+                "num_attached": result.num_attached,
+                "scored_candidates": len(result.scored_pairs),
+                "taxonomy_edges": result.taxonomy.num_edges,
+            }
+
     def suggest(self, query, k: int = 10) -> dict:
         """Ranked attachment candidates for one query concept.
 

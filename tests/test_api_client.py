@@ -229,6 +229,55 @@ class TestRetryPolicy:
         assert httpd.attempts == 1
 
 
+class TestRetryJitter:
+    """Unit tests for the full-jitter backoff schedule."""
+
+    @staticmethod
+    def _client(**kwargs):
+        import random
+        kwargs.setdefault("rng", random.Random(1234))
+        return TaxonomyClient("http://localhost:1", backoff=0.1,
+                              max_backoff=2.0, **kwargs)
+
+    def test_delay_within_exponential_window(self):
+        client = self._client()
+        for attempt in range(6):
+            window = min(0.1 * (2 ** attempt), 2.0)
+            for _ in range(20):
+                delay = client._retry_delay(attempt, None)
+                assert 0.0 <= delay <= window
+
+    def test_repeated_draws_differ(self):
+        client = self._client()
+        draws = {client._retry_delay(3, None) for _ in range(10)}
+        assert len(draws) > 1  # full jitter, not a fixed schedule
+
+    def test_retry_after_is_a_floor(self):
+        client = self._client()
+        # window at attempt 0 is 0.1s, but the server asked for 1s
+        for _ in range(10):
+            assert client._retry_delay(0, "1") >= 1.0
+
+    def test_retry_after_floor_capped_at_max_backoff(self):
+        client = self._client()
+        delay = client._retry_delay(0, "3600")
+        assert delay <= 2.0
+
+    def test_unparseable_retry_after_ignored(self):
+        client = self._client()
+        delay = client._retry_delay(0, "Wed, 21 Oct 2015 07:28:00 GMT")
+        assert 0.0 <= delay <= 0.1
+
+    def test_seeded_rng_is_deterministic(self):
+        import random
+        first = TaxonomyClient("http://localhost:1", backoff=0.1,
+                               max_backoff=2.0, rng=random.Random(7))
+        second = TaxonomyClient("http://localhost:1", backoff=0.1,
+                                max_backoff=2.0, rng=random.Random(7))
+        assert [first._retry_delay(i, None) for i in range(5)] == \
+            [second._retry_delay(i, None) for i in range(5)]
+
+
 class TestRemoteCliCommands:
     def test_score_remote(self, served, capsys):
         from repro.cli import main
