@@ -203,13 +203,16 @@ class AsyncTaxonomyServer:
         time, False when the deadline forced the close.
         """
         self.draining = True
+        deadline = time.monotonic() + timeout
         if self._server is not None:
+            # stop accepting only — wait_closed() must come *after* the
+            # connections are closed: since Python 3.12.1 it blocks
+            # until every connection (idle keep-alive ones included)
+            # has gone away, which would stall the drain deadline
             self._server.close()
-            await self._server.wait_closed()
         for conn in list(self._connections):
             if not conn.busy:
                 conn.writer.close()
-        deadline = time.monotonic() + timeout
         while any(conn.busy for conn in self._connections):
             remaining = deadline - time.monotonic()
             if remaining <= 0:
@@ -220,6 +223,13 @@ class AsyncTaxonomyServer:
                                        min(remaining, 0.1))
             except asyncio.TimeoutError:
                 pass
+        if self._server is not None:
+            try:
+                await asyncio.wait_for(
+                    self._server.wait_closed(),
+                    max(deadline - time.monotonic(), 0.05))
+            except asyncio.TimeoutError:
+                return False
         return True
 
     async def close(self) -> None:
@@ -227,9 +237,16 @@ class AsyncTaxonomyServer:
         self.draining = True
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
         for conn in list(self._connections):
             conn.writer.close()
+        if self._server is not None:
+            try:
+                # connections are closed above, so this is normally
+                # instant; the bound covers stragglers whose close is
+                # still flushing (3.12+ wait_closed tracks them all)
+                await asyncio.wait_for(self._server.wait_closed(), 1.0)
+            except asyncio.TimeoutError:
+                pass
         self.service.jobs.remove_listener(self._on_job_terminal)
         self._heavy_executor.shutdown(wait=False)
         self._light_executor.shutdown(wait=False)
@@ -512,6 +529,21 @@ class AsyncTaxonomyServer:
         if not heavy:
             return await self._run_light(
                 handler, self.service, body, params)
+        self._acquire_heavy_slot()
+        try:
+            return await self._loop.run_in_executor(
+                self._heavy_executor,
+                lambda: handler(self.service, body, params))
+        finally:
+            self._inflight_heavy -= 1
+
+    def _acquire_heavy_slot(self) -> None:
+        """Take one admission slot or shed with ``429 backpressure``.
+
+        The caller owns the slot on return and must decrement
+        ``_inflight_heavy`` in a ``finally`` when the work — a single
+        handler call or an entire NDJSON stream — is done.
+        """
         if self._inflight_heavy >= self.max_inflight:
             self.stats["shed_total"] += 1
             raise api_errors.backpressure(
@@ -522,12 +554,6 @@ class AsyncTaxonomyServer:
                 detail={"inflight": self._inflight_heavy,
                         "limit": self.max_inflight})
         self._inflight_heavy += 1
-        try:
-            return await self._loop.run_in_executor(
-                self._heavy_executor,
-                lambda: handler(self.service, body, params))
-        finally:
-            self._inflight_heavy -= 1
 
     async def _send_json(self, writer, status, payload, request_id,
                          *, close=False, **legacy_kwargs) -> bool:
@@ -584,42 +610,51 @@ class AsyncTaxonomyServer:
         ``{"error": ...}`` line and end the stream.  A client that
         disconnects mid-stream just closes the generator — the
         connection handler treats the reset as a normal goodbye.
+
+        The stream holds one admission slot for its entire lifetime:
+        every ``pull`` runs on the shared heavy executor, so an
+        unadmitted stream would evade the 429 shedding contract and
+        starve admitted non-stream requests.
         """
-        generator = self._make_stream(handler_name, body)
-        sentinel = object()
-
-        def pull():
-            return next(generator, sentinel)
-
-        first = await self._loop.run_in_executor(
-            self._heavy_executor, pull)
-        self.stats["streams_total"] += 1
-        writer.write(self._head_bytes(200, [
-            ("Content-Type", "application/x-ndjson"),
-            ("Transfer-Encoding", "chunked"),
-            ("X-Request-Id", request_id),
-            ("Connection", "close"),
-        ]))
+        self._acquire_heavy_slot()
         try:
-            item = first
-            while item is not sentinel:
-                line = (json.dumps(item) + "\n").encode("utf-8")
-                writer.write(self._chunk(line))
-                await writer.drain()  # flush per micro-batch
-                item = await self._loop.run_in_executor(
-                    self._heavy_executor, pull)
-        except (ConnectionResetError, BrokenPipeError):
-            generator.close()  # client went away: stop producing
-            raise
-        except Exception as error:
-            envelope = (api_errors.internal_error(error)
-                        if not isinstance(error, ApiError)
-                        else error).envelope(request_id)
-            writer.write(self._chunk(
-                (json.dumps(envelope) + "\n").encode("utf-8")))
-        writer.write(b"0\r\n\r\n")
-        await writer.drain()
-        return False  # chunked streams end the connection
+            generator = self._make_stream(handler_name, body)
+            sentinel = object()
+
+            def pull():
+                return next(generator, sentinel)
+
+            first = await self._loop.run_in_executor(
+                self._heavy_executor, pull)
+            self.stats["streams_total"] += 1
+            writer.write(self._head_bytes(200, [
+                ("Content-Type", "application/x-ndjson"),
+                ("Transfer-Encoding", "chunked"),
+                ("X-Request-Id", request_id),
+                ("Connection", "close"),
+            ]))
+            try:
+                item = first
+                while item is not sentinel:
+                    line = (json.dumps(item) + "\n").encode("utf-8")
+                    writer.write(self._chunk(line))
+                    await writer.drain()  # flush per micro-batch
+                    item = await self._loop.run_in_executor(
+                        self._heavy_executor, pull)
+            except (ConnectionResetError, BrokenPipeError):
+                generator.close()  # client went away: stop producing
+                raise
+            except Exception as error:
+                envelope = (api_errors.internal_error(error)
+                            if not isinstance(error, ApiError)
+                            else error).envelope(request_id)
+                writer.write(self._chunk(
+                    (json.dumps(envelope) + "\n").encode("utf-8")))
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+            return False  # chunked streams end the connection
+        finally:
+            self._inflight_heavy -= 1
 
     async def _wait_job(self, job_id: str, wait_s: float) -> dict:
         """Long-poll one job: return as soon as it turns terminal.

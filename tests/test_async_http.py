@@ -293,6 +293,63 @@ class TestTransportPathologies:
         assert outcomes and outcomes[0][0] == 200  # admitted one finished
         assert server.stats["shed_total"] == shed_before + 1
 
+    def test_ndjson_stream_holds_admission_slot(self, strict_server,
+                                                small_world):
+        host, port, service, server = strict_server
+        url = f"http://{host}:{port}"
+        parents = sorted(small_world.existing_taxonomy.roots())
+        payload = {"candidates": {
+            parents[0]: sorted(small_world.new_concepts)[:2]}}
+        body = json.dumps(payload)
+        shed_before = server.stats["shed_total"]
+        # Hold the taxonomy lock so the stream's first pull parks in
+        # the heavy executor with its admission slot (budget=1) held.
+        with socket.create_connection((host, port), timeout=10) as sock:
+            with service._taxonomy_lock:
+                sock.sendall(
+                    (f"POST /v1/expand HTTP/1.1\r\nHost: x\r\n"
+                     f"Content-Type: application/json\r\n"
+                     f"Accept: application/x-ndjson\r\n"
+                     f"Content-Length: {len(body)}\r\n\r\n").encode()
+                    + body.encode())
+                deadline = time.monotonic() + 5.0
+                while server._inflight_heavy < 1:
+                    assert time.monotonic() < deadline, \
+                        "stream never took an admission slot"
+                    time.sleep(0.01)
+                # the live stream owns the whole budget: a plain heavy
+                # request is shed...
+                status, headers, resp = _request(url, "POST",
+                                                 "/v1/score",
+                                                 {"pairs": [["a", "b"]]})
+                _assert_envelope(status, headers, resp, "backpressure")
+                assert int(headers["Retry-After"]) >= 1
+                # ...and so is a second stream, as an ordinary JSON
+                # envelope (shed before any stream bytes go out)
+                status, headers, resp = _request(
+                    url, "POST", "/v1/expand", payload,
+                    headers={"Accept": "application/x-ndjson"})
+                _assert_envelope(status, headers, resp, "backpressure")
+            # lock released: the admitted stream runs to completion
+            sock.settimeout(10)
+            raw = b""
+            while b"0\r\n\r\n" not in raw:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+            assert b"200" in raw.partition(b"\r\n")[0]
+        assert server.stats["shed_total"] == shed_before + 2
+        # the stream's slot is released: heavy requests admit again
+        deadline = time.monotonic() + 5.0
+        while server._inflight_heavy > 0:
+            assert time.monotonic() < deadline, "slot never released"
+            time.sleep(0.01)
+        edges = sorted(small_world.existing_taxonomy.edges())[:2]
+        status, _h, _b = _request(url, "POST", "/v1/score",
+                                  {"pairs": [list(e) for e in edges]})
+        assert status == 200
+
     def test_client_disconnect_mid_stream_keeps_serving(
             self, async_served, small_world):
         url, _service, server = async_served
