@@ -23,6 +23,7 @@ import queue
 import threading
 import time
 import uuid
+import warnings
 from collections import OrderedDict
 
 from .errors import ApiError, backpressure, job_not_found, not_ready
@@ -72,18 +73,21 @@ class Job:
 class JobStats:
     """Counters for ``/metrics`` (mutated only under the manager lock)."""
 
-    __slots__ = ("submitted", "succeeded", "failed", "rejected")
+    __slots__ = ("submitted", "succeeded", "failed", "rejected",
+                 "listener_failures")
 
     def __init__(self):
         self.submitted = 0
         self.succeeded = 0
         self.failed = 0
         self.rejected = 0
+        self.listener_failures = 0
 
     def as_dict(self) -> dict:
         """JSON-friendly counter snapshot."""
         return {"submitted": self.submitted, "succeeded": self.succeeded,
-                "failed": self.failed, "rejected": self.rejected}
+                "failed": self.failed, "rejected": self.rejected,
+                "listener_failures": self.listener_failures}
 
 
 class JobManager:
@@ -284,5 +288,10 @@ class JobManager:
             for listener in listeners:
                 try:
                     listener(snapshot)
-                except Exception:
-                    pass  # a bad listener must not kill the worker
+                except Exception as error:
+                    # a bad listener must not kill the worker, but it
+                    # must not fail invisibly either
+                    warnings.warn(f"job listener raised: {error!r}",
+                                  RuntimeWarning, stacklevel=1)
+                    with self._lock:
+                        self.stats.listener_failures += 1

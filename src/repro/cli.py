@@ -26,6 +26,9 @@ Commands
                   candidates through the SDK (``POST /v1/suggest``).
 ``ingest-remote`` Send click-log records (JSON file or stdin) to a
                   running server through the SDK, in bounded batches.
+``lint``          Run reprolint, the in-tree static analyzer
+                  (``docs/devtools.md``), over the source tree; exits
+                  non-zero on findings not covered by the baseline.
 """
 
 from __future__ import annotations
@@ -332,6 +335,19 @@ def cmd_ingest_remote(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .devtools.__main__ import main as lint_main
+    argv = list(args.paths)
+    argv += ["--root", args.root, "--format", args.format]
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -523,6 +539,27 @@ def build_parser() -> argparse.ArgumentParser:
                                     "report (prints attached-edge "
                                     "totals)")
     ingest_remote.set_defaults(func=cmd_ingest_remote)
+
+    lint_parser = sub.add_parser(
+        "lint", help="run reprolint (the in-tree static analyzer)")
+    lint_parser.add_argument("paths", nargs="*", default=["src"],
+                             help="files or directories to lint "
+                                  "(default: src)")
+    lint_parser.add_argument("--root", default=".",
+                             help="repository root the paths and docs "
+                                  "are relative to")
+    lint_parser.add_argument("--format", default="text",
+                             choices=("text", "json", "github"),
+                             help="output format")
+    lint_parser.add_argument("--rules", default="",
+                             help="comma-separated rule ids/names "
+                                  "(default: all)")
+    lint_parser.add_argument("--baseline", default=None,
+                             help="baseline JSON file of grandfathered "
+                                  "findings")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="print the rule catalogue and exit")
+    lint_parser.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -1,0 +1,80 @@
+"""reprolint: codebase-aware static analysis + runtime lock sanitizer.
+
+This package is the repository's in-tree developer tooling:
+
+* ``python -m repro.devtools`` (or ``repro lint``) runs the static
+  rules below over the source tree — pure-``ast``, no imports of the
+  analyzed code, no third-party dependencies;
+* :mod:`repro.devtools.lockwatch` is the opt-in runtime half
+  (``REPRO_LOCKWATCH=1``): a lockdep-style order-graph sanitizer that
+  asserts the same ``# guarded-by:`` declarations RL002 checks
+  statically.
+
+Rule catalogue (see ``docs/devtools.md`` for the full rationale):
+
+========  ====================  ==============================================
+id        name                  checks
+========  ====================  ==============================================
+RL001     async-blocking        no blocking primitives inside ``async def``
+RL002     lock-discipline       ``# guarded-by:`` attrs mutate under the lock
+RL003     fork-shm-hygiene      no import-time threads/segments, no os.fork,
+                                SharedMemory construction only in shm.py
+RL004     error-envelope        ApiError codes registered + documented
+RL005     metrics-drift         emitted ``repro_*`` metrics == docs table
+RL006     swallowed-exceptions  broad excepts log, count, or re-raise
+RL007     docstring-coverage    public surface of core packages documented
+RL008     markdown-links        intra-repo links in README/docs resolve
+========  ====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from .engine import (EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, Baseline,
+                     FileContext, FileRule, Finding, LintResult, Project,
+                     ProjectRule, Rule, format_findings, run_lint)
+from .rules_async import AsyncBlockingRule
+from .rules_contracts import ErrorEnvelopeRule, MetricsDriftRule
+from .rules_locks import (ForkShmHygieneRule, LockDisciplineRule,
+                          collect_guarded_declarations)
+from .rules_quality import (DocstringCoverageRule, MarkdownLinkRule,
+                            SwallowedExceptionRule)
+
+__all__ = [
+    "ALL_RULES", "AsyncBlockingRule", "Baseline", "DocstringCoverageRule",
+    "ErrorEnvelopeRule", "EXIT_CLEAN", "EXIT_ERROR", "EXIT_FINDINGS",
+    "FileContext", "FileRule", "Finding", "ForkShmHygieneRule",
+    "LintResult", "LockDisciplineRule", "MarkdownLinkRule",
+    "MetricsDriftRule", "Project", "ProjectRule", "Rule",
+    "SwallowedExceptionRule", "collect_guarded_declarations",
+    "default_rules", "format_findings", "run_lint",
+]
+
+#: every rule class, in id order
+ALL_RULES = (
+    AsyncBlockingRule, LockDisciplineRule, ForkShmHygieneRule,
+    ErrorEnvelopeRule, MetricsDriftRule, SwallowedExceptionRule,
+    DocstringCoverageRule, MarkdownLinkRule,
+)
+
+
+def default_rules(only: list | None = None) -> list:
+    """Instantiate the rule set, optionally filtered to ``only`` ids.
+
+    ``only`` accepts rule ids (``RL001``) or names (``async-blocking``);
+    unknown selectors raise ``ValueError`` so typos fail loudly.
+    """
+    if not only:
+        return [cls() for cls in ALL_RULES]
+    by_key = {}
+    for cls in ALL_RULES:
+        by_key[cls.id] = cls
+        by_key[cls.name] = cls
+    selected = []
+    for token in only:
+        key = token.strip()
+        if key not in by_key:
+            known = ", ".join(cls.id for cls in ALL_RULES)
+            raise ValueError(f"unknown rule {token!r} (known: {known})")
+        if by_key[key] not in selected:
+            selected.append(by_key[key])
+    return [cls() for cls in selected]

@@ -1,0 +1,75 @@
+"""``python -m repro.devtools`` — the reprolint command line.
+
+Thin argparse front end over :func:`repro.devtools.run_lint`; the
+``repro lint`` CLI subcommand delegates here so both entry points stay
+byte-identical in behaviour.  Exit codes: 0 clean, 1 new findings,
+2 linter error (bad baseline, unknown rule, parse failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (Baseline, EXIT_ERROR, default_rules, format_findings,
+               run_lint)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The reprolint argument parser (shared with ``repro lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=("reprolint: codebase-aware static analysis "
+                     "(RL001-RL008)"))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root the paths and docs are relative to")
+    parser.add_argument(
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format (github emits workflow annotations)")
+    parser.add_argument(
+        "--rules", default="",
+        help="comma-separated rule ids/names to run (default: all)")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON file; matching findings do not fail the run")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: list | None = None) -> int:
+    """Run reprolint; returns the process exit code."""
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        for rule in default_rules():
+            print(rule.describe())
+        return 0
+    selectors = [token for token in options.rules.split(",") if token.strip()]
+    try:
+        rules = default_rules(selectors)
+    except ValueError as error:
+        print(f"reprolint: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        baseline = Baseline.load(options.baseline) \
+            if options.baseline else Baseline()
+    except (ValueError, OSError) as error:
+        print(f"reprolint: bad baseline: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    result = run_lint(options.root, list(options.paths), rules, baseline)
+    output = format_findings(result, options.format)
+    if output:
+        sys.stdout.write(output)
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,368 @@
+"""The reprolint rule engine: findings, suppressions, baselines, output.
+
+``repro lint`` (and ``python -m repro.devtools``) drives this module.
+The engine is deliberately dependency-free — pure stdlib ``ast`` — so
+it can run in CI before any heavy package imports, and it never
+*imports* the code under analysis (a file with an import-time bug still
+lints).
+
+Concepts
+--------
+* A :class:`Finding` is one rule violation at a file/line/column, with
+  a stable :attr:`~Finding.fingerprint` (rule + path + message, line
+  numbers excluded) so baselines survive unrelated edits.
+* A :class:`FileRule` checks one parsed file; a :class:`ProjectRule`
+  sees every file at once plus the repo root (for cross-file contracts
+  like metrics-vs-docs drift).
+* Inline suppressions: a ``# repro-lint: disable=RL001`` comment
+  suppresses matching findings reported on its own line or the line
+  below it (so standalone comment lines work).  The comment should say
+  *why* the code is correct.
+* A baseline file (JSON) grandfathers known findings: ``run_lint``
+  separates **new** findings (fail CI) from **baselined** ones.
+
+Exit codes (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS` /
+:data:`EXIT_ERROR`) are stable for scripting.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import tokenize
+
+__all__ = [
+    "EXIT_CLEAN", "EXIT_ERROR", "EXIT_FINDINGS", "Baseline",
+    "FileContext", "FileRule", "Finding", "LintResult", "Project",
+    "ProjectRule", "Rule", "format_findings", "run_lint",
+]
+
+#: no new findings
+EXIT_CLEAN = 0
+#: at least one non-baselined finding
+EXIT_FINDINGS = 1
+#: the linter itself failed (unreadable path, bad baseline, ...)
+EXIT_ERROR = 2
+
+_SUPPRESS_PATTERN = re.compile(r"repro-lint:\s*disable=([A-Z]{2}\d+"
+                               r"(?:\s*,\s*[A-Z]{2}\d+)*)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation, pinned to a file position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: rule + path + message.
+
+        Line/column are excluded so a finding keeps its identity while
+        unrelated code above it moves; messages must therefore never
+        embed line numbers.
+        """
+        digest = hashlib.sha1(
+            f"{self.rule}|{self.path}|{self.message}".encode()).hexdigest()
+        return digest[:12]
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (includes the fingerprint)."""
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message,
+                "fingerprint": self.fingerprint}
+
+
+class Rule:
+    """Base class carrying the rule's identity and rationale."""
+
+    #: stable rule id, e.g. ``"RL001"``
+    id: str = "RL000"
+    #: one-line summary shown in ``--list-rules`` style output
+    name: str = ""
+
+    def describe(self) -> str:
+        """``"RLxxx name"`` label for logs and reports."""
+        return f"{self.id} {self.name}"
+
+
+class FileRule(Rule):
+    """A rule evaluated one parsed file at a time."""
+
+    def check(self, ctx: "FileContext"):
+        """Yield :class:`Finding` objects for ``ctx``."""
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole file set (cross-file contracts)."""
+
+    def check_project(self, project: "Project"):
+        """Yield :class:`Finding` objects for ``project``."""
+        raise NotImplementedError
+
+
+class FileContext:
+    """One parsed source file plus its suppression map."""
+
+    def __init__(self, root: str, relpath: str, source: str):
+        self.root = root
+        #: repo-root-relative posix path (stable across machines)
+        self.relpath = relpath.replace(os.sep, "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.relpath)
+        #: line number -> set of rule ids disabled there
+        self.suppressions = self._parse_suppressions()
+
+    def _parse_suppressions(self) -> dict:
+        suppressions: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_PATTERN.search(line)
+            if match:
+                rules = {token.strip() for token
+                         in match.group(1).split(",")}
+                suppressions.setdefault(lineno, set()).update(rules)
+        return suppressions
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is disabled at ``line``.
+
+        A suppression comment covers its own line and the next one, so
+        both trailing comments and standalone comment lines work.
+        """
+        for candidate in (line, line - 1):
+            if rule_id in self.suppressions.get(candidate, ()):
+                return True
+        return False
+
+    def comment_text(self, line: int) -> str:
+        """The raw source line (1-based); empty when out of range."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+class Project:
+    """The lint run's whole view: parsed files plus the repo root."""
+
+    def __init__(self, root: str, files: list):
+        self.root = root
+        self.files = files
+        self._by_path = {ctx.relpath: ctx for ctx in files}
+
+    def file(self, relpath: str):
+        """The :class:`FileContext` for ``relpath``, or ``None``."""
+        return self._by_path.get(relpath.replace(os.sep, "/"))
+
+    def find_file(self, suffix: str):
+        """First file whose relpath ends with ``suffix`` (or ``None``)."""
+        suffix = suffix.replace(os.sep, "/")
+        for ctx in self.files:
+            if ctx.relpath.endswith(suffix):
+                return ctx
+        return None
+
+    def read_text(self, relpath: str):
+        """Text of a repo file outside the scanned set (docs, configs);
+        ``None`` when it does not exist."""
+        path = os.path.join(self.root, relpath)
+        if not os.path.isfile(path):
+            return None
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+
+
+class Baseline:
+    """Checked-in grandfather list of known findings.
+
+    JSON shape::
+
+        {"version": 1,
+         "entries": [{"fingerprint": "...", "rule": "RL006",
+                      "path": "src/...", "justification": "..."}]}
+
+    Every entry must carry a non-empty ``justification`` — the baseline
+    is a debt ledger, not a mute button.
+    """
+
+    def __init__(self, entries: list | None = None):
+        self.entries = entries or []
+        self._fingerprints = {entry["fingerprint"] for entry in self.entries}
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; missing file means an empty baseline."""
+        if not os.path.isfile(path):
+            return cls()
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        entries = payload.get("entries", [])
+        for entry in entries:
+            if not str(entry.get("justification", "")).strip():
+                raise ValueError(
+                    f"baseline entry {entry.get('fingerprint')!r} has no "
+                    f"justification — every grandfathered finding must "
+                    f"say why it is tolerated")
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        """Write the baseline as deterministic, diff-friendly JSON."""
+        payload = {"version": 1,
+                   "entries": sorted(self.entries,
+                                     key=lambda e: (e.get("rule", ""),
+                                                    e.get("path", ""),
+                                                    e["fingerprint"]))}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether ``finding`` is grandfathered."""
+        return finding.fingerprint in self._fingerprints
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Outcome of one :func:`run_lint` call."""
+
+    #: findings not covered by the baseline (these fail the run)
+    new_findings: list
+    #: findings matched by a baseline entry
+    baselined: list
+    #: findings silenced by inline ``repro-lint: disable`` comments
+    suppressed: list
+    #: files that could not be parsed: ``(relpath, error)`` pairs
+    errors: list
+
+    @property
+    def exit_code(self) -> int:
+        """Stable exit code: errors > findings > clean."""
+        if self.errors:
+            return EXIT_ERROR
+        return EXIT_FINDINGS if self.new_findings else EXIT_CLEAN
+
+    def summary(self) -> dict:
+        """Counts for the JSON report and the text footer."""
+        return {"new": len(self.new_findings),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+                "parse_errors": len(self.errors)}
+
+
+def _iter_python_files(root: str, paths: list):
+    for path in paths:
+        absolute = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(absolute):
+            yield absolute
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in {"__pycache__", ".git",
+                                              ".pytest_cache"})
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def load_project(root: str, paths: list):
+    """Parse every ``.py`` file under ``paths`` into a :class:`Project`.
+
+    Returns ``(project, errors)`` where ``errors`` is a list of
+    ``(relpath, message)`` pairs for unparseable files (reported, never
+    fatal — one broken file must not hide findings in the rest).
+    """
+    root = os.path.abspath(root)
+    files, errors = [], []
+    for absolute in _iter_python_files(root, paths):
+        relpath = os.path.relpath(absolute, root)
+        try:
+            with tokenize.open(absolute) as handle:
+                source = handle.read()
+            files.append(FileContext(root, relpath, source))
+        except (SyntaxError, ValueError, OSError) as error:
+            errors.append((relpath.replace(os.sep, "/"), str(error)))
+    return Project(root, files), errors
+
+
+def run_lint(root: str, paths: list, rules: list,
+             baseline: Baseline | None = None) -> LintResult:
+    """Run ``rules`` over the files beneath ``paths``.
+
+    ``rules`` mixes :class:`FileRule` and :class:`ProjectRule`
+    instances; findings are sorted by path/line/rule for stable output.
+    """
+    project, errors = load_project(root, paths)
+    baseline = baseline or Baseline()
+    raw: list[Finding] = []
+    for rule in rules:
+        if isinstance(rule, FileRule):
+            for ctx in project.files:
+                raw.extend(rule.check(ctx))
+        else:
+            raw.extend(rule.check_project(project))
+    raw.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    new, grandfathered, suppressed = [], [], []
+    for finding in raw:
+        ctx = project.file(finding.path)
+        if ctx is not None and ctx.suppressed(finding.rule, finding.line):
+            suppressed.append(finding)
+        elif baseline.covers(finding):
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return LintResult(new_findings=new, baselined=grandfathered,
+                      suppressed=suppressed, errors=errors)
+
+
+def format_findings(result: LintResult, fmt: str = "text") -> str:
+    """Render a :class:`LintResult` as ``text``, ``json`` or ``github``.
+
+    * ``text`` — one ``path:line:col: RULE message`` row per finding
+      plus a summary footer (the local-developer view).
+    * ``json`` — the full machine-readable report (CI artifact).
+    * ``github`` — ``::error`` workflow annotations for new findings
+      (``::notice`` for parse errors is intentionally not emitted;
+      parse errors use ``::error`` too).
+    """
+    if fmt == "json":
+        return json.dumps(
+            {"findings": [f.as_dict() for f in result.new_findings],
+             "baselined": [f.as_dict() for f in result.baselined],
+             "suppressed": [f.as_dict() for f in result.suppressed],
+             "parse_errors": [{"path": p, "error": e}
+                              for p, e in result.errors],
+             "summary": result.summary()},
+            indent=2, sort_keys=True) + "\n"
+    lines = []
+    if fmt == "github":
+        for path, error in result.errors:
+            lines.append(f"::error file={path}::reprolint cannot parse: "
+                         f"{error}")
+        for finding in result.new_findings:
+            lines.append(
+                f"::error file={finding.path},line={finding.line},"
+                f"col={finding.col},title=reprolint {finding.rule}::"
+                f"{finding.message}")
+        return "\n".join(lines) + ("\n" if lines else "")
+    # text
+    for path, error in result.errors:
+        lines.append(f"{path}: PARSE ERROR {error}")
+    for finding in result.new_findings:
+        lines.append(f"{finding.path}:{finding.line}:{finding.col}: "
+                     f"{finding.rule} {finding.message}")
+    summary = result.summary()
+    lines.append(
+        f"reprolint: {summary['new']} new finding(s), "
+        f"{summary['baselined']} baselined, "
+        f"{summary['suppressed']} suppressed inline, "
+        f"{summary['parse_errors']} parse error(s)")
+    return "\n".join(lines) + "\n"

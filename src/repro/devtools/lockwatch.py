@@ -1,0 +1,437 @@
+"""Runtime lock sanitizer: the dynamic half of the RL002 contract.
+
+``install()`` monkey-patches :func:`threading.Lock` and
+:func:`threading.RLock` so every lock created afterwards is wrapped in
+a watcher that records, per thread, the order locks are acquired in.
+From that order graph it reports:
+
+* **lock-order inversions** — thread paths that acquire lock-class A
+  while holding B after some path acquired B while holding A.  Like
+  the kernel's lockdep, the detection is on the *order graph*, so a
+  potential deadlock is reported even when the schedule never actually
+  deadlocks during the run.  Lock "classes" are creation sites (every
+  ``BatchingScorer._lock`` is one node), and same-site pairs are
+  skipped so two instances of the same class locking each other do not
+  self-report.
+* **long holds** — a lock held longer than the threshold (default
+  1.0s), report-only; a lock-shaped pause that long usually means
+  blocking I/O crept under a hot lock.
+* **guard violations** — :func:`guard_declared_classes` parses the
+  same ``# guarded-by: self._lock`` annotations the static RL002 rule
+  reads (via :func:`~repro.devtools.rules_locks.collect_guarded_declarations`)
+  and wraps ``__setattr__`` on the declared classes: rebinding a
+  guarded attribute after ``__init__`` without holding its lock is
+  recorded.  Static and runtime checks share one source of truth.
+
+Enable for a whole pytest run with ``REPRO_LOCKWATCH=1`` — the
+repository's ``tests/conftest.py`` installs the watcher before any
+``repro`` module is imported (patching must precede ``from threading
+import Lock`` style imports) and asserts a clean report at session
+teardown.
+
+Bookkeeping uses raw :func:`_thread.allocate_lock` locks (never the
+patched constructors) so the watcher cannot recurse into itself, and
+the bookkeeping state is re-initialised after ``fork()`` so the
+worker-pool children start with clean per-thread stacks.
+"""
+
+from __future__ import annotations
+
+import _thread
+import os
+import sys
+import threading
+import time
+
+from .rules_locks import collect_guarded_declarations
+
+__all__ = ["LockWatcher", "WatchedLock", "WatchedRLock", "guard_class",
+           "guard_declared_classes", "install", "installed", "report",
+           "reset", "uninstall"]
+
+#: seconds a lock may be held before the hold is reported
+DEFAULT_LONG_HOLD_SECONDS = 1.0
+
+
+def _caller_site() -> str:
+    """``file:line`` of the nearest frame outside this module."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename != __file__:
+            return f"{filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class LockWatcher:
+    """Order graph, hold timers and guard ledger for watched locks."""
+
+    def __init__(self, long_hold_seconds: float = DEFAULT_LONG_HOLD_SECONDS):
+        self.long_hold_seconds = long_hold_seconds
+        self._meta = _thread.allocate_lock()
+        self._local = threading.local()
+        #: creation-site -> set of creation-sites acquired while held
+        self._edges: dict = {}
+        self._reported_pairs: set = set()
+        self.inversions: list = []
+        self.long_holds: list = []
+        self.guard_violations: list = []
+
+    # -- per-thread held stack -------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _after_fork(self) -> None:
+        """Fresh bookkeeping in a forked child (locks may be mid-flight)."""
+        self._meta = _thread.allocate_lock()
+        self._local = threading.local()
+
+    # -- events from WatchedLock/WatchedRLock ----------------------------
+
+    def note_acquired(self, lock) -> None:
+        """Record ``lock`` acquired by the current thread, add edges."""
+        stack = self._stack()
+        site = lock._site
+        acquire_site = _caller_site()
+        reentrant = any(entry[0] is lock for entry in stack)
+        if not reentrant:
+            with self._meta:
+                for held, _started, held_at in stack:
+                    self._add_edge(held._site, site, held_at, acquire_site)
+        stack.append((lock, time.monotonic(), acquire_site))
+
+    def note_released(self, lock) -> None:
+        """Pop ``lock`` from the held stack; report a long hold."""
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] is lock:
+                _lock, started, acquire_site = stack.pop(index)
+                held_for = time.monotonic() - started
+                if held_for > self.long_hold_seconds:
+                    with self._meta:
+                        self.long_holds.append({
+                            "lock": lock._site,
+                            "acquired_at": acquire_site,
+                            "seconds": round(held_for, 3)})
+                return
+        # released on a thread that never acquired it (bare Lock used
+        # as a signal) — nothing to unwind
+
+    def _add_edge(self, source: str, target: str, source_acquired_at: str,
+                  target_acquired_at: str) -> None:
+        # caller holds self._meta
+        if source == target:
+            return  # two instances of one lock class; not an ordering
+        outgoing = self._edges.setdefault(source, set())
+        if target in outgoing:
+            return
+        if self._reachable(target, source):
+            pair = frozenset((source, target))
+            if pair not in self._reported_pairs:
+                self._reported_pairs.add(pair)
+                self.inversions.append({
+                    "holding": source, "acquiring": target,
+                    "holding_acquired_at": source_acquired_at,
+                    "acquiring_acquired_at": target_acquired_at,
+                    "message": (f"lock-order inversion: {target} was "
+                                f"previously held while taking {source}, "
+                                f"now {source} is held while taking "
+                                f"{target}")})
+        outgoing.add(target)
+
+    def _reachable(self, start: str, goal: str) -> bool:
+        seen, frontier = set(), [start]
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._edges.get(node, ()))
+        return False
+
+    def note_guard_violation(self, cls_name: str, attr: str,
+                             lock_attr: str) -> None:
+        """Record a guarded attribute rebound without its lock held."""
+        with self._meta:
+            self.guard_violations.append({
+                "class": cls_name, "attr": attr, "lock": lock_attr,
+                "site": _caller_site(),
+                "message": (f"{cls_name}.{attr} rebound without holding "
+                            f"self.{lock_attr} (declared guarded-by)")})
+
+    def report(self) -> dict:
+        """Snapshot of everything recorded so far."""
+        with self._meta:
+            return {"inversions": list(self.inversions),
+                    "long_holds": list(self.long_holds),
+                    "guard_violations": list(self.guard_violations)}
+
+    def reset(self) -> None:
+        """Drop recorded findings (the order graph is kept)."""
+        with self._meta:
+            self.inversions.clear()
+            self.long_holds.clear()
+            self.guard_violations.clear()
+
+
+class WatchedLock:
+    """:class:`threading.Lock` wrapper that reports to the watcher.
+
+    Deliberately does **not** implement ``_release_save`` /
+    ``_acquire_restore`` / ``_is_owned`` — :class:`threading.Condition`
+    then falls back to plain ``acquire``/``release`` on the wrapper, so
+    waits stay visible to the watcher.
+    """
+
+    def __init__(self, watcher: LockWatcher, site: str):
+        self._watcher = watcher
+        self._inner = _thread.allocate_lock()
+        self._site = site
+        self._owner = None
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        """Acquire the underlying lock; record order edges on success."""
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            self._watcher.note_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        """Release the underlying lock and pop the held stack."""
+        self._owner = None
+        self._watcher.note_released(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        """Proxy :meth:`_thread.LockType.locked`."""
+        return self._inner.locked()
+
+    def held_by_current_thread(self) -> bool:
+        """Best-effort ownership probe used by the guard assertions."""
+        return self._owner == threading.get_ident()
+
+    def _at_fork_reinit(self):
+        # stdlib fork hooks (concurrent.futures, logging) call this
+        self._inner._at_fork_reinit()
+        self._owner = None
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.release()
+
+    def __repr__(self):
+        return f"<WatchedLock {self._site} locked={self.locked()}>"
+
+
+class WatchedRLock:
+    """:class:`threading.RLock` wrapper that reports to the watcher.
+
+    Unlike :class:`WatchedLock` this *does* implement the Condition
+    protocol, delegating to the real RLock — a Condition built over an
+    RLock must release every recursion level around ``wait()``, and
+    only the inner lock knows the count.  Ownership state is saved and
+    restored around the delegation so guard checks stay accurate.
+    """
+
+    def __init__(self, watcher: LockWatcher, site: str):
+        self._watcher = watcher
+        self._inner = _thread.RLock()  # always the raw C RLock
+        self._site = site
+        self._owner = None
+        self._count = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        """Acquire (possibly re-entrantly); record edges on first entry."""
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            self._count += 1
+            self._watcher.note_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        """Release one recursion level."""
+        self._count -= 1
+        if self._count <= 0:
+            self._owner = None
+        self._watcher.note_released(self)
+        self._inner.release()
+
+    def held_by_current_thread(self) -> bool:
+        """Best-effort ownership probe used by the guard assertions."""
+        return self._owner == threading.get_ident()
+
+    # Condition protocol: delegate to the inner RLock, keeping our
+    # ownership mirror in sync via the opaque saved state.
+    def _release_save(self):
+        count, self._count = self._count, 0
+        self._owner = None
+        return (self._inner._release_save(), count)
+
+    def _acquire_restore(self, state):
+        inner_state, count = state
+        self._inner._acquire_restore(inner_state)
+        self._owner = threading.get_ident()
+        self._count = count
+
+    def _is_owned(self):
+        return self._inner._is_owned()
+
+    def _recursion_count(self):
+        # multiprocessing.resource_tracker probes reentrancy this way
+        return self._inner._recursion_count()
+
+    def _at_fork_reinit(self):
+        # stdlib fork hooks (concurrent.futures, logging) call this
+        self._inner._at_fork_reinit()
+        self._owner = None
+        self._count = 0
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.release()
+
+    def __repr__(self):
+        return f"<WatchedRLock {self._site} count={self._count}>"
+
+
+class _InstallState:
+    """What ``install`` patched, so ``uninstall`` can undo it."""
+
+    def __init__(self, watcher, original_lock, original_rlock):
+        self.watcher = watcher
+        self.original_lock = original_lock
+        self.original_rlock = original_rlock
+
+
+_STATE: _InstallState | None = None
+
+
+def install(long_hold_seconds: float = DEFAULT_LONG_HOLD_SECONDS) -> LockWatcher:
+    """Patch ``threading.Lock``/``threading.RLock``; idempotent.
+
+    Must run before the code under watch is imported: modules that did
+    ``from threading import Lock`` at import time keep the unpatched
+    constructor.
+    """
+    global _STATE
+    if _STATE is not None:
+        return _STATE.watcher
+    watcher = LockWatcher(long_hold_seconds)
+
+    def make_lock():
+        return WatchedLock(watcher, _caller_site())
+
+    def make_rlock():
+        return WatchedRLock(watcher, _caller_site())
+
+    _STATE = _InstallState(watcher, threading.Lock, threading.RLock)
+    threading.Lock = make_lock
+    threading.RLock = make_rlock
+    if hasattr(os, "register_at_fork"):
+        os.register_at_fork(after_in_child=watcher._after_fork)
+    return watcher
+
+
+def uninstall() -> None:
+    """Restore the original lock constructors (watched locks live on)."""
+    global _STATE
+    if _STATE is None:
+        return
+    threading.Lock = _STATE.original_lock
+    threading.RLock = _STATE.original_rlock
+    _STATE = None
+
+
+def installed() -> LockWatcher | None:
+    """The active watcher, or ``None``."""
+    return _STATE.watcher if _STATE is not None else None
+
+
+def report() -> dict:
+    """The active watcher's report (empty report when not installed)."""
+    watcher = installed()
+    if watcher is None:
+        return {"inversions": [], "long_holds": [], "guard_violations": []}
+    return watcher.report()
+
+
+def reset() -> None:
+    """Clear the active watcher's recorded findings."""
+    watcher = installed()
+    if watcher is not None:
+        watcher.reset()
+
+
+def _resolve_guard_lock(instance, lock_attr: str):
+    lock = getattr(instance, lock_attr, None)
+    if isinstance(lock, threading.Condition):
+        lock = lock._lock  # holding the Condition is holding its lock
+    return lock
+
+
+_GUARDED_MARKER = "__lockwatch_guarded__"
+
+
+def guard_class(cls, guards: dict, watcher: LockWatcher | None = None) -> None:
+    """Wrap ``cls.__setattr__`` to assert ``guards`` at runtime.
+
+    ``guards`` maps attribute name -> lock attribute name (the RL002
+    declaration).  The first binding of an attribute (``__init__``,
+    before it exists in ``self.__dict__``) is exempt, mirroring the
+    static rule.
+    """
+    if getattr(cls, _GUARDED_MARKER, None) is cls:
+        return  # already guarded (idempotent across repeated installs)
+    original = cls.__setattr__
+
+    def checked_setattr(self, name, value):
+        if name in guards and name in getattr(self, "__dict__", ()):
+            active = watcher or installed()
+            if active is not None:
+                lock = _resolve_guard_lock(self, guards[name])
+                held = getattr(lock, "held_by_current_thread", None)
+                if held is not None and not held():
+                    active.note_guard_violation(cls.__name__, name,
+                                                guards[name])
+        original(self, name, value)
+
+    cls.__setattr__ = checked_setattr
+    setattr(cls, _GUARDED_MARKER, cls)
+
+
+def guard_declared_classes(*modules) -> int:
+    """Guard every ``# guarded-by:``-annotated class in ``modules``.
+
+    Reuses the RL002 parser, so the static and dynamic checks read the
+    same declarations.  Returns the number of classes guarded.
+    """
+    import inspect
+
+    guarded = 0
+    for module in modules:
+        try:
+            source = inspect.getsource(module)
+        except (OSError, TypeError):
+            continue
+        for class_name, guards in \
+                collect_guarded_declarations(source).items():
+            cls = getattr(module, class_name, None)
+            if cls is not None:
+                guard_class(cls, guards)
+                guarded += 1
+    return guarded

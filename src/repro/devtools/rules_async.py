@@ -1,0 +1,156 @@
+"""RL001 — no blocking calls inside ``async def`` bodies.
+
+One synchronous call on the event loop stalls *every* connection the
+async transport is multiplexing — the whole point of
+``serving/async_http.py``'s executor helpers is that handlers never run
+on the loop.  This rule flags the blocking primitives we actually use
+in this codebase when they appear lexically inside an ``async def``:
+
+* ``time.sleep`` (use ``asyncio.sleep``),
+* ``subprocess.*`` / ``os.system`` / ``os.popen``,
+* the ``open()`` builtin and blocking socket/HTTP calls,
+* ``lock.acquire()`` without ``blocking=False``/``timeout=``,
+* ``queue.get()`` / ``queue.join()`` without a timeout,
+* ``future.result()`` / ``future.wait()`` without a timeout.
+
+Nested *synchronous* ``def``/``lambda`` bodies are exempt: that is
+exactly the executor-offload idiom (the closure runs on a worker
+thread, not the loop).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import FileRule, Finding
+
+__all__ = ["AsyncBlockingRule"]
+
+#: exact dotted names that always block
+_BLOCKING_NAMES = {
+    "time.sleep", "os.system", "os.popen", "os.wait", "os.waitpid",
+    "socket.create_connection", "socket.getaddrinfo",
+    "urllib.request.urlopen",
+}
+
+#: dotted-name prefixes that always block
+_BLOCKING_PREFIXES = ("subprocess.", "requests.")
+
+#: ``receiver.method()`` calls that block when the receiver name hints
+#: at the given kind and no timeout/non-blocking argument is passed
+_RECEIVER_HINTS = {
+    "acquire": ("lock", "sem"),
+    "get": ("queue",),
+    "join": ("queue", "thread", "worker", "proc"),
+    "result": ("future", "fut"),
+    "wait": ("future", "fut", "event"),
+    "recv": ("sock", "conn"),
+    "send": ("sock", "conn"),
+    "sendall": ("sock", "conn"),
+    "connect": ("sock", "conn"),
+    "accept": ("sock", "conn"),
+}
+
+
+def _dotted(node) -> str:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _has_nonblocking_arg(call: ast.Call) -> bool:
+    """True when the call passes a timeout or ``blocking=False``."""
+    for keyword in call.keywords:
+        if keyword.arg == "timeout":
+            return True
+        if keyword.arg in ("blocking", "block") and \
+                isinstance(keyword.value, ast.Constant) and \
+                keyword.value.value is False:
+            return True
+    for arg in call.args:
+        # positional blocking=False / block=False / timeout value —
+        # any argument means the caller thought about blocking
+        return True
+    return False
+
+
+class AsyncBlockingRule(FileRule):
+    """RL001: blocking primitives are banned on the event loop."""
+
+    id = "RL001"
+    name = "async-blocking"
+
+    def check(self, ctx):
+        """Yield findings for blocking calls in ``async def`` bodies."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(ctx, node)
+
+    def _check_async_body(self, ctx, func):
+        awaited: set[int] = set()
+        for child in self._iter_loop_statements(func, awaited):
+            if isinstance(child, ast.Call) and id(child) not in awaited:
+                finding = self._check_call(ctx, func, child)
+                if finding is not None:
+                    yield finding
+
+    def _iter_loop_statements(self, func, awaited):
+        """Walk the async body without entering nested sync scopes.
+
+        Calls sitting directly under ``await`` are collected into
+        ``awaited`` — an awaited call returns an awaitable (asyncio
+        API), so it is never the blocking sync primitive this rule
+        hunts.
+        """
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue  # runs elsewhere (executor closure / own check)
+            if isinstance(node, ast.Await) and \
+                    isinstance(node.value, ast.Call):
+                awaited.add(id(node.value))
+            if isinstance(node, ast.Call) and \
+                    _dotted(node.func).startswith("asyncio."):
+                # asyncio.wait_for(event.wait(), t) — a call handed
+                # directly to an asyncio wrapper produces an awaitable,
+                # not a blocking result
+                for arg in node.args:
+                    if isinstance(arg, ast.Call):
+                        awaited.add(id(arg))
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_call(self, ctx, func, call):
+        dotted = _dotted(call.func)
+        message = None
+        if dotted in _BLOCKING_NAMES or \
+                dotted.startswith(_BLOCKING_PREFIXES):
+            message = (f"blocking call {dotted}() inside async def "
+                       f"{func.name}; run it on an executor "
+                       f"(asyncio.sleep for delays)")
+        elif isinstance(call.func, ast.Name) and call.func.id == "open":
+            message = (f"blocking file open() inside async def "
+                       f"{func.name}; read on an executor thread")
+        elif isinstance(call.func, ast.Attribute):
+            method = call.func.attr
+            hints = _RECEIVER_HINTS.get(method)
+            if hints is not None:
+                receiver = ast.unparse(call.func.value).lower()
+                if any(hint in receiver for hint in hints) and \
+                        not _has_nonblocking_arg(call):
+                    message = (
+                        f"{ast.unparse(call.func)}() without a timeout "
+                        f"inside async def {func.name} can block the "
+                        f"event loop; pass a timeout/blocking=False or "
+                        f"move it onto an executor")
+        if message is None:
+            return None
+        return Finding(rule=self.id, path=ctx.relpath, line=call.lineno,
+                       col=call.col_offset + 1, message=message)

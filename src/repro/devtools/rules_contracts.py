@@ -1,0 +1,226 @@
+"""RL004/RL005 — the machine-checked halves of the public contract.
+
+**RL004 (error-envelope)**: every ``ApiError("code", ...)`` raised
+anywhere in the codebase must use a code registered in
+``api/errors.py``'s ``ERROR_CODES``, and every registered code must be
+documented in ``docs/http_api.md`` with its exact HTTP status.  The
+registry is parsed statically (the dict literal), so this runs without
+importing the package.
+
+**RL005 (metrics drift)**: every ``repro_*`` metric name the code can
+emit must appear in the ``docs/http_api.md`` metrics table, and every
+name/family documented there must still be emitted somewhere.  Names
+are harvested from string constants (docstrings excluded); an f-string
+whose constant piece ends at a ``{placeholder}`` boundary (e.g.
+``f"repro_http_{name}"``) contributes an open-ended *prefix*, matched
+against the table's wildcard rows (``repro_http_*``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .engine import Finding, ProjectRule
+
+__all__ = ["ErrorEnvelopeRule", "MetricsDriftRule"]
+
+_ERRORS_MODULE = "api/errors.py"
+_DOCS_PAGE = "docs/http_api.md"
+
+_METRIC_NAME = re.compile(r"repro_[a-z0-9_]+")
+#: inline-backtick metric tokens on table rows; ``*`` marks a family
+_DOC_METRIC = re.compile(r"`(repro_[a-z0-9_]*\*?)(?:\{[^`]*\})?[^`]*`")
+
+
+class ErrorEnvelopeRule(ProjectRule):
+    """RL004: ApiError codes come from the registry and are documented."""
+
+    id = "RL004"
+    name = "error-envelope"
+
+    def check_project(self, project):
+        """Yield findings for unregistered or undocumented error codes."""
+        registry_ctx = project.find_file(_ERRORS_MODULE)
+        codes = self._parse_registry(registry_ctx) \
+            if registry_ctx is not None else None
+        if codes is None:
+            return  # registry not in the scanned set: nothing to check
+        for ctx in project.files:
+            yield from self._check_calls(ctx, codes)
+        yield from self._check_docs(project, registry_ctx, codes)
+
+    @staticmethod
+    def _parse_registry(ctx):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and \
+                    any(isinstance(t, ast.Name) and t.id == "ERROR_CODES"
+                        for t in node.targets) and \
+                    isinstance(node.value, ast.Dict):
+                codes = {}
+                for key, value in zip(node.value.keys, node.value.values):
+                    if isinstance(key, ast.Constant) and \
+                            isinstance(value, ast.Constant):
+                        codes[str(key.value)] = int(value.value)
+                return codes
+        return None
+
+    def _check_calls(self, ctx, codes):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else "")
+            if name != "ApiError":
+                continue
+            code_node = node.args[0] if node.args else next(
+                (kw.value for kw in node.keywords if kw.arg == "code"),
+                None)
+            if isinstance(code_node, ast.Constant) and \
+                    isinstance(code_node.value, str) and \
+                    code_node.value not in codes:
+                yield Finding(
+                    rule=self.id, path=ctx.relpath, line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(f"ApiError code {code_node.value!r} is not "
+                             f"registered in api/errors.py ERROR_CODES; "
+                             f"clients cannot branch on undocumented "
+                             f"codes"))
+
+    def _check_docs(self, project, registry_ctx, codes):
+        text = project.read_text(_DOCS_PAGE)
+        if text is None:
+            return  # docs tree absent (fixture run)
+        for code, status in sorted(codes.items()):
+            if f"`{code}`" not in text:
+                yield Finding(
+                    rule=self.id, path=registry_ctx.relpath, line=1,
+                    col=1,
+                    message=(f"error code {code!r} is registered but "
+                             f"missing from {_DOCS_PAGE}"))
+            elif not re.search(rf"`{code}`\s*\|\s*{status}\b", text):
+                yield Finding(
+                    rule=self.id, path=registry_ctx.relpath, line=1,
+                    col=1,
+                    message=(f"error code {code!r} is documented with "
+                             f"the wrong HTTP status in {_DOCS_PAGE} "
+                             f"(registry says {status})"))
+
+
+class MetricsDriftRule(ProjectRule):
+    """RL005: emitted ``repro_*`` metrics and the docs table agree."""
+
+    id = "RL005"
+    name = "metrics-drift"
+
+    def check_project(self, project):
+        """Yield findings for metrics missing on either side."""
+        text = project.read_text(_DOCS_PAGE)
+        if text is None:
+            return
+        doc_exact, doc_prefixes = self._documented(text)
+        if not doc_exact and not doc_prefixes:
+            return
+        code_exact: dict[str, tuple] = {}
+        code_prefixes: dict[str, tuple] = {}
+        for ctx in project.files:
+            for name, line, is_prefix in self._emitted(ctx):
+                target = code_prefixes if is_prefix else code_exact
+                target.setdefault(name, (ctx.relpath, line))
+        # code -> docs: every emittable name must be documented
+        for name, (path, line) in sorted(code_exact.items()):
+            if name in doc_exact or \
+                    any(name.startswith(p) for p in doc_prefixes):
+                continue
+            yield Finding(
+                rule=self.id, path=path, line=line, col=1,
+                message=(f"metric {name} is emitted but absent from the "
+                         f"{_DOCS_PAGE} metrics table"))
+        for prefix, (path, line) in sorted(code_prefixes.items()):
+            if any(p.startswith(prefix) or prefix.startswith(p)
+                   for p in doc_prefixes) or \
+                    any(n.startswith(prefix) for n in doc_exact):
+                continue
+            yield Finding(
+                rule=self.id, path=path, line=line, col=1,
+                message=(f"metric family {prefix}* is emitted but absent "
+                         f"from the {_DOCS_PAGE} metrics table"))
+        # docs -> code: every documented name/family must still exist
+        doc_path = _DOCS_PAGE
+        for name in sorted(doc_exact):
+            if name in code_exact or \
+                    any(name.startswith(p) for p in code_prefixes):
+                continue
+            yield Finding(
+                rule=self.id, path=doc_path, line=1, col=1,
+                message=(f"metric {name} is documented in {_DOCS_PAGE} "
+                         f"but no code emits it"))
+        for prefix in sorted(doc_prefixes):
+            if any(n.startswith(prefix) for n in code_exact) or \
+                    any(p.startswith(prefix) or prefix.startswith(p)
+                        for p in code_prefixes):
+                continue
+            yield Finding(
+                rule=self.id, path=doc_path, line=1, col=1,
+                message=(f"metric family {prefix}* is documented in "
+                         f"{_DOCS_PAGE} but no code emits it"))
+
+    @staticmethod
+    def _documented(text):
+        """``(exact_names, wildcard_prefixes)`` from the docs table rows."""
+        exact, prefixes = set(), set()
+        for line in text.splitlines():
+            if not line.lstrip().startswith("|"):
+                continue
+            for token in _DOC_METRIC.findall(line):
+                if token.endswith("*"):
+                    prefixes.add(token[:-1])
+                else:
+                    exact.add(token)
+        return exact, prefixes
+
+    def _emitted(self, ctx):
+        """``(name, line, is_prefix)`` triples for one file.
+
+        Docstrings are skipped (prose mentioning a metric is not an
+        emission).  Inside f-strings, a match running to the end of a
+        constant piece that is followed by a placeholder is an
+        open-ended prefix.
+        """
+        docstrings = self._docstring_nodes(ctx.tree)
+        fstring_pieces: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.JoinedStr):
+                values = node.values
+                for index, piece in enumerate(values):
+                    if not (isinstance(piece, ast.Constant) and
+                            isinstance(piece.value, str)):
+                        continue
+                    fstring_pieces.add(id(piece))
+                    next_is_placeholder = (
+                        index + 1 < len(values) and
+                        isinstance(values[index + 1], ast.FormattedValue))
+                    for match in _METRIC_NAME.finditer(piece.value):
+                        is_prefix = (next_is_placeholder and
+                                     match.end() == len(piece.value))
+                        yield (match.group(0), node.lineno, is_prefix)
+            elif isinstance(node, ast.Constant) and \
+                    isinstance(node.value, str) and \
+                    id(node) not in docstrings and \
+                    id(node) not in fstring_pieces:
+                for match in _METRIC_NAME.finditer(node.value):
+                    yield (match.group(0), node.lineno, False)
+
+    @staticmethod
+    def _docstring_nodes(tree):
+        found = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Module, ast.ClassDef,
+                                 ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.body and \
+                    isinstance(node.body[0], ast.Expr) and \
+                    isinstance(node.body[0].value, ast.Constant) and \
+                    isinstance(node.body[0].value.value, str):
+                found.add(id(node.body[0].value))
+        return found

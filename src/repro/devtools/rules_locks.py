@@ -1,0 +1,293 @@
+"""RL002/RL003 — lock-discipline and fork/shared-memory hygiene.
+
+**RL002 (guarded-by)** makes the codebase's lock contracts machine
+readable.  An ``__init__`` (or alternate-constructor) attribute
+assignment may carry a trailing annotation::
+
+    self._cache: OrderedDict = OrderedDict()  # guarded-by: self._lock
+
+From then on, every mutation of ``self._cache`` outside ``__init__``
+must sit lexically inside ``with self._lock:`` (or inside a ``with``
+on a ``threading.Condition`` constructed over that lock — the
+Condition *is* the lock).  Helpers that document "caller holds the
+lock" declare it with a comment anywhere in their body::
+
+    def _cache_get(self, pair):
+        # holds: self._lock
+        ...
+
+Mutations recognised: assignment / augmented assignment / ``del`` of
+``self.attr`` or ``self.attr[...]``, and calls to mutating container
+methods (``append``, ``update``, ``clear``, ...).  Reads are not
+checked (many are deliberately lock-free snapshots); alternate
+constructors that build via a local name (``index._matrix = ...``)
+are exempt because the object is not yet shared.
+
+**RL003 (fork/shm hygiene)** protects the pool's process model:
+
+* no ``threading.Thread``/``SharedMemory``/``Process`` *creation at
+  import time* (module or class body) — a fork-based pool must fork
+  before any thread exists, and import-time segments leak on crash;
+* no ``os.fork()`` anywhere — use ``multiprocessing`` contexts so the
+  pool's chained SIGTERM/atexit cleanup applies;
+* no direct ``SharedMemory(...)`` construction outside
+  ``serving/shm.py`` — the store there owns the unlink/atexit/SIGTERM
+  lifecycle, and a second implementation of that idiom is how
+  segments leak.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .engine import FileRule, Finding
+
+__all__ = ["ForkShmHygieneRule", "LockDisciplineRule",
+           "collect_guarded_declarations"]
+
+_GUARDED_BY = re.compile(r"#\s*guarded-by:\s*self\.(\w+)")
+_HOLDS = re.compile(r"#\s*holds:\s*self\.(\w+)")
+
+#: container methods that mutate their receiver
+_MUTATORS = {
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "insert", "move_to_end", "pop", "popleft", "popitem", "remove",
+    "reverse", "setdefault", "sort", "update",
+}
+
+
+def _self_attr(node):
+    """``attr`` when ``node`` is ``self.attr``, else ``None``."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _mutation_target(node):
+    """The ``self.attr`` name mutated by an assignment target."""
+    attr = _self_attr(node)
+    if attr is not None:
+        return attr
+    if isinstance(node, ast.Subscript):
+        return _self_attr(node.value)
+    return None
+
+
+def _collect_class_annotations(ctx, classdef):
+    """``(guards, aliases)`` declared inside one class.
+
+    ``guards`` maps attribute name -> guarding lock attribute (from
+    ``# guarded-by:`` trailing comments); ``aliases`` maps a
+    Condition attribute -> the lock it wraps (``self._wakeup =
+    threading.Condition(self._lock)`` means holding ``_wakeup`` *is*
+    holding ``_lock``).
+    """
+    guards: dict[str, str] = {}
+    aliases: dict[str, str] = {}
+    for node in ast.walk(classdef):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            attrs = [a for a in (_self_attr(t) for t in targets)
+                     if a is not None]
+            if not attrs:
+                continue
+            comment = _GUARDED_BY.search(ctx.comment_text(node.lineno))
+            if comment:
+                for attr in attrs:
+                    guards[attr] = comment.group(1)
+            value = node.value
+            if isinstance(value, ast.Call) and \
+                    isinstance(value.func, ast.Attribute) and \
+                    value.func.attr == "Condition" and value.args:
+                wrapped = _self_attr(value.args[0])
+                if wrapped is not None:
+                    for attr in attrs:
+                        aliases[attr] = wrapped
+    return guards, aliases
+
+
+def collect_guarded_declarations(source: str) -> dict:
+    """``{class_name: {attr: lock_attr}}`` from one module's source.
+
+    The runtime half (:mod:`repro.devtools.lockwatch`) feeds these same
+    declarations to its dynamic ``__setattr__`` assertion, so the
+    static and runtime checks can never drift apart.
+    """
+    from .engine import FileContext
+    ctx = FileContext("", "<memory>", source)
+    declarations = {}
+    for node in ctx.tree.body:
+        if isinstance(node, ast.ClassDef):
+            guards, _ = _collect_class_annotations(ctx, node)
+            if guards:
+                declarations[node.name] = guards
+    return declarations
+
+
+class LockDisciplineRule(FileRule):
+    """RL002: ``guarded-by``-declared attributes mutate under their lock."""
+
+    id = "RL002"
+    name = "lock-discipline"
+
+    def check(self, ctx):
+        """Yield findings for unguarded mutations of declared attrs."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx, classdef):
+        guards, aliases = _collect_class_annotations(ctx, classdef)
+        if not guards:
+            return
+        for node in classdef.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name != "__init__":
+                yield from self._check_method(ctx, classdef, node,
+                                              guards, aliases)
+
+    def _held_declared(self, ctx, method):
+        """Locks a ``# holds:`` comment declares the caller acquires."""
+        held = set()
+        end = getattr(method, "end_lineno", method.lineno)
+        for lineno in range(method.lineno, end + 1):
+            match = _HOLDS.search(ctx.comment_text(lineno))
+            if match:
+                held.add(match.group(1))
+        return held
+
+    def _check_method(self, ctx, classdef, method, guards, aliases):
+        base_held = self._held_declared(ctx, method)
+
+        def resolve(lock_attr):
+            return aliases.get(lock_attr, lock_attr)
+
+        def visit(node, held):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                entered = set(held)
+                for item in node.items:
+                    attr = _self_attr(item.context_expr)
+                    if attr is not None:
+                        entered.add(resolve(attr))
+                for child in node.body:
+                    yield from visit(child, entered)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # nested defs inherit the lexical with-stack; a closure
+                # mutating guarded state still answers to the lock
+                for child in node.body:
+                    yield from visit(child, held)
+                return
+            yield from self._check_node(ctx, classdef, method, node,
+                                        guards, held)
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, held)
+
+        for statement in method.body:
+            yield from visit(statement, {resolve(h) for h in base_held})
+
+    def _check_node(self, ctx, classdef, method, node, guards, held):
+        mutated = []
+        if isinstance(node, ast.Assign):
+            mutated = [(_mutation_target(t), node.lineno,
+                        node.col_offset) for t in node.targets]
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            mutated = [(_mutation_target(node.target), node.lineno,
+                        node.col_offset)]
+        elif isinstance(node, ast.Delete):
+            mutated = [(_mutation_target(t), node.lineno,
+                        node.col_offset) for t in node.targets]
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _MUTATORS:
+            mutated = [(_self_attr(node.func.value), node.lineno,
+                        node.col_offset)]
+        for attr, line, col in mutated:
+            if attr is None or attr not in guards:
+                continue
+            lock = guards[attr]
+            if lock in held:
+                continue
+            yield Finding(
+                rule=self.id, path=ctx.relpath, line=line, col=col + 1,
+                message=(
+                    f"{classdef.name}.{method.name} mutates self.{attr} "
+                    f"(guarded-by: self.{lock}) outside 'with "
+                    f"self.{lock}:'; hold the lock or annotate the "
+                    f"method with '# holds: self.{lock}'"))
+
+
+class ForkShmHygieneRule(FileRule):
+    """RL003: keep the fork/shared-memory lifecycle in one place."""
+
+    id = "RL003"
+    name = "fork-shm-hygiene"
+
+    #: the one module allowed to construct SharedMemory directly
+    _SHM_OWNER = "serving/shm.py"
+
+    def check(self, ctx):
+        """Yield findings for import-time threads/segments and raw forks."""
+        yield from self._check_import_time(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = self._dotted(node.func)
+            if dotted == "os.fork":
+                yield Finding(
+                    rule=self.id, path=ctx.relpath, line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=("raw os.fork() bypasses the pool's "
+                             "multiprocessing context and its chained "
+                             "SIGTERM/atexit shared-memory cleanup; use "
+                             "mp.get_context(...)"))
+            elif dotted.split(".")[-1] == "SharedMemory" and \
+                    not ctx.relpath.endswith(self._SHM_OWNER):
+                yield Finding(
+                    rule=self.id, path=ctx.relpath, line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=("direct SharedMemory construction outside "
+                             "serving/shm.py reimplements the "
+                             "unlink/atexit/SIGTERM lifecycle; go "
+                             "through SharedArtifactStore/attach_slab"))
+
+    @staticmethod
+    def _dotted(node):
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return ""
+
+    def _check_import_time(self, ctx):
+        """Flag Thread/Process/SharedMemory created at import time."""
+        def iter_import_time(body):
+            for node in body:
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(node, ast.ClassDef):
+                    yield from iter_import_time(node.body)
+                    continue
+                yield from ast.walk(node)
+
+        for node in iter_import_time(ctx.tree.body):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = self._dotted(node.func)
+            tail = dotted.split(".")[-1]
+            if tail in ("Thread", "Process", "SharedMemory") or \
+                    dotted in ("_thread.start_new_thread",):
+                yield Finding(
+                    rule=self.id, path=ctx.relpath, line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(f"{tail} created at import time; the "
+                             f"fork-based pool must be able to fork "
+                             f"before any thread or segment exists — "
+                             f"create it lazily inside start()/__init__"))

@@ -1,0 +1,198 @@
+"""RL006/RL007/RL008 — silent failures and documentation hygiene.
+
+**RL006 (swallowed exceptions)**: an ``except Exception:`` (or bare
+``except:`` / ``except BaseException:``) body must *do something* with
+the failure — re-raise, log/warn/print, bump a failure counter, or at
+minimum bind the exception and use it.  A handler that does none of
+those makes production debugging impossible (several such sites
+existed when this rule landed; the legitimate cleanup-must-never-raise
+paths in ``serving/shm.py`` carry justified inline suppressions).
+
+**RL007 (docstring coverage)**: the static successor of the
+import-based pydocstyle-lite check that used to live in
+``tests/test_docs.py`` — every module in the documented packages,
+every public top-level class/function, and every public method of a
+public class carries a non-empty docstring.  Being AST-based it also
+lints files that would fail to import.
+
+**RL008 (markdown links)**: every intra-repo link in the README and
+``docs/`` site resolves to a real file (anchors are not resolved, only
+the file half).  Runs as a project rule so the whole docs tree is one
+pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+
+from .engine import FileRule, Finding, ProjectRule
+
+__all__ = ["DocstringCoverageRule", "MarkdownLinkRule",
+           "SwallowedExceptionRule"]
+
+#: call-name fragments that count as "the failure was reported"
+_REPORTING_FRAGMENTS = ("log", "warn", "error", "exception", "print",
+                        "fail", "debug", "info", "record")
+
+#: identifier fragments that mark a failure counter
+_COUNTER_FRAGMENTS = ("fail", "error", "drop", "skip", "reject",
+                      "corrupt", "miss", "death", "total", "count",
+                      "stat")
+
+
+def _dotted_parts(node):
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return parts
+
+
+class SwallowedExceptionRule(FileRule):
+    """RL006: broad exception handlers must not be silent."""
+
+    id = "RL006"
+    name = "swallowed-exceptions"
+
+    def check(self, ctx):
+        """Yield findings for silent broad ``except`` handlers."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Try):
+                for handler in node.handlers:
+                    if self._is_broad(handler) and \
+                            not self._handles(handler):
+                        yield Finding(
+                            rule=self.id, path=ctx.relpath,
+                            line=handler.lineno,
+                            col=handler.col_offset + 1,
+                            message=("broad except swallows the failure "
+                                     "silently; log it, bump a failure "
+                                     "counter, re-raise, or suppress "
+                                     "with a justification comment"))
+
+    @staticmethod
+    def _is_broad(handler):
+        if handler.type is None:
+            return True  # bare except
+        names = []
+        for node in ([handler.type.elts] if isinstance(handler.type,
+                                                       ast.Tuple)
+                     else [[handler.type]]):
+            for item in node:
+                parts = _dotted_parts(item)
+                names.append(parts[0] if parts else "")
+        return any(name in ("Exception", "BaseException")
+                   for name in names)
+
+    def _handles(self, handler):
+        bound = handler.name
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if bound and isinstance(node, ast.Name) and \
+                    node.id == bound and isinstance(node.ctx, ast.Load):
+                return True  # the exception object is actually used
+            if isinstance(node, ast.Call):
+                parts = [part.lower() for part
+                         in _dotted_parts(node.func)]
+                if any(fragment in part for part in parts
+                       for fragment in _REPORTING_FRAGMENTS):
+                    return True
+            if isinstance(node, ast.AugAssign):
+                target = ast.unparse(node.target).lower()
+                if any(fragment in target
+                       for fragment in _COUNTER_FRAGMENTS):
+                    return True
+        return False
+
+
+class DocstringCoverageRule(FileRule):
+    """RL007: documented packages keep full public docstring coverage."""
+
+    id = "RL007"
+    name = "docstring-coverage"
+
+    #: package directories (repo-relative) whose surface must be documented
+    packages = ("src/repro/serving", "src/repro/infer", "src/repro/api",
+                "src/repro/retrieval", "src/repro/devtools")
+
+    def check(self, ctx):
+        """Yield findings for missing module/class/method docstrings."""
+        directory = os.path.dirname(ctx.relpath)
+        if directory not in self.packages:
+            return
+        tree = ctx.tree
+        if not ast.get_docstring(tree, clean=False):
+            yield self._finding(ctx, 1, "module has no docstring")
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)) and \
+                    not node.name.startswith("_"):
+                if not ast.get_docstring(node, clean=False):
+                    yield self._finding(
+                        ctx, node.lineno,
+                        f"public {type(node).__name__.replace('Def', '').lower()} "
+                        f"{node.name} has no docstring")
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_methods(ctx, node)
+
+    def _check_methods(self, ctx, classdef):
+        for node in classdef.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and not node.name.startswith("_") and \
+                    not ast.get_docstring(node, clean=False):
+                yield self._finding(
+                    ctx, node.lineno,
+                    f"public method {classdef.name}.{node.name} has no "
+                    f"docstring")
+
+    def _finding(self, ctx, line, message):
+        return Finding(rule=self.id, path=ctx.relpath, line=line, col=1,
+                       message=message)
+
+
+class MarkdownLinkRule(ProjectRule):
+    """RL008: intra-repo markdown links resolve to real files."""
+
+    id = "RL008"
+    name = "markdown-links"
+
+    _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+    def markdown_files(self, project):
+        """README plus every ``docs/*.md`` page that exists."""
+        pages = ["README.md"]
+        docs_dir = os.path.join(project.root, "docs")
+        if os.path.isdir(docs_dir):
+            pages.extend(sorted(
+                os.path.join("docs", name)
+                for name in os.listdir(docs_dir) if name.endswith(".md")))
+        return [page for page in pages
+                if os.path.isfile(os.path.join(project.root, page))]
+
+    def check_project(self, project):
+        """Yield findings for broken relative links."""
+        for page in self.markdown_files(project):
+            text = project.read_text(page)
+            base = os.path.dirname(os.path.join(project.root, page))
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                for target in self._LINK.findall(line):
+                    if target.startswith(("http://", "https://",
+                                          "mailto:", "#")):
+                        continue
+                    relative = target.split("#", 1)[0]
+                    if not relative:
+                        continue
+                    resolved = os.path.normpath(
+                        os.path.join(base, relative))
+                    if not os.path.exists(resolved):
+                        yield Finding(
+                            rule=self.id,
+                            path=page.replace(os.sep, "/"),
+                            line=lineno, col=1,
+                            message=(f"broken intra-repo link "
+                                     f"{target!r}"))

@@ -214,11 +214,11 @@ class InferenceEngine:
             self._pad_id = tok.pad_id
             self._max_len = relational.model.config.max_len
             self._relational_dim = relational.dim
-            self._token_cache: dict[str, list[int]] = {}
-            self._pair_cache: dict[tuple[str, str],
-                                   tuple[list[int], int]] = {}
-            self._concept_cache: OrderedDict[tuple[str, str], np.ndarray] = \
-                OrderedDict()
+            self._token_cache: dict[str, list[int]] = {}  # guarded-by: self._lock
+            #: pair -> (template ids, segment boundary)
+            self._pair_cache: dict = {}  # guarded-by: self._lock
+            #: pair -> pooled concept vector (LRU)
+            self._concept_cache: OrderedDict = OrderedDict()  # guarded-by: self._lock
         else:
             self.bert = None
 
@@ -342,6 +342,7 @@ class InferenceEngine:
     # relational fast path
     # ------------------------------------------------------------------
     def _concept_token_ids(self, concept: str) -> list[int]:
+        # holds: self._lock
         ids = self._token_cache.get(concept)
         if ids is None:
             tok = self._tokenizer
@@ -362,6 +363,7 @@ class InferenceEngine:
         traversal and repeated candidate sets revisit pairs constantly);
         the cache is wiped wholesale past ``_PAIR_CACHE_LIMIT`` entries.
         """
+        # holds: self._lock
         key = (query, item)
         cached = self._pair_cache.get(key)
         if cached is not None:
@@ -467,6 +469,7 @@ class InferenceEngine:
 
     def _encode_concepts_locked(self, concepts: list[str],
                                 pool: str) -> np.ndarray:
+        # holds: self._lock
         resolved: dict[str, np.ndarray] = {}
         missing: dict[str, None] = {}
         for concept in concepts:
@@ -517,6 +520,7 @@ class InferenceEngine:
 
     def _cache_concept(self, key: tuple[str, str],
                        vector: np.ndarray) -> None:
+        # holds: self._lock
         if not self.concept_cache_size:
             return
         self._concept_cache[key] = vector

@@ -140,22 +140,23 @@ class CandidateIndex:
         if len(set(concepts)) != len(concepts):
             raise ValueError("concepts must be unique")
         self._lock = threading.RLock()
-        self._concepts: list[str] = concepts
+        self._concepts: list[str] = concepts  # guarded-by: self._lock
         self._row_of: dict[str, int] = {
             concept: row for row, concept in enumerate(concepts)}
-        self._count = len(concepts)
-        self._matrix = np.ascontiguousarray(vectors)
-        self._norms = row_norms(self._matrix)
+        self._count = len(concepts)  # guarded-by: self._lock
+        self._matrix = np.ascontiguousarray(vectors)  # guarded-by: self._lock
+        self._norms = row_norms(self._matrix)  # guarded-by: self._lock
         self._stats = IndexStats(size=self._count)
-        self._centroids: np.ndarray | None = None
-        self._centroid_norms: np.ndarray | None = None
-        self._cells: list[list[int]] = []
+        self._centroids: np.ndarray | None = None  # guarded-by: self._lock
+        self._centroid_norms: np.ndarray | None = None  # guarded-by: self._lock
+        self._cells: list[list[int]] = []  # guarded-by: self._lock
         #: per-search gather cache of ``_cells`` as int64 arrays;
         #: invalidated (None) whenever cell membership changes
-        self._cell_arrays: list[np.ndarray] | None = None
-        self._partitions_enabled = False
+        self._cell_arrays: list[np.ndarray] | None = None  # guarded-by: self._lock
+        self._partitions_enabled = False  # guarded-by: self._lock
         if self._count >= self.config.partition_min_rows:
-            self._build_partitions()
+            with self._lock:
+                self._build_partitions()
 
     # ------------------------------------------------------------------
     # introspection
@@ -250,7 +251,8 @@ class CandidateIndex:
         index._cell_arrays = None
         index._partitions_enabled = False
         if index._count >= config.partition_min_rows:
-            index._build_partitions()
+            with index._lock:
+                index._build_partitions()
         return index
 
     # ------------------------------------------------------------------
@@ -314,6 +316,7 @@ class CandidateIndex:
             block_rows=self.config.block_rows)
 
     def _search_partitioned_locked(self, queries, k, excluded_rows):
+        # holds: self._lock
         """Cell-centric IVF search: every probed cell is gathered from
         the matrix exactly once and scored against *all* the queries
         probing it in one batched GEMM — the per-query gather-and-GEMM
@@ -464,6 +467,7 @@ class CandidateIndex:
 
     def _build_partitions(self) -> None:
         """k-means the rows into cells, then gate on measured recall."""
+        # holds: self._lock
         cells = self.config.cells or max(
             1, int(round(np.sqrt(self._count))))
         cells = min(cells, self._count)
@@ -503,6 +507,7 @@ class CandidateIndex:
 
     def _assign_to_cells(self, block: np.ndarray, start_row: int) -> None:
         """Route freshly added rows to their nearest existing centroid."""
+        # holds: self._lock
         rows = block.astype(self._matrix.dtype, copy=False)
         if self.config.metric == "cosine":
             norms = row_norms(rows)
@@ -515,6 +520,7 @@ class CandidateIndex:
 
     def _measure_recall_locked(self) -> float:
         """recall@k of partitioned search vs exact, on indexed rows."""
+        # holds: self._lock
         sample = min(self.config.recall_sample, self._count)
         if sample == 0:
             return 1.0

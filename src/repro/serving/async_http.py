@@ -288,6 +288,7 @@ class AsyncTaxonomyServer:
             writer.close()
             try:
                 await writer.wait_closed()
+            # repro-lint: disable=RL006 - best-effort close of a discarded connection
             except Exception:
                 pass
 

@@ -103,6 +103,9 @@ class PoolStats:
     worker_deaths: int = 0
     worker_restarts: int = 0
     watchdog_restarts: int = 0
+    #: watchdog respawn attempts that themselves raised (retried on the
+    #: next sweep)
+    watchdog_respawn_failures: int = 0
     reloads: int = 0
     delta_broadcasts: int = 0
     #: workers that fell back to a private bundle load because attaching
@@ -128,6 +131,7 @@ class PoolStats:
             "worker_deaths": self.worker_deaths,
             "worker_restarts": self.worker_restarts,
             "watchdog_restarts": self.watchdog_restarts,
+            "watchdog_respawn_failures": self.watchdog_respawn_failures,
             "reloads": self.reloads,
             "delta_broadcasts": self.delta_broadcasts,
             "attach_failures": self.attach_failures,
@@ -367,9 +371,9 @@ class ShardedScorerPool:
         self._ctx = mp.get_context(mp_context)
         self._workers = [_Worker(i) for i in range(num_workers)]
         self._lock = threading.Lock()  # guards spawn/stop transitions
-        self._req_counter = 0
+        self._req_counter = 0  # guarded-by: self._counter_lock
         self._counter_lock = threading.Lock()
-        self._stats = PoolStats(
+        self._stats = PoolStats(  # guarded-by: self._stats_lock
             worker_pairs={i: 0 for i in range(num_workers)})
         self._stats_lock = threading.Lock()
         self._started = False
@@ -382,9 +386,9 @@ class ShardedScorerPool:
         # generation, records it in ``_covered_generation`` — a shared
         # worker attaching that generation already has the baseline in
         # its arrays and replays only the post-compaction tail.
-        self._delta_log: list[list[Pair]] = []
-        self._delta_baseline: list[Pair] = []
-        self._covered_generation: int | None = None
+        self._delta_log: list[list[Pair]] = []  # guarded-by: self._delta_lock
+        self._delta_baseline: list[Pair] = []  # guarded-by: self._delta_lock
+        self._covered_generation: int | None = None  # guarded-by: self._delta_lock
         self._delta_lock = threading.Lock()
         self._watchdog: threading.Thread | None = None
         self._watchdog_stop = threading.Event()
@@ -647,17 +651,19 @@ class ShardedScorerPool:
             try:
                 futures.append((worker.index,
                                 self._dispatch(worker.index, "stats")))
-            except BaseException:
-                futures.append((worker.index, None))
+            except BaseException as error:
+                futures.append((worker.index, error))
         results = []
         for index, future in futures:
             payload: dict = {"worker": index, "alive": False}
-            if future is not None:
+            if isinstance(future, BaseException):
+                payload["error"] = repr(future)
+            else:
                 try:
                     payload.update(future.wait(timeout) or {})
                     payload["alive"] = True
-                except BaseException:
-                    pass
+                except BaseException as error:
+                    payload["error"] = repr(error)
             results.append(payload)
         return results
 
@@ -1038,8 +1044,15 @@ class ShardedScorerPool:
                         try:
                             self._spawn(worker, restart=True,
                                         supervised=True)
-                        except Exception:
-                            pass  # retried on the next sweep
+                        except Exception as error:
+                            # retried on the next sweep, but a respawn
+                            # that keeps failing must be visible
+                            with self._stats_lock:
+                                self._stats.watchdog_respawn_failures += 1
+                            warnings.warn(
+                                f"watchdog respawn of worker "
+                                f"{worker.index} failed: {error!r}",
+                                RuntimeWarning, stacklevel=1)
 
     def _read_loop(self, worker: _Worker) -> None:
         """Resolve futures from one worker's pipe until it dies."""

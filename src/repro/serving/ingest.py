@@ -147,13 +147,13 @@ class StreamingIngestor:
             queue.Queue(maxsize=max_queue)
         self._expander_lock = lock or threading.Lock()
         self._state = threading.Condition()
-        self._reports: deque[IngestReport] = deque(maxlen=max_history)
-        self._errors: deque[BaseException] = deque(maxlen=max_history)
-        self._submitted = 0
-        self._processed = 0
-        self._failed = 0
-        self._worker: threading.Thread | None = None
-        self._stopping = False
+        self._reports: deque[IngestReport] = deque(maxlen=max_history)  # guarded-by: self._state
+        self._errors: deque[BaseException] = deque(maxlen=max_history)  # guarded-by: self._state
+        self._submitted = 0  # guarded-by: self._state
+        self._processed = 0  # guarded-by: self._state
+        self._failed = 0  # guarded-by: self._state
+        self._worker: threading.Thread | None = None  # guarded-by: self._state
+        self._stopping = False  # guarded-by: self._state
 
     # ------------------------------------------------------------------
     # lifecycle

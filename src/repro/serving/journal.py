@@ -56,8 +56,8 @@ import json
 import os
 import warnings
 import zlib
+import threading
 from dataclasses import dataclass, replace
-from threading import Lock
 
 __all__ = [
     "IngestJournal", "JournalCorruptionWarning", "JournalRecord",
@@ -182,7 +182,7 @@ class IngestJournal:
         self.max_segment_bytes = max_segment_bytes
         self.fsync_every = fsync_every
         self.stats = JournalStats()
-        self._lock = Lock()
+        self._lock = threading.Lock()
         self._handle: io.BufferedWriter | None = None
         self._pending_sync = 0
         self._closed = False

@@ -103,16 +103,16 @@ class BatchingScorer:
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.cache_size = cache_size
-        self._cache: OrderedDict[Pair, float] = OrderedDict()
+        self._cache: OrderedDict[Pair, float] = OrderedDict()  # guarded-by: self._lock
         # Bumped by swap_scorer: batches started under an older epoch
         # must not write their (old-model) scores into the new cache.
-        self._epoch = 0
-        self._queue: deque[_Request] = deque()
+        self._epoch = 0  # guarded-by: self._lock
+        self._queue: deque[_Request] = deque()  # guarded-by: self._lock
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
-        self._stats = ScorerStats()
-        self._worker: threading.Thread | None = None
-        self._stopping = False
+        self._stats = ScorerStats()  # guarded-by: self._lock
+        self._worker: threading.Thread | None = None  # guarded-by: self._lock
+        self._stopping = False  # guarded-by: self._lock
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -274,6 +274,7 @@ class BatchingScorer:
     # ------------------------------------------------------------------
     def _cache_get(self, pair: Pair):
         """LRU lookup; returns ``_MISSING`` on absence.  Lock held."""
+        # holds: self._lock
         if self.cache_size and pair in self._cache:
             self._cache.move_to_end(pair)
             return self._cache[pair]
@@ -299,6 +300,7 @@ class BatchingScorer:
     def _record_batch(self, pairs: list[Pair], scores: np.ndarray,
                       coalesced: int, epoch: int) -> None:
         """Account for one underlying call and fill the cache.  Lock held."""
+        # holds: self._lock
         self._stats.model_calls += 1
         self._stats.batches += 1
         self._stats.pairs_scored += len(pairs)

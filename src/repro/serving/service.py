@@ -154,7 +154,7 @@ class TaxonomyService:
         # Every attachment ever propagated to the engines, in apply
         # order — re-applied onto freshly loaded bundles during hot
         # reload so the new model serves the same live graph.
-        self._attached_edges: list[tuple[str, str]] = []
+        self._attached_edges: list[tuple[str, str]] = []  # guarded-by: self._taxonomy_lock
         self.ingestor = StreamingIngestor(
             self.expander, max_queue=self.config.max_ingest_queue,
             lock=self._taxonomy_lock, journal=journal,
@@ -164,26 +164,27 @@ class TaxonomyService:
         # would slow construction for services that never retrieve).
         # _retriever_lock serialises builds; the reference itself swaps
         # atomically so readers never block on a build.
-        self._retriever: CandidateRetriever | None = None
+        self._retriever: CandidateRetriever | None = None  # guarded-by: self._retriever_lock
         self._retriever_lock = threading.Lock()
         self._suggest_requests = 0
-        self._index_rebuilds = 0
+        self._index_rebuilds = 0  # guarded-by: self._retriever_lock
+        self._retrieval_publish_failures = 0  # guarded-by: self._retriever_lock
         self._cache_warmed_pairs = 0
         # Serialises hot reloads; scoring keeps flowing around it.
         self._reload_lock = threading.Lock()
-        self._reloads = 0
+        self._reloads = 0  # guarded-by: self._reload_lock
         # Snapshot + compaction state.  _snapshot_lock serialises
         # capture/compaction; the scheduler thread polls the cheap
         # threshold checks and triggers snapshots off the request path.
         self.snapshots = snapshots
         self._snapshot_lock = threading.Lock()
-        self._snapshots_taken = 0
-        self._last_snapshot_seq = -1
-        self._last_snapshot_bytes = 0
-        self._last_snapshot_at: float | None = None
+        self._snapshots_taken = 0  # guarded-by: self._snapshot_lock
+        self._last_snapshot_seq = -1  # guarded-by: self._snapshot_lock
+        self._last_snapshot_bytes = 0  # guarded-by: self._snapshot_lock
+        self._last_snapshot_at: float | None = None  # guarded-by: self._snapshot_lock
         self._replay_tail_records = 0
         self._recovered_snapshot: str | None = None
-        self._snapshot_failures = 0
+        self._snapshot_failures = 0  # guarded-by: self._snapshot_lock
         self._snapshot_stop = threading.Event()
         self._snapshot_thread: threading.Thread | None = None
         self._started_at = time.monotonic()
@@ -466,14 +467,18 @@ class TaxonomyService:
         toward ``repro_shm_segment_bytes``.  No-op without a pool or
         with sharing disabled.
         """
+        # holds: self._retriever_lock
         pool = self.pool
         if pool is None or not hasattr(pool, "publish_shared"):
             return
         try:
             meta, arrays = retriever.index.export_slab()
             pool.publish_shared(arrays, meta=meta, label="retrieval")
-        except Exception:
-            pass
+        except Exception as error:
+            self._retrieval_publish_failures += 1
+            warnings.warn(
+                f"retrieval slab publish failed (serving continues "
+                f"in-process): {error!r}", RuntimeWarning, stacklevel=1)
 
     def _build_retriever(self, bundle: ArtifactBundle,
                          concepts) -> CandidateRetriever:
@@ -514,6 +519,7 @@ class TaxonomyService:
         (warnings + stale-but-consistent features) rather than failing
         the taxonomy mutation, which has already committed.
         """
+        # holds: self._taxonomy_lock
         edges = [(str(parent), str(child)) for parent, child in edges]
         if not edges:
             return
@@ -728,9 +734,10 @@ class TaxonomyService:
                 summary["snapshot"] = os.path.basename(info.path)
                 summary["snapshot_seq"] = info.seq
                 self._recovered_snapshot = summary["snapshot"]
-                self._last_snapshot_seq = info.seq
-                self._last_snapshot_bytes = info.nbytes
-                self._last_snapshot_at = time.monotonic()
+                with self._snapshot_lock:
+                    self._last_snapshot_seq = info.seq
+                    self._last_snapshot_bytes = info.nbytes
+                    self._last_snapshot_at = time.monotonic()
         if self.journal is not None:
             compacted_through = self.journal.compacted_through
             if compacted_through > after_seq:
@@ -781,7 +788,8 @@ class TaxonomyService:
         try:
             return self.snapshot()
         except Exception as error:
-            self._snapshot_failures += 1
+            with self._snapshot_lock:
+                self._snapshot_failures += 1
             warnings.warn(f"scheduled snapshot failed: {error!r}",
                           stacklevel=2)
             return None
@@ -912,6 +920,7 @@ class TaxonomyService:
             if self.journal is not None:
                 self.journal.append("reload", {"directory": directory})
                 self.journal.flush()
+            # holds: self._reload_lock (explicit acquire above)
             self._reloads += 1
         finally:
             self._reload_lock.release()
@@ -986,7 +995,9 @@ class TaxonomyService:
         # engine) are re-applied here as the tail beyond the seed
         # snapshot, and deltas after the lock releases route to the new
         # bundle.  apply_attachments is idempotent, so overlap is safe.
-        with self._taxonomy_lock:
+        with self._retriever_lock, self._taxonomy_lock:
+            # retriever lock taken first, matching _get_retriever's
+            # order, so the swap cannot deadlock with a lazy build
             tail = self._attached_edges[seeded:]
             if tail and new_engine is not None:
                 new_engine.apply_attachments(tail)
@@ -1160,6 +1171,10 @@ class TaxonomyService:
             metric("repro_retrieval_index_rebuilds_total", "counter",
                    "Full candidate-index (re)builds (lazy build + hot "
                    "reloads).", self._index_rebuilds)
+            metric("repro_retrieval_publish_failures_total", "counter",
+                   "Failed best-effort publishes of the index slab "
+                   "into shared memory.",
+                   self._retrieval_publish_failures)
             metric("repro_retrieval_searches_total", "counter",
                    "Index search calls (suggest + retrieval-backed "
                    "expand).", retrieval["searches"])
@@ -1185,6 +1200,9 @@ class TaxonomyService:
         metric("repro_jobs_rejected_total", "counter",
                "Async job submissions rejected with backpressure.",
                jobs["rejected"])
+        metric("repro_jobs_listener_failures_total", "counter",
+               "Job-completion listener callbacks that raised.",
+               jobs["listener_failures"])
         metric("repro_jobs_pending", "gauge",
                "Async jobs queued or running right now.",
                jobs["pending"] + jobs["running"])
@@ -1275,6 +1293,10 @@ class TaxonomyService:
             metric("repro_pool_watchdog_restarts_total", "counter",
                    "Respawns initiated proactively by the pool watchdog.",
                    pool.watchdog_restarts)
+            metric("repro_pool_watchdog_respawn_failures_total", "counter",
+                   "Watchdog respawn attempts that raised (retried on "
+                   "the next sweep).",
+                   pool.watchdog_respawn_failures)
             metric("repro_pool_delta_broadcasts_total", "counter",
                    "Structural attachment deltas broadcast to workers.",
                    pool.delta_broadcasts)

@@ -58,7 +58,7 @@ def _cleanup_all() -> None:
     for store in list(_LIVE_STORES):
         try:
             store.unlink()
-        except Exception:  # pragma: no cover - cleanup must never raise
+        except Exception:  # pragma: no cover - cleanup must never raise; repro-lint: disable=RL006
             pass
 
 
@@ -104,7 +104,7 @@ def _untrack(segment: shared_memory.SharedMemory) -> None:
     """
     try:
         resource_tracker.unregister(segment._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals vary
+    except Exception:  # pragma: no cover - tracker internals vary; repro-lint: disable=RL006
         pass
 
 
@@ -138,7 +138,7 @@ def _tracker_inherited() -> bool:
     try:
         import multiprocessing
         return multiprocessing.parent_process() is not None
-    except Exception:  # pragma: no cover - defensive
+    except Exception:  # pragma: no cover - defensive; repro-lint: disable=RL006
         return False
 
 
@@ -191,13 +191,13 @@ class SharedArrayView:
                 # A caller still holds a view; the mapping stays alive until
                 # that reference dies, which is exactly what we want.
                 pass
-            except Exception:  # pragma: no cover - close must never raise
+            except Exception:  # pragma: no cover - close must never raise; repro-lint: disable=RL006
                 pass
 
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro-lint: disable=RL006 - GC-time close
             pass
 
 
@@ -237,7 +237,7 @@ def attach_manifest(manifest) -> SharedArrayView:
         for segment in segments:
             try:
                 segment.close()
-            except Exception:
+            except Exception:  # repro-lint: disable=RL006 - cleanup before re-raise
                 pass
         raise
     return SharedArrayView(manifest, segments, arrays)
@@ -415,13 +415,13 @@ class SharedArtifactStore:
             # Owner-side views still referenced; unlink works regardless and
             # the mapping is reclaimed when the last view dies.
             pass
-        except Exception:  # pragma: no cover
+        except Exception:  # pragma: no cover; repro-lint: disable=RL006
             pass
         try:
             segment.unlink()
         except FileNotFoundError:
             pass
-        except Exception:  # pragma: no cover
+        except Exception:  # pragma: no cover; repro-lint: disable=RL006
             pass
 
     def unlink(self) -> None:
@@ -447,5 +447,5 @@ class SharedArtifactStore:
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:
             self.unlink()
-        except Exception:
+        except Exception:  # repro-lint: disable=RL006 - atexit cleanup
             pass

@@ -1,9 +1,25 @@
 """Shared fixtures: a small deterministic world and derived artifacts.
 
 Session-scoped where construction is expensive so the suite stays fast.
+
+With ``REPRO_LOCKWATCH=1`` the runtime lock sanitizer
+(:mod:`repro.devtools.lockwatch`) is installed *before any repro module
+is imported* — patching ``threading.Lock``/``RLock`` must precede the
+``from threading import ...``-style imports in the code under watch —
+and a session-scoped fixture asserts a clean report (no lock-order
+inversions, no guarded-attribute violations) at teardown.
 """
 
 from __future__ import annotations
+
+import os
+
+_LOCKWATCH_ENABLED = os.environ.get("REPRO_LOCKWATCH", "").strip() \
+    not in ("", "0", "off", "false", "no")
+if _LOCKWATCH_ENABLED:
+    from repro.devtools import lockwatch as _lockwatch
+
+    _lockwatch.install()
 
 import numpy as np
 import pytest
@@ -12,6 +28,32 @@ from repro.synthetic import (
     ClickLogConfig, UgcConfig, WorldConfig, build_world, generate_click_logs,
     generate_ugc,
 )
+
+if _LOCKWATCH_ENABLED:
+    # Declared # guarded-by: contracts become runtime __setattr__
+    # assertions on the classes that carry them.
+    from repro.api import jobs as _jobs_mod
+    from repro.infer import engine as _engine_mod
+    from repro.retrieval import index as _index_mod
+    from repro.serving import cluster as _cluster_mod
+    from repro.serving import ingest as _ingest_mod
+    from repro.serving import scorer as _scorer_mod
+    from repro.serving import service as _service_mod
+
+    _lockwatch.guard_declared_classes(
+        _jobs_mod, _engine_mod, _index_mod, _cluster_mod, _ingest_mod,
+        _scorer_mod, _service_mod)
+
+    @pytest.fixture(scope="session", autouse=True)
+    def _lockwatch_clean_session():
+        """Fail the session if the sanitizer recorded any violation."""
+        yield
+        report = _lockwatch.report()
+        problems = report["inversions"] + report["guard_violations"]
+        assert not problems, (
+            f"lockwatch recorded {len(report['inversions'])} lock-order "
+            f"inversion(s) and {len(report['guard_violations'])} "
+            f"guard violation(s): {problems}")
 
 
 @pytest.fixture(scope="session")

@@ -153,8 +153,8 @@ class TestV1RoundTrips:
         assert status == 200
         assert body["status"] in ("ok", "degraded")
         assert set(body["jobs"]) == {"submitted", "succeeded", "failed",
-                                     "rejected", "pending", "running",
-                                     "retained"}
+                                     "rejected", "listener_failures",
+                                     "pending", "running", "retained"}
 
     def test_metrics_exposes_job_families(self, server):
         status, headers, text = request(server, "GET", "/v1/metrics")

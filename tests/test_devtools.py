@@ -1,0 +1,545 @@
+"""The static half of ``repro.devtools``: rule fixtures + engine plumbing.
+
+Every rule RL001–RL006 gets a *fixture pair*: a trigger file the rule
+must flag and a near-miss file exercising the documented exemptions
+that must stay clean (the near-misses are what keep the rules from
+rotting into noise).  Engine plumbing — inline suppressions, the
+baseline round-trip, output formats, exit codes, rule selection — is
+covered against the same tiny fixture trees.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.devtools import (
+    ALL_RULES, AsyncBlockingRule, Baseline, ErrorEnvelopeRule,
+    EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, ForkShmHygieneRule,
+    LockDisciplineRule, MetricsDriftRule, SwallowedExceptionRule,
+    collect_guarded_declarations, default_rules, format_findings,
+    run_lint,
+)
+from repro.devtools.__main__ import main as lint_main
+
+
+def lint(tmp_path, rule, files, baseline=None):
+    """Write ``files`` under ``tmp_path`` and lint ``src/`` with ``rule``."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_lint(str(tmp_path), ["src"], [rule], baseline)
+
+
+def rules_of(result):
+    return [finding.rule for finding in result.new_findings]
+
+
+# ----------------------------------------------------------------------
+# RL001 async-blocking
+# ----------------------------------------------------------------------
+class TestAsyncBlocking:
+    def test_trigger_blocking_primitives(self, tmp_path):
+        result = lint(tmp_path, AsyncBlockingRule(), {"src/app/mod.py": """\
+            import time
+
+            class Handler:
+                async def handle(self, loop):
+                    time.sleep(0.5)
+                    item = self._queue.get()
+                    await loop.run_in_executor(None, self._queue.get())
+            """})
+        assert rules_of(result) == ["RL001"] * 3
+        messages = " ".join(f.message for f in result.new_findings)
+        assert "time.sleep" in messages
+        assert "executor" in messages
+
+    def test_near_miss_await_asyncio_and_executor_closure(self, tmp_path):
+        result = lint(tmp_path, AsyncBlockingRule(), {"src/app/mod.py": """\
+            import asyncio
+            import time
+
+            class Handler:
+                async def handle(self, loop, event):
+                    await asyncio.sleep(0.5)
+                    await asyncio.wait_for(event.wait(), 1.0)
+                    item = self._queue.get(timeout=0.1)
+
+                    def offloaded():
+                        time.sleep(0.5)
+                        return self._queue.get()
+
+                    return await loop.run_in_executor(None, offloaded)
+
+                def sync_path(self):
+                    time.sleep(0.5)
+            """})
+        assert result.new_findings == []
+
+
+# ----------------------------------------------------------------------
+# RL002 lock-discipline
+# ----------------------------------------------------------------------
+class TestLockDiscipline:
+    def test_trigger_unguarded_mutation(self, tmp_path):
+        result = lint(tmp_path, LockDisciplineRule(),
+                      {"src/app/mod.py": """\
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: self._lock
+
+                def add(self, item):
+                    self._items.append(item)
+            """})
+        assert rules_of(result) == ["RL002"]
+        assert "self._items" in result.new_findings[0].message
+
+    def test_near_miss_with_lock_holds_and_condition_alias(self, tmp_path):
+        result = lint(tmp_path, LockDisciplineRule(),
+                      {"src/app/mod.py": """\
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._wakeup = threading.Condition(self._lock)
+                    self._items = []  # guarded-by: self._lock
+
+                def add(self, item):
+                    with self._lock:
+                        self._items.append(item)
+
+                def add_notifying(self, item):
+                    with self._wakeup:
+                        self._items.append(item)
+
+                def _add_locked(self, item):
+                    # holds: self._lock
+                    self._items.append(item)
+            """})
+        assert result.new_findings == []
+
+    def test_collect_guarded_declarations_shared_with_lockwatch(self):
+        declarations = collect_guarded_declarations(textwrap.dedent("""\
+            class Store:
+                def __init__(self):
+                    self._items = []  # guarded-by: self._lock
+                    self._epoch = 0  # guarded-by: self._lock
+                    self._free = 0
+            """))
+        assert declarations == {
+            "Store": {"_items": "_lock", "_epoch": "_lock"}}
+
+
+# ----------------------------------------------------------------------
+# RL003 fork/shm hygiene
+# ----------------------------------------------------------------------
+class TestForkShmHygiene:
+    def test_trigger_import_time_thread_fork_and_rogue_shm(self, tmp_path):
+        result = lint(tmp_path, ForkShmHygieneRule(),
+                      {"src/app/mod.py": """\
+            import os
+            import threading
+            from multiprocessing import shared_memory
+
+            worker = threading.Thread(target=print)
+
+            def spawn():
+                return os.fork()
+
+            def segment():
+                return shared_memory.SharedMemory(name="x")
+            """})
+        assert sorted(rules_of(result)) == ["RL003"] * 3
+        messages = " ".join(f.message for f in result.new_findings)
+        assert "import time" in messages
+        assert "os.fork" in messages
+        assert "serving/shm.py" in messages
+
+    def test_near_miss_lazy_thread_and_shm_owner_module(self, tmp_path):
+        result = lint(tmp_path, ForkShmHygieneRule(), {
+            "src/app/mod.py": """\
+                import threading
+
+                def start():
+                    return threading.Thread(target=print)
+                """,
+            "src/app/serving/shm.py": """\
+                from multiprocessing import shared_memory
+
+                def create(size):
+                    return shared_memory.SharedMemory(create=True,
+                                                      size=size)
+                """})
+        assert result.new_findings == []
+
+
+# ----------------------------------------------------------------------
+# RL004 error-envelope
+# ----------------------------------------------------------------------
+_REGISTRY = """\
+    ERROR_CODES = {
+        "invalid_request": 400,
+        "not_found": 404,
+    }
+    """
+
+
+class TestErrorEnvelope:
+    def test_trigger_unregistered_code(self, tmp_path):
+        result = lint(tmp_path, ErrorEnvelopeRule(), {
+            "src/app/api/errors.py": _REGISTRY,
+            "src/app/handlers.py": """\
+                def handle():
+                    raise ApiError("bogus_code", "nope")
+                """})
+        assert rules_of(result) == ["RL004"]
+        assert "bogus_code" in result.new_findings[0].message
+
+    def test_trigger_registered_but_undocumented(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "http_api.md").write_text(
+            "| `invalid_request` | 400 | bad payload |\n")
+        result = lint(tmp_path, ErrorEnvelopeRule(),
+                      {"src/app/api/errors.py": _REGISTRY})
+        assert rules_of(result) == ["RL004"]
+        assert "not_found" in result.new_findings[0].message
+
+    def test_near_miss_registered_and_documented(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "http_api.md").write_text(
+            "| `invalid_request` | 400 | bad payload |\n"
+            "| `not_found` | 404 | unknown concept |\n")
+        result = lint(tmp_path, ErrorEnvelopeRule(), {
+            "src/app/api/errors.py": _REGISTRY,
+            "src/app/handlers.py": """\
+                def handle():
+                    raise ApiError("invalid_request", "nope")
+                """})
+        assert result.new_findings == []
+
+
+# ----------------------------------------------------------------------
+# RL005 metrics drift
+# ----------------------------------------------------------------------
+_METRICS_DOCS = ("| `repro_good_total` | counter |\n"
+                 "| `repro_http_*` | per-route family |\n")
+
+
+class TestMetricsDrift:
+    def test_trigger_emitted_but_undocumented(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "http_api.md").write_text(_METRICS_DOCS)
+        result = lint(tmp_path, MetricsDriftRule(),
+                      {"src/app/metrics.py": '''\
+            def render(name):
+                """Prometheus text."""
+                return "\\n".join(["repro_good_total 1",
+                                   f"repro_http_{name} 2",
+                                   "repro_rogue_total 3"])
+            '''})
+        assert rules_of(result) == ["RL005"]
+        assert "repro_rogue_total" in result.new_findings[0].message
+
+    def test_trigger_documented_but_never_emitted(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "http_api.md").write_text(_METRICS_DOCS)
+        result = lint(tmp_path, MetricsDriftRule(),
+                      {"src/app/metrics.py": """\
+            def render():
+                return "repro_good_total 1"
+            """})
+        assert rules_of(result) == ["RL005"]
+        finding = result.new_findings[0]
+        assert finding.path == "docs/http_api.md"
+        assert "repro_http_" in finding.message
+
+    def test_near_miss_exact_and_wildcard_family(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "http_api.md").write_text(_METRICS_DOCS)
+        result = lint(tmp_path, MetricsDriftRule(),
+                      {"src/app/metrics.py": '''\
+            def render(name):
+                """Docstrings mentioning repro_prose_total do not count."""
+                return "\\n".join(["repro_good_total 1",
+                                   f"repro_http_{name} 2"])
+            '''})
+        assert result.new_findings == []
+
+
+# ----------------------------------------------------------------------
+# RL006 swallowed exceptions
+# ----------------------------------------------------------------------
+class TestSwallowedExceptions:
+    def test_trigger_silent_broad_except(self, tmp_path):
+        result = lint(tmp_path, SwallowedExceptionRule(),
+                      {"src/app/mod.py": """\
+            def run(task):
+                try:
+                    task()
+                except Exception:
+                    pass
+                try:
+                    task()
+                except:
+                    return None
+            """})
+        assert rules_of(result) == ["RL006"] * 2
+
+    def test_near_miss_logged_counted_reraised_or_used(self, tmp_path):
+        result = lint(tmp_path, SwallowedExceptionRule(),
+                      {"src/app/mod.py": """\
+            import warnings
+
+            def run(self, task):
+                try:
+                    task()
+                except Exception as error:
+                    warnings.warn(f"task failed: {error!r}")
+                try:
+                    task()
+                except Exception:
+                    self.failures += 1
+                try:
+                    task()
+                except Exception:
+                    raise
+                try:
+                    task()
+                except ValueError:
+                    pass  # narrow excepts are out of scope
+            """})
+        assert result.new_findings == []
+
+
+# ----------------------------------------------------------------------
+# Engine plumbing: suppressions, baseline, formats, exit codes
+# ----------------------------------------------------------------------
+_SILENT_EXCEPT = """\
+    def run(task):
+        try:
+            task()
+        except Exception:
+            pass
+    """
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses(self, tmp_path):
+        result = lint(tmp_path, SwallowedExceptionRule(),
+                      {"src/app/mod.py": """\
+            def run(task):
+                try:
+                    task()
+                except Exception:  # repro-lint: disable=RL006 - fine
+                    pass
+            """})
+        assert result.new_findings == []
+        assert rules_of(result) == []
+        assert [f.rule for f in result.suppressed] == ["RL006"]
+        assert result.exit_code == EXIT_CLEAN
+
+    def test_standalone_comment_above_suppresses(self, tmp_path):
+        result = lint(tmp_path, SwallowedExceptionRule(),
+                      {"src/app/mod.py": """\
+            def run(task):
+                try:
+                    task()
+                # repro-lint: disable=RL006 - cleanup must never raise
+                except Exception:
+                    pass
+            """})
+        assert result.new_findings == []
+        assert [f.rule for f in result.suppressed] == ["RL006"]
+
+    def test_comment_below_does_not_suppress(self, tmp_path):
+        result = lint(tmp_path, SwallowedExceptionRule(),
+                      {"src/app/mod.py": """\
+            def run(task):
+                try:
+                    task()
+                except Exception:
+                    # repro-lint: disable=RL006 - too late down here
+                    pass
+            """})
+        assert rules_of(result) == ["RL006"]
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        result = lint(tmp_path, SwallowedExceptionRule(),
+                      {"src/app/mod.py": """\
+            def run(task):
+                try:
+                    task()
+                except Exception:  # repro-lint: disable=RL001 - wrong id
+                    pass
+            """})
+        assert rules_of(result) == ["RL006"]
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        first = lint(tmp_path, SwallowedExceptionRule(),
+                     {"src/app/mod.py": _SILENT_EXCEPT})
+        [finding] = first.new_findings
+        baseline = Baseline([{
+            "fingerprint": finding.fingerprint, "rule": finding.rule,
+            "path": finding.path,
+            "justification": "grandfathered during rollout"}])
+        path = tmp_path / "baseline.json"
+        baseline.save(str(path))
+        reloaded = Baseline.load(str(path))
+        assert reloaded.covers(finding)
+        second = lint(tmp_path, SwallowedExceptionRule(),
+                      {"src/app/mod.py": _SILENT_EXCEPT},
+                      baseline=reloaded)
+        assert second.new_findings == []
+        assert [f.rule for f in second.baselined] == ["RL006"]
+        assert second.exit_code == EXIT_CLEAN
+
+    def test_fingerprint_survives_line_moves(self, tmp_path):
+        first = lint(tmp_path, SwallowedExceptionRule(),
+                     {"src/app/mod.py": _SILENT_EXCEPT})
+        shifted = lint(tmp_path, SwallowedExceptionRule(),
+                       {"src/app/mod.py": "import os\n\n\n"
+                        + textwrap.dedent(_SILENT_EXCEPT)})
+        assert first.new_findings[0].line != shifted.new_findings[0].line
+        assert first.new_findings[0].fingerprint == \
+            shifted.new_findings[0].fingerprint
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(str(tmp_path / "absent.json")).entries == []
+
+    def test_empty_justification_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"fingerprint": "abc123", "rule": "RL006",
+                         "path": "src/x.py", "justification": "  "}]}))
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(str(path))
+
+
+class TestOutputAndExitCodes:
+    def _result(self, tmp_path):
+        return lint(tmp_path, SwallowedExceptionRule(),
+                    {"src/app/mod.py": _SILENT_EXCEPT})
+
+    def test_text_format(self, tmp_path):
+        text = format_findings(self._result(tmp_path), "text")
+        assert "src/app/mod.py" in text
+        assert "RL006" in text
+        assert "1 new finding(s)" in text
+
+    def test_json_format(self, tmp_path):
+        payload = json.loads(format_findings(self._result(tmp_path),
+                                             "json"))
+        assert payload["summary"]["new"] == 1
+        [finding] = payload["findings"]
+        assert finding["rule"] == "RL006"
+        assert finding["fingerprint"]
+
+    def test_github_format(self, tmp_path):
+        text = format_findings(self._result(tmp_path), "github")
+        assert text.startswith("::error file=src/app/mod.py,line=")
+        assert "title=reprolint RL006::" in text
+
+    def test_exit_codes(self, tmp_path):
+        assert self._result(tmp_path).exit_code == EXIT_FINDINGS
+        clean = lint(tmp_path, SwallowedExceptionRule(),
+                     {"src/app/clean.py": "def ok():\n    return 1\n",
+                      "src/app/mod.py": "def ok():\n    return 2\n"})
+        assert clean.exit_code == EXIT_CLEAN
+
+    def test_parse_error_is_exit_error_not_fatal(self, tmp_path):
+        result = lint(tmp_path, SwallowedExceptionRule(),
+                      {"src/app/broken.py": "def broken(:\n",
+                       "src/app/mod.py": _SILENT_EXCEPT})
+        assert result.exit_code == EXIT_ERROR
+        assert [path for path, _ in result.errors] == \
+            ["src/app/broken.py"]
+        # the unparseable file must not hide findings elsewhere
+        assert rules_of(result) == ["RL006"]
+
+
+class TestRuleSelection:
+    def test_default_is_all_rules_in_id_order(self):
+        rules = default_rules()
+        assert [rule.id for rule in rules] == \
+            [f"RL{i:03d}" for i in range(1, 9)]
+        assert len(ALL_RULES) == 8
+
+    def test_select_by_id_and_name(self):
+        rules = default_rules(["RL006", "async-blocking"])
+        assert [rule.id for rule in rules] == ["RL006", "RL001"]
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(ValueError, match="RL999"):
+            default_rules(["RL999"])
+
+
+class TestCommandLine:
+    def _write_fixture(self, tmp_path):
+        path = tmp_path / "src" / "app" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(textwrap.dedent(_SILENT_EXCEPT))
+        return tmp_path
+
+    def test_findings_exit_code_and_output(self, tmp_path, capsys):
+        root = self._write_fixture(tmp_path)
+        code = lint_main(["src", "--root", str(root)])
+        assert code == EXIT_FINDINGS
+        assert "RL006" in capsys.readouterr().out
+
+    def test_rule_filter_makes_it_clean(self, tmp_path, capsys):
+        root = self._write_fixture(tmp_path)
+        code = lint_main(["src", "--root", str(root), "--rules", "RL001"])
+        assert code == EXIT_CLEAN
+        capsys.readouterr()
+
+    def test_unknown_rule_is_linter_error(self, tmp_path, capsys):
+        code = lint_main(["src", "--root", str(tmp_path),
+                          "--rules", "RL999"])
+        assert code == EXIT_ERROR
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_bad_baseline_is_linter_error(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"entries": [
+            {"fingerprint": "abc", "justification": ""}]}))
+        code = lint_main(["src", "--root", str(tmp_path),
+                          "--baseline", str(baseline)])
+        assert code == EXIT_ERROR
+        assert "bad baseline" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_cls in ALL_RULES:
+            assert rule_cls.id in out
+
+    def test_module_entry_point(self, tmp_path):
+        root = self._write_fixture(tmp_path)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.devtools", "src",
+             "--root", str(root), "--format", "json"],
+            capture_output=True, text=True)
+        assert proc.returncode == EXIT_FINDINGS
+        assert json.loads(proc.stdout)["summary"]["new"] == 1
+
+
+def test_repository_lints_clean_against_checked_in_baseline():
+    """The acceptance gate: ``repro lint`` on src/ must stay clean."""
+    import os
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline = Baseline.load(os.path.join(repo_root, "devtools",
+                                          "baseline.json"))
+    result = run_lint(repo_root, ["src"], default_rules(), baseline)
+    assert result.exit_code == EXIT_CLEAN, \
+        "\n" + format_findings(result, "text")

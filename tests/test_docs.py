@@ -3,121 +3,65 @@
 
 Three contracts:
 
-* **docstring coverage** (pydocstyle-lite): every module under
-  ``repro.serving``, ``repro.infer``, ``repro.api`` and
-  ``repro.retrieval``, every exported name, and every public method on
-  exported classes carries a non-empty docstring.
-* **markdown link integrity**: every intra-repo link in the README and
-  the ``docs/`` site resolves to a real file.
+* **docstring coverage**: rule ``RL007`` of the built-in analyzer
+  (:mod:`repro.devtools`) — every module under ``repro.serving``,
+  ``repro.infer``, ``repro.api``, ``repro.retrieval`` and
+  ``repro.devtools``, every public top-level definition, and every
+  public method on public classes carries a non-empty docstring.
+* **markdown link integrity**: rule ``RL008`` — every intra-repo link
+  in the README and the ``docs/`` site resolves to a real file.
 * **API contract**: the ``/v1`` routes documented in
   ``docs/http_api.md`` match ``GET /v1/openapi.json`` as served by a
   live server — the docs cannot drift from the deployed surface.
+
+The first two are thin wrappers over ``repro lint --rules RL007,RL008``
+so the pytest suite and the CI ``static-analysis`` job can never
+disagree about what "documented" means.
 """
 
-import importlib
-import inspect
 import os
-import pkgutil
 import re
 
 import pytest
 
+from repro.devtools import (
+    DocstringCoverageRule, MarkdownLinkRule, format_findings, run_lint,
+)
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-#: packages whose public surface must be fully documented
-DOCUMENTED_PACKAGES = ["repro.serving", "repro.infer", "repro.api",
-                       "repro.retrieval"]
 
-#: markdown files whose intra-repo links must resolve
-MARKDOWN_FILES = [
-    "README.md",
-    "docs/architecture.md",
-    "docs/http_api.md",
-    "docs/operations.md",
-]
-
-LINK_PATTERN = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+def _lint(rule):
+    return run_lint(REPO_ROOT, ["src"], [rule])
 
 
-def _iter_modules(package_name):
-    package = importlib.import_module(package_name)
-    yield package
-    for info in pkgutil.iter_modules(package.__path__):
-        yield importlib.import_module(f"{package_name}.{info.name}")
+def test_docstring_coverage_rl007():
+    """The analyzer's RL007 sweep over src/ must come back clean."""
+    result = _lint(DocstringCoverageRule())
+    assert not result.new_findings, \
+        "\n" + format_findings(result, "text")
 
 
-def _public_methods(cls):
-    for name, member in inspect.getmembers(cls):
-        if name.startswith("_"):
-            continue
-        if not (inspect.isfunction(member) or inspect.ismethod(member)
-                or isinstance(inspect.getattr_static(cls, name, None),
-                              property)):
-            continue
-        # Only hold this class's own surface to account, not inherited
-        # stdlib machinery (e.g. dataclass or Thread internals).
-        qualname = getattr(member, "__qualname__", "")
-        if isinstance(inspect.getattr_static(cls, name, None), property):
-            member = inspect.getattr_static(cls, name).fget
-            qualname = getattr(member, "__qualname__", "")
-        if not qualname.startswith(cls.__name__ + "."):
-            continue
-        yield name, member
+def test_markdown_links_rl008():
+    """README + docs/*.md intra-repo links must all resolve (RL008)."""
+    result = _lint(MarkdownLinkRule())
+    assert not result.new_findings, \
+        "\n" + format_findings(result, "text")
 
 
-@pytest.mark.parametrize("package_name", DOCUMENTED_PACKAGES)
-def test_every_module_has_a_docstring(package_name):
-    missing = [module.__name__ for module in _iter_modules(package_name)
-               if not (module.__doc__ or "").strip()]
-    assert not missing, f"modules without docstrings: {missing}"
+def test_markdown_link_rule_sees_the_whole_docs_site():
+    """Guard the wrapper itself: RL008 must actually scan every page.
 
-
-@pytest.mark.parametrize("package_name", DOCUMENTED_PACKAGES)
-def test_every_export_has_a_docstring(package_name):
-    package = importlib.import_module(package_name)
-    missing = []
-    for symbol in package.__all__:
-        obj = getattr(package, symbol)
-        if callable(obj) or inspect.isclass(obj):
-            if not (inspect.getdoc(obj) or "").strip():
-                missing.append(symbol)
-    assert not missing, \
-        f"{package_name} exports without docstrings: {missing}"
-
-
-@pytest.mark.parametrize("package_name", DOCUMENTED_PACKAGES)
-def test_every_public_method_has_a_docstring(package_name):
-    package = importlib.import_module(package_name)
-    missing = []
-    for symbol in package.__all__:
-        obj = getattr(package, symbol)
-        if not inspect.isclass(obj):
-            continue
-        for name, member in _public_methods(obj):
-            if not (inspect.getdoc(member) or "").strip():
-                missing.append(f"{symbol}.{name}")
-    assert not missing, \
-        f"{package_name} public methods without docstrings: {missing}"
-
-
-@pytest.mark.parametrize("markdown", MARKDOWN_FILES)
-def test_intra_repo_markdown_links_resolve(markdown):
-    path = os.path.join(REPO_ROOT, markdown)
-    assert os.path.exists(path), f"{markdown} is missing"
-    with open(path, encoding="utf-8") as handle:
-        text = handle.read()
-    broken = []
-    for target in LINK_PATTERN.findall(text):
-        if target.startswith(("http://", "https://", "mailto:", "#")):
-            continue
-        relative = target.split("#", 1)[0]
-        if not relative:
-            continue
-        resolved = os.path.normpath(
-            os.path.join(os.path.dirname(path), relative))
-        if not os.path.exists(resolved):
-            broken.append(target)
-    assert not broken, f"{markdown}: broken links {broken}"
+    A rule that silently scanned nothing would pass the test above, so
+    pin the minimum set of pages it is required to cover.
+    """
+    from types import SimpleNamespace
+    rule = MarkdownLinkRule()
+    scanned = {page.replace(os.sep, "/") for page
+               in rule.markdown_files(SimpleNamespace(root=REPO_ROOT))}
+    for page in ("README.md", "docs/architecture.md", "docs/http_api.md",
+                 "docs/operations.md", "docs/devtools.md"):
+        assert page in scanned, f"RL008 does not scan {page}"
 
 
 def test_docs_pages_exist_and_are_linked_from_readme():
@@ -125,7 +69,7 @@ def test_docs_pages_exist_and_are_linked_from_readme():
               encoding="utf-8") as handle:
         readme = handle.read()
     for page in ("docs/architecture.md", "docs/http_api.md",
-                 "docs/operations.md"):
+                 "docs/operations.md", "docs/devtools.md"):
         assert os.path.exists(os.path.join(REPO_ROOT, page)), page
         assert page in readme, f"README does not link {page}"
 

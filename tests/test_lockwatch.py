@@ -1,0 +1,253 @@
+"""The runtime half of ``repro.devtools``: the lockwatch sanitizer.
+
+These tests drive private :class:`LockWatcher` instances (never the
+session-global one a ``REPRO_LOCKWATCH=1`` run installs), so they work
+identically with and without the sanitizer enabled for the session —
+and the synthetic inversions they provoke cannot trip the conftest
+session-teardown assertion.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.devtools import lockwatch
+from repro.devtools.lockwatch import (
+    LockWatcher, WatchedLock, WatchedRLock, guard_class,
+)
+
+
+@pytest.fixture()
+def watcher():
+    return LockWatcher(long_hold_seconds=60.0)
+
+
+def make_locks(watcher, *sites):
+    return [WatchedLock(watcher, site) for site in sites]
+
+
+class TestInversionDetection:
+    def test_ab_then_ba_is_reported(self, watcher):
+        """The proof the detector fires: a synthetic A→B / B→A pair."""
+        lock_a, lock_b = make_locks(watcher, "a.py:1", "b.py:1")
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with lock_a:
+                pass
+        report = watcher.report()
+        assert len(report["inversions"]) == 1
+        [inversion] = report["inversions"]
+        assert {inversion["holding"], inversion["acquiring"]} == \
+            {"a.py:1", "b.py:1"}
+        assert "lock-order inversion" in inversion["message"]
+
+    def test_near_miss_consistent_order_is_clean(self, watcher):
+        lock_a, lock_b = make_locks(watcher, "a.py:1", "b.py:1")
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+        assert watcher.report()["inversions"] == []
+
+    def test_detected_across_threads(self, watcher):
+        """The graph is global: each thread uses one (consistent) order."""
+        lock_a, lock_b = make_locks(watcher, "a.py:1", "b.py:1")
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def backward():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        first = threading.Thread(target=forward)
+        first.start()
+        first.join()
+        second = threading.Thread(target=backward)
+        second.start()
+        second.join()
+        assert len(watcher.report()["inversions"]) == 1
+
+    def test_transitive_cycle_is_reported(self, watcher):
+        lock_a, lock_b, lock_c = make_locks(watcher, "a.py:1", "b.py:1",
+                                            "c.py:1")
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with lock_c:
+                pass
+        with lock_c:
+            with lock_a:  # closes the a -> b -> c cycle
+                pass
+        assert len(watcher.report()["inversions"]) == 1
+
+    def test_deduplicated_per_site_pair(self, watcher):
+        lock_a, lock_b = make_locks(watcher, "a.py:1", "b.py:1")
+        for _ in range(5):
+            with lock_a:
+                with lock_b:
+                    pass
+            with lock_b:
+                with lock_a:
+                    pass
+        assert len(watcher.report()["inversions"]) == 1
+
+    def test_same_creation_site_pair_is_exempt(self, watcher):
+        """Two instances of one lock class are not an ordering."""
+        shard_a, shard_b = make_locks(watcher, "pool.py:7", "pool.py:7")
+        with shard_a:
+            with shard_b:
+                pass
+        with shard_b:
+            with shard_a:
+                pass
+        assert watcher.report()["inversions"] == []
+
+    def test_reentrant_rlock_adds_no_self_edges(self, watcher):
+        outer = WatchedRLock(watcher, "r.py:1")
+        with outer:
+            with outer:
+                pass
+        assert watcher.report()["inversions"] == []
+
+    def test_reset_clears_findings(self, watcher):
+        lock_a, lock_b = make_locks(watcher, "a.py:1", "b.py:1")
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with lock_a:
+                pass
+        watcher.reset()
+        assert watcher.report() == {"inversions": [], "long_holds": [],
+                                    "guard_violations": []}
+
+
+class TestLongHolds:
+    def test_long_hold_reported(self):
+        watcher = LockWatcher(long_hold_seconds=0.02)
+        lock = WatchedLock(watcher, "slow.py:1")
+        with lock:
+            time.sleep(0.05)
+        [hold] = watcher.report()["long_holds"]
+        assert hold["lock"] == "slow.py:1"
+        assert hold["seconds"] >= 0.02
+
+    def test_quick_hold_not_reported(self):
+        watcher = LockWatcher(long_hold_seconds=0.5)
+        lock = WatchedLock(watcher, "quick.py:1")
+        with lock:
+            pass
+        assert watcher.report()["long_holds"] == []
+
+
+class TestWatchedLockSemantics:
+    def test_lock_is_actually_exclusive(self, watcher):
+        lock = WatchedLock(watcher, "x.py:1")
+        assert lock.acquire()
+        assert lock.locked()
+        assert lock.held_by_current_thread()
+        assert not lock.acquire(blocking=False)
+        lock.release()
+        assert not lock.locked()
+        assert not lock.held_by_current_thread()
+
+    def test_rlock_ownership_tracking(self, watcher):
+        lock = WatchedRLock(watcher, "r.py:1")
+        with lock:
+            with lock:
+                assert lock.held_by_current_thread()
+            assert lock.held_by_current_thread()
+        assert not lock.held_by_current_thread()
+
+    def test_condition_over_watched_rlock(self, watcher):
+        """Condition wait/notify releases and restores every level."""
+        lock = WatchedRLock(watcher, "r.py:1")
+        condition = threading.Condition(lock)
+        ready = []
+
+        def producer():
+            with condition:
+                ready.append(True)
+                condition.notify_all()
+
+        with condition:
+            threading.Thread(target=producer).start()
+            assert condition.wait_for(lambda: ready, timeout=5.0)
+            # ownership mirror restored after the wait round-trip
+            assert lock.held_by_current_thread()
+        assert not lock.held_by_current_thread()
+
+
+class TestGuardedAttributes:
+    def _guarded_store(self, watcher):
+        class Store:
+            def __init__(self):
+                self._lock = WatchedLock(watcher, "store.py:1")
+                self._value = 0
+
+        guard_class(Store, {"_value": "_lock"}, watcher=watcher)
+        return Store
+
+    def test_violation_recorded_on_unlocked_rebind(self, watcher):
+        store = self._guarded_store(watcher)()
+        store._value = 1  # rebind without the lock
+        [violation] = watcher.report()["guard_violations"]
+        assert violation["class"] == "Store"
+        assert violation["attr"] == "_value"
+        assert violation["lock"] == "_lock"
+
+    def test_near_miss_locked_rebind_and_init_are_clean(self, watcher):
+        store = self._guarded_store(watcher)()  # __init__ binding exempt
+        with store._lock:
+            store._value = 1
+        assert watcher.report()["guard_violations"] == []
+
+    def test_guard_class_is_idempotent(self, watcher):
+        store_cls = self._guarded_store(watcher)
+        setattr_before = store_cls.__setattr__
+        guard_class(store_cls, {"_value": "_lock"}, watcher=watcher)
+        assert store_cls.__setattr__ is setattr_before
+
+    def test_unguarded_attribute_is_free(self, watcher):
+        store = self._guarded_store(watcher)()
+        store._free = "anything"
+        assert watcher.report()["guard_violations"] == []
+
+
+class TestInstall:
+    def test_install_uninstall_round_trip(self):
+        already = lockwatch.installed()
+        if already is not None:
+            # REPRO_LOCKWATCH session: only assert idempotence — do not
+            # uninstall the session's watcher out from under the suite.
+            assert lockwatch.install() is already
+            return
+        original_lock = threading.Lock
+        watcher = lockwatch.install()
+        try:
+            assert lockwatch.install() is watcher  # idempotent
+            assert lockwatch.installed() is watcher
+            lock = threading.Lock()
+            assert isinstance(lock, WatchedLock)
+            assert isinstance(threading.RLock(), WatchedRLock)
+            with lock:
+                assert lock.held_by_current_thread()
+        finally:
+            lockwatch.uninstall()
+        assert lockwatch.installed() is None
+        assert threading.Lock is original_lock
+        assert not isinstance(threading.Lock(), WatchedLock)
+
+    def test_module_report_without_install_is_empty(self):
+        if lockwatch.installed() is not None:
+            pytest.skip("session watcher active")
+        assert lockwatch.report() == {"inversions": [], "long_holds": [],
+                                      "guard_violations": []}
